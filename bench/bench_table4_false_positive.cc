@@ -1,0 +1,83 @@
+// Reproduces Table IV: false-positive rate per application, Original vs
+// OR, at W = 5 s and W = 60 s.
+//
+// Expected shape (paper): the original attacker has low FP (~2.8% mean);
+// under OR the mean FP more than triples (~9.4%) and is concentrated on
+// the attractor classes — chatting and downloading — because reshaped
+// interfaces impersonate them ("34.77% of packets from other applications
+// are regarded as downloading"). FP stays flat as W grows.
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/defense_factory.h"
+
+namespace {
+
+using namespace reshape;
+
+void print_fp(const std::string& title, const std::array<double, 7>& paper,
+              const eval::DefenseEvaluation& measured, double paper_mean) {
+  util::TablePrinter table{{"App", "Paper FP (%)", "Measured FP (%)"}};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    const auto i = traffic::app_index(app);
+    table.add_row({std::string{traffic::short_name(app)},
+                   util::TablePrinter::fmt(paper[i]),
+                   util::TablePrinter::fmt(measured.false_positive[i])});
+  }
+  table.add_row({"Mean", util::TablePrinter::fmt(paper_mean),
+                 util::TablePrinter::fmt(measured.mean_false_positive)});
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+}
+
+int run() {
+  eval::ExperimentHarness h5{bench::default_config(5.0)};
+  eval::ExperimentHarness h60{bench::default_config(60.0)};
+
+  const auto original5 = h5.evaluate(eval::no_defense_factory(), "Original");
+  const auto or5 = h5.evaluate(
+      eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3), "OR");
+  const auto original60 = h60.evaluate(eval::no_defense_factory(), "Original");
+  const auto or60 = h60.evaluate(
+      eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3), "OR");
+
+  std::cout << "Table IV reproduction — false positives of classification\n";
+  print_fp("Original, W = 5 s", bench::PaperTable4::original_w5, original5,
+           bench::PaperTable4::mean_original_w5);
+  print_fp("OR, W = 5 s", bench::PaperTable4::or_w5, or5,
+           bench::PaperTable4::mean_or_w5);
+  print_fp("Original, W = 60 s", bench::PaperTable4::original_w60, original60,
+           bench::PaperTable4::mean_original_w60);
+  print_fp("OR, W = 60 s", bench::PaperTable4::or_w60, or60,
+           bench::PaperTable4::mean_or_w60);
+
+  std::cout << "\nShape checks (paper's qualitative claims):\n";
+  const auto check = [](const char* what, bool ok) {
+    std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << what << "\n";
+    return ok;
+  };
+  const auto fp = [&](const eval::DefenseEvaluation& e, traffic::AppType a) {
+    return e.false_positive[traffic::app_index(a)];
+  };
+  using traffic::AppType;
+  bool all = true;
+  all &= check("original FP is low (mean < 5%)",
+               original5.mean_false_positive < 5.0);
+  all &= check("OR inflates mean FP by > 2x (paper: 2.80 -> 9.38)",
+               or5.mean_false_positive >
+                   2.0 * original5.mean_false_positive);
+  all &= check(
+      "attractor classes absorb misclassifications under OR "
+      "(chatting + downloading FP > 25%; paper: 21.01 + 34.77)",
+      fp(or5, AppType::kChatting) + fp(or5, AppType::kDownloading) > 25.0);
+  all &= check("uploading keeps near-zero FP under OR (paper: 0.00)",
+               fp(or5, AppType::kUploading) < 5.0);
+  all &= check("OR FP is flat in W (paper: 9.38 -> 9.25)",
+               std::abs(or60.mean_false_positive - or5.mean_false_positive) <
+                   6.0);
+  return all ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,63 @@
+// Reproduces Table V: OR accuracy as the number of virtual interfaces I
+// varies (I = 2, 3, 5 with the paper's range partitions; I = L and phi
+// derived from Eq. (2)).
+//
+// Expected shape (paper): accuracy falls as I grows, with diminishing
+// returns — I = 3 is already "enough for OR to thwart the attack"
+// (49.89 -> 43.69 -> 42.79).
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/defense_factory.h"
+
+namespace {
+
+using namespace reshape;
+
+eval::DefenseFactory or_factory(std::size_t interfaces) {
+  core::SizeRanges ranges = interfaces == 2   ? core::SizeRanges::paper_l2()
+                            : interfaces == 3 ? core::SizeRanges::paper_default()
+                                              : core::SizeRanges::paper_l5();
+  return eval::orthogonal_factory(
+      ranges, core::TargetDistribution::orthogonal_identity(interfaces));
+}
+
+int run() {
+  eval::ExperimentHarness harness{bench::default_config(5.0)};
+  harness.train();
+
+  const auto or2 = harness.evaluate(or_factory(2), "OR I=2");
+  const auto or3 = harness.evaluate(or_factory(3), "OR I=3");
+  const auto or5 = harness.evaluate(or_factory(5), "OR I=5");
+
+  std::cout << "Table V reproduction — OR accuracy by interface count\n";
+  bench::print_accuracy_comparison("OR, I = 2", bench::PaperTable5::i2, or2,
+                                   bench::PaperTable5::mean_i2);
+  bench::print_accuracy_comparison("OR, I = 3", bench::PaperTable5::i3, or3,
+                                   bench::PaperTable5::mean_i3);
+  bench::print_accuracy_comparison("OR, I = 5", bench::PaperTable5::i5, or5,
+                                   bench::PaperTable5::mean_i5);
+
+  std::cout << "\nShape checks (paper's qualitative claims):\n";
+  const auto check = [](const char* what, bool ok) {
+    std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << what << "\n";
+    return ok;
+  };
+  bool all = true;
+  all &= check("more interfaces never help the attacker much "
+               "(I=5 mean <= I=2 mean + 5 pts)",
+               or5.mean_accuracy <= or2.mean_accuracy + 5.0);
+  all &= check("diminishing returns beyond I=3 "
+               "(|I=5 - I=3| smaller than |I=3 - I=2| + 5 pts)",
+               std::abs(or5.mean_accuracy - or3.mean_accuracy) <=
+                   std::abs(or3.mean_accuracy - or2.mean_accuracy) + 5.0);
+  all &= check("every I at least halves the 83%-class attacker "
+               "(each mean < 55%)",
+               or2.mean_accuracy < 55.0 && or3.mean_accuracy < 55.0 &&
+                   or5.mean_accuracy < 55.0);
+  return all ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,108 @@
+// Reproduces Table VI: efficiency comparison — packet padding and traffic
+// morphing versus traffic reshaping, against a *timing-feature* attack
+// (the paper's point: size-only defenses leave interarrival intact).
+//
+// Expected shape (paper): padding (to 1576 B) costs ~121% extra bytes and
+// morphing ~39%, yet the timing attacker still scores ~71%; OR scores
+// ~44% with exactly 0% byte overhead.
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/defense_factory.h"
+
+namespace {
+
+using namespace reshape;
+
+int run() {
+  // Timing-only attacker: padding/morphing do not change interarrival.
+  eval::ExperimentConfig cfg = bench::default_config(5.0);
+  cfg.feature_set = features::FeatureSet::kTimingOnly;
+  eval::ExperimentHarness timing_harness{cfg};
+  timing_harness.train();
+
+  const auto padded =
+      timing_harness.evaluate(eval::padding_factory(), "Padding");
+  const auto morphed =
+      timing_harness.evaluate(eval::morphing_factory(timing_harness),
+                              "Morphing");
+  const auto or_timing = timing_harness.evaluate(
+      eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3), "OR");
+
+  std::cout << "Table VI reproduction — efficiency comparison (W = 5 s, "
+               "timing-feature attack)\n\n";
+  util::TablePrinter table{{"App", "Paper acc (%)", "Meas pad acc (%)",
+                            "Meas morph acc (%)", "Paper pad ovh (%)",
+                            "Meas pad ovh (%)", "Paper morph ovh (%)",
+                            "Meas morph ovh (%)"}};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    const auto i = traffic::app_index(app);
+    table.add_row({std::string{traffic::short_name(app)},
+                   util::TablePrinter::fmt(bench::PaperTable6::accuracy[i]),
+                   util::TablePrinter::fmt(padded.accuracy[i]),
+                   util::TablePrinter::fmt(morphed.accuracy[i]),
+                   util::TablePrinter::fmt(bench::PaperTable6::pad_overhead[i]),
+                   util::TablePrinter::fmt(padded.overhead[i]),
+                   util::TablePrinter::fmt(
+                       bench::PaperTable6::morph_overhead[i]),
+                   util::TablePrinter::fmt(morphed.overhead[i])});
+  }
+  table.add_row({"Mean", util::TablePrinter::fmt(
+                             bench::PaperTable6::mean_accuracy),
+                 util::TablePrinter::fmt(padded.mean_accuracy),
+                 util::TablePrinter::fmt(morphed.mean_accuracy),
+                 util::TablePrinter::fmt(bench::PaperTable6::mean_pad_overhead),
+                 util::TablePrinter::fmt(padded.mean_overhead),
+                 util::TablePrinter::fmt(
+                     bench::PaperTable6::mean_morph_overhead),
+                 util::TablePrinter::fmt(morphed.mean_overhead)});
+  table.print(std::cout);
+
+  std::cout << "\nOR under the timing attack: mean accuracy "
+            << util::TablePrinter::fmt(or_timing.mean_accuracy)
+            << "% at 0% overhead (paper: 43.69% / 0%)\n";
+
+  std::cout << "\nShape checks (paper's qualitative claims):\n";
+  const auto check = [](const char* what, bool ok) {
+    std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << what << "\n";
+    return ok;
+  };
+  const auto ovh = [](const eval::DefenseEvaluation& e, traffic::AppType a) {
+    return e.overhead[traffic::app_index(a)];
+  };
+  using traffic::AppType;
+  bool all = true;
+  all &= check("padding overhead is unbearably high (mean > 60%)",
+               padded.mean_overhead > 60.0);
+  all &= check("morphing costs much less than padding (paper: 39 vs 121)",
+               morphed.mean_overhead < 0.6 * padded.mean_overhead);
+  all &= check("chatting/gaming pay the highest padding overhead "
+               "(small packets; paper: 486% / 243%)",
+               ovh(padded, AppType::kChatting) > 200.0 &&
+                   ovh(padded, AppType::kGaming) > 120.0);
+  // The paper reports ~0% for downloading (its overhead accounting, like
+  // Fig. 1/Table I, is receiver-side: the data direction is already at
+  // the maximum frame size). Our accounting pads both directions, so
+  // downloading still pays for its TCP-ACK uplink; the preserved shape is
+  // the *ordering* — bulk-transfer apps are by far the cheapest to pad.
+  all &= check("bulk-transfer apps are the cheapest to pad "
+               "(do/up/vo each < 1/4 of chatting's overhead)",
+               ovh(padded, AppType::kDownloading) <
+                       ovh(padded, AppType::kChatting) / 4.0 &&
+                   ovh(padded, AppType::kUploading) <
+                       ovh(padded, AppType::kChatting) / 4.0 &&
+                   ovh(padded, AppType::kVideo) <
+                       ovh(padded, AppType::kChatting) / 4.0);
+  all &= check("timing attack still beats padding and morphing "
+               "(mean acc > 55%; paper: 71.18%)",
+               padded.mean_accuracy > 55.0 && morphed.mean_accuracy > 55.0);
+  all &= check("OR beats both at zero overhead",
+               or_timing.mean_accuracy < padded.mean_accuracy - 10.0 &&
+                   or_timing.mean_accuracy < morphed.mean_accuracy - 10.0 &&
+                   or_timing.mean_overhead == 0.0);
+  return all ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,177 @@
+// Shared helpers for the paper-reproduction bench binaries: the paper's
+// reference numbers (for side-by-side printing) and row-formatting glue.
+#pragma once
+
+#include <array>
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "traffic/app_type.h"
+#include "util/table.h"
+
+namespace reshape::bench {
+
+/// Paper Table II — accuracy (%), W = 5 s.
+struct PaperTable2 {
+  static constexpr std::array<double, 7> original{37.77, 77.93, 88.18, 99.88,
+                                                  95.92, 93.32, 89.68};
+  static constexpr std::array<double, 7> fh{59.15, 86.17, 61.01, 98.26,
+                                            91.76, 96.37, 33.88};
+  static constexpr std::array<double, 7> ra{58.74, 85.82, 60.24, 95.59,
+                                            89.30, 86.01, 57.69};
+  static constexpr std::array<double, 7> rr{59.16, 81.63, 61.35, 94.25,
+                                            94.98, 86.52, 59.04};
+  static constexpr std::array<double, 7> orr{1.90, 84.21, 26.61, 99.95,
+                                             90.78, 0.00, 2.35};
+  static constexpr double mean_original = 83.24;
+  static constexpr double mean_fh = 75.23;
+  static constexpr double mean_ra = 76.20;
+  static constexpr double mean_rr = 76.70;
+  static constexpr double mean_or = 43.69;
+};
+
+/// Paper Table III — accuracy (%), W = 60 s.
+struct PaperTable3 {
+  static constexpr std::array<double, 7> original{72.94, 85.29, 93.74, 100.0,
+                                                  95.92, 100.0, 95.14};
+  static constexpr std::array<double, 7> fh{72.59, 81.09, 79.71, 100.0,
+                                            91.76, 100.0, 93.63};
+  static constexpr std::array<double, 7> ra{76.72, 67.67, 81.36, 100.0,
+                                            89.30, 100.0, 96.44};
+  static constexpr std::array<double, 7> rr{77.90, 64.89, 81.67, 100.0,
+                                            94.98, 100.0, 97.02};
+  static constexpr std::array<double, 7> orr{0.57, 93.86, 23.64, 99.96,
+                                             90.78, 0.00, 2.61};
+  static constexpr double mean_original = 91.86;
+  static constexpr double mean_or = 44.49;
+};
+
+/// Paper Table IV — false positives (%).
+struct PaperTable4 {
+  static constexpr std::array<double, 7> original_w5{2.73, 2.21, 3.29, 0.93,
+                                                     0.02, 1.05, 9.32};
+  static constexpr std::array<double, 7> or_w5{1.91, 21.01, 3.55, 34.77,
+                                               0.00, 0.44, 4.00};
+  static constexpr std::array<double, 7> original_w60{1.51, 1.45, 1.86, 0.13,
+                                                      0.00, 0.30, 4.25};
+  static constexpr std::array<double, 7> or_w60{2.30, 19.73, 1.54, 35.47,
+                                                0.00, 0.00, 5.72};
+  static constexpr double mean_original_w5 = 2.80;
+  static constexpr double mean_or_w5 = 9.38;
+  static constexpr double mean_original_w60 = 1.36;
+  static constexpr double mean_or_w60 = 9.25;
+};
+
+/// Paper Table V — OR accuracy (%) by interface count.
+struct PaperTable5 {
+  static constexpr std::array<double, 7> i2{2.82, 91.63, 56.83, 99.92,
+                                            95.59, 0.00, 2.47};
+  static constexpr std::array<double, 7> i3{1.90, 84.21, 26.61, 99.95,
+                                            90.78, 0.00, 2.35};
+  static constexpr std::array<double, 7> i5{1.52, 90.35, 17.24, 99.37,
+                                            90.53, 0.00, 0.49};
+  static constexpr double mean_i2 = 49.89;
+  static constexpr double mean_i3 = 43.69;
+  static constexpr double mean_i5 = 42.79;
+};
+
+/// Paper Table VI — efficiency (W = 5 s): timing-attack accuracy and
+/// overheads (%).
+struct PaperTable6 {
+  static constexpr std::array<double, 7> accuracy{31.37, 72.15, 71.68, 100.0,
+                                                  95.92, 91.81, 37.54};
+  static constexpr std::array<double, 7> pad_overhead{55.55, 485.74, 242.96,
+                                                      0.04, 0.0, 1.84, 63.82};
+  static constexpr std::array<double, 7> morph_overhead{28.67, 54.62, 128.42,
+                                                        0.0, 0.0, 1.83, 62.52};
+  static constexpr double mean_accuracy = 71.18;
+  static constexpr double mean_pad_overhead = 121.42;
+  static constexpr double mean_morph_overhead = 39.44;
+  static constexpr double or_accuracy = 43.69;  // for comparison
+};
+
+/// Paper Table I — downlink features per interface under OR.
+/// {original, iface1, iface2, iface3} mean packet size (bytes) and mean
+/// interarrival (seconds), rows in app order.
+struct PaperTable1 {
+  static constexpr std::array<std::array<double, 4>, 7> size{{
+      {1013.2, 134.0, 780.6, 1574.3},   // br
+      {269.1, 145.3, 517.3, 1576.0},    // ch
+      {459.5, 138.8, 689.66, 1575.3},   // ga
+      {1575.3, 136.8, 536.7, 1576.0},   // do
+      {132.8, 131.4, 379.0, 1576.0},    // up
+      {1547.6, 129.6, 528.5, 1576.0},   // vo
+      {962.04, 143.9, 1062.5, 1568.0},  // bt
+  }};
+  static constexpr std::array<std::array<double, 4>, 7> iat{{
+      {0.0284, 0.0918, 0.1087, 0.0278},
+      {0.9901, 1.1022, 0.0687, 0.0257},
+      {0.3084, 0.4970, 0.6899, 0.4835},
+      {0.0023, 0.4242, 0.5138, 0.0023},
+      {0.0301, 0.0302, 0.0123, 0.0965},
+      {0.0119, 0.3159, 0.5493, 0.0122},
+      {0.0247, 0.0634, 0.2331, 0.0486},
+  }};
+};
+
+/// Prints one "App | paper | measured" accuracy table.
+inline void print_accuracy_comparison(
+    const std::string& title, const std::array<double, 7>& paper,
+    const eval::DefenseEvaluation& measured, double paper_mean) {
+  util::TablePrinter table{{"App", "Paper (%)", "Measured (%)"}};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    const auto i = traffic::app_index(app);
+    table.add_row({std::string{traffic::short_name(app)},
+                   util::TablePrinter::fmt(paper[i]),
+                   util::TablePrinter::fmt(measured.accuracy[i])});
+  }
+  table.add_row({"Mean", util::TablePrinter::fmt(paper_mean),
+                 util::TablePrinter::fmt(measured.mean_accuracy)});
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+}
+
+/// Prints the confusion matrix of an evaluation (rows = truth, columns =
+/// prediction, window counts). The paper's §IV-C discussion is about
+/// exactly this structure — OR flows collapsing onto chatting/downloading.
+inline void print_confusion(const eval::DefenseEvaluation& evaluation) {
+  std::vector<std::string> header{"truth\\pred"};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    header.emplace_back(traffic::short_name(app));
+  }
+  util::TablePrinter table{header};
+  for (const traffic::AppType truth : traffic::kAllApps) {
+    std::vector<std::string> row{std::string{traffic::short_name(truth)}};
+    for (const traffic::AppType pred : traffic::kAllApps) {
+      row.push_back(std::to_string(evaluation.confusion.count(
+          static_cast<int>(traffic::app_index(truth)),
+          static_cast<int>(traffic::app_index(pred)))));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\nConfusion (" << evaluation.defense_name << ", windows):\n";
+  table.print(std::cout);
+}
+
+/// The default experiment configuration for a given eavesdropping window.
+inline eval::ExperimentConfig default_config(double window_seconds) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = 20110620;  // ICDCS'11 week
+  cfg.window = util::Duration::seconds(window_seconds);
+  if (window_seconds >= 60.0) {
+    // 60 s windows need long sessions; fewer of them keeps runtime sane.
+    cfg.train_sessions_per_app = 8;
+    cfg.train_session_duration = util::Duration::seconds(420.0);
+    cfg.test_sessions_per_app = 4;
+    cfg.test_session_duration = util::Duration::seconds(420.0);
+  } else {
+    cfg.train_sessions_per_app = 12;
+    cfg.train_session_duration = util::Duration::seconds(90.0);
+    cfg.test_sessions_per_app = 6;
+    cfg.test_session_duration = util::Duration::seconds(90.0);
+  }
+  return cfg;
+}
+
+}  // namespace reshape::bench

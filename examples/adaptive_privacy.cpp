@@ -1,0 +1,90 @@
+// Adaptive privacy management (paper §III-C.3 and §V-B): pick reshaping
+// parameters from the privacy requirement and the WLAN's state, and
+// reconfigure dynamically.
+//
+// Walks through the parameter-selection rules (L, I, phi), shows the
+// privacy-entropy and address-collision numbers behind them, and then
+// exercises dynamic reconfiguration: the AP recycles a client's virtual
+// addresses and grants a bigger set when the privacy requirement rises.
+//
+//   $ ./examples/adaptive_privacy
+#include <iostream>
+#include <sstream>
+
+#include "core/parameter_selection.h"
+#include "core/scheduler.h"
+#include "mac/address_pool.h"
+#include "net/access_point.h"
+#include "net/client.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace reshape;
+
+  // --- Rule engine: what configuration fits each privacy requirement? ---
+  std::cout << "Parameter selection (paper §III-C.3):\n";
+  util::TablePrinter rules{{"Requested I", "Ranges (L)", "Range bounds",
+                            "Privacy entropy (bits)"}};
+  for (const std::size_t want : {std::size_t{2}, std::size_t{3},
+                                 std::size_t{5}, std::size_t{8}}) {
+    const core::ParameterRecommendation rec =
+        core::recommend_parameters(want, /*wlan_population=*/12);
+    std::string bounds;
+    for (std::size_t j = 0; j < rec.ranges.count(); ++j) {
+      bounds += (j ? "," : "") + std::to_string(rec.ranges.upper_bound(j));
+    }
+    rules.add_row({std::to_string(rec.interfaces),
+                   std::to_string(rec.ranges.count()), bounds,
+                   util::TablePrinter::fmt(rec.privacy_entropy, 2)});
+  }
+  rules.print(std::cout);
+
+  std::cout << "\nMAC address collision probability (48-bit birthday bound):\n";
+  util::TablePrinter collisions{{"Addresses in WLAN", "P(collision)"}};
+  for (const std::size_t n : {std::size_t{10}, std::size_t{1000},
+                              std::size_t{100000}}) {
+    std::ostringstream p;
+    p << mac::AddressPool::collision_probability(n);
+    collisions.add_row({std::to_string(n), p.str()});
+  }
+  collisions.print(std::cout);
+
+  // --- Dynamic reconfiguration on a live AP (paper §III-B.1: "recycle
+  //     and dynamically configure virtual MAC interfaces"). ---
+  sim::Simulator simulator;
+  sim::Medium medium{sim::PathLossModel{}, util::Rng{5}};
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:cc:01");
+  const auto client_mac = mac::MacAddress::parse("02:00:00:00:cc:02");
+  const mac::SymmetricKey key{7, 8};
+
+  net::AccessPoint ap{simulator, medium, sim::Position{0, 0}, bssid, 1,
+                      net::ApConfig{}, util::Rng{6}, [] {
+                        return std::make_unique<core::OrthogonalScheduler>(
+                            core::OrthogonalScheduler::identity(
+                                core::SizeRanges::paper_default()));
+                      }};
+  net::WirelessClient client{simulator, medium, sim::Position{4, 4},
+                             client_mac, bssid, 1, key, util::Rng{7},
+                             std::make_unique<core::OrthogonalScheduler>(
+                                 core::OrthogonalScheduler::identity(
+                                     core::SizeRanges::paper_default()))};
+  ap.associate(client_mac, key);
+
+  std::cout << "\nDynamic reconfiguration:\n";
+  for (const std::uint32_t want : {3u, 5u, 2u}) {
+    client.request_virtual_interfaces(want);
+    simulator.run();
+    const auto assigned = ap.virtual_addresses_of(client_mac);
+    std::cout << "  requested " << want << " -> got " << assigned.size()
+              << " interfaces:";
+    for (const mac::MacAddress& a : assigned) {
+      std::cout << ' ' << a.to_string();
+    }
+    std::cout << '\n';
+  }
+  std::cout << "Old addresses were recycled into the AP pool on every "
+               "reconfiguration;\nno two grants overlap.\n";
+  return 0;
+}

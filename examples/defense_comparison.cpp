@@ -1,0 +1,59 @@
+// Defense comparison: padding vs morphing vs reshaping on one flow.
+//
+// Applies each mechanism to the same chatting session (the worst case for
+// padding: small packets everywhere) and prints what it costs and what
+// the adversary still sees — a one-screen version of the paper's
+// Table VI argument.
+//
+//   $ ./examples/defense_comparison
+#include <iostream>
+
+#include "core/defense.h"
+#include "core/morphing.h"
+#include "core/padding.h"
+#include "core/scheduler.h"
+#include "traffic/generator.h"
+#include "util/distribution.h"
+#include "util/table.h"
+
+int main() {
+  using namespace reshape;
+
+  const traffic::Trace chat = traffic::generate_trace(
+      traffic::AppType::kChatting, util::Duration::seconds(300.0), 77);
+
+  // Defender-side profile of the morphing target (gaming, per the paper).
+  const traffic::Trace gaming_profile = traffic::generate_trace(
+      traffic::AppType::kGaming, util::Duration::seconds(120.0), 78);
+
+  core::PaddingDefense padding;
+  core::MorphingDefense morphing{traffic::AppType::kGaming,
+                                 util::EmpiricalDistribution{
+                                     gaming_profile.sizes()},
+                                 util::Rng{79}};
+  core::ReshapingDefense reshaping{std::make_unique<core::OrthogonalScheduler>(
+      core::OrthogonalScheduler::identity(core::SizeRanges::paper_default()))};
+
+  util::TablePrinter table{{"Defense", "Flows seen", "Bytes added",
+                            "Overhead (%)", "Timing changed?"}};
+  const auto row = [&](const char* name, core::Defense& defense) {
+    const core::DefenseResult r = defense.apply(chat);
+    table.add_row({name, std::to_string(r.streams.size()),
+                   std::to_string(r.added_bytes),
+                   util::TablePrinter::fmt(r.overhead_percent(), 1),
+                   // None of these mechanisms touches timestamps — the
+                   // timing side channel survives size-only defenses.
+                   "no"});
+  };
+  row("Packet padding (to 1576)", padding);
+  row("Traffic morphing (-> gaming)", morphing);
+  row("Traffic reshaping (OR)", reshaping);
+  table.print(std::cout);
+
+  std::cout
+      << "\nPadding and morphing pay bytes to blur sizes and still leave\n"
+         "interarrival times intact (Table VI's timing attack defeats "
+         "them).\nReshaping costs nothing and splits the flow so each "
+         "virtual MAC\nshows a different, misleading size profile.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// A live WLAN session: the full protocol stack of the paper running inside
+// the discrete-event simulator.
+//
+// One AP, one reshaping client, and a passive sniffer share a channel.
+// The client performs the encrypted 4-step configuration handshake
+// (paper Fig. 2), brings up three virtual MAC interfaces, and exchanges a
+// browsing session with the AP. The sniffer shows what the air interface
+// reveals: three apparently-independent stations, none of them the
+// client's real MAC address.
+//
+//   $ ./examples/live_wlan_session
+#include <iostream>
+
+#include "attack/sniffer.h"
+#include "core/scheduler.h"
+#include "net/access_point.h"
+#include "net/client.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace reshape;
+
+  sim::Simulator simulator;
+  sim::Medium medium{sim::PathLossModel{}, util::Rng{99}};
+
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:aa:01");
+  const auto client_mac = mac::MacAddress::parse("02:00:00:00:bb:02");
+  const mac::SymmetricKey key{0x1234, 0x5678};
+
+  const auto make_or = [] {
+    return std::make_unique<core::OrthogonalScheduler>(
+        core::OrthogonalScheduler::identity(core::SizeRanges::paper_default()));
+  };
+
+  net::AccessPoint ap{simulator, medium, sim::Position{0, 0}, bssid,
+                      /*channel=*/6, net::ApConfig{}, util::Rng{1}, make_or};
+  net::WirelessClient client{simulator, medium, sim::Position{7, 2},
+                             client_mac, bssid, 6, key, util::Rng{2},
+                             make_or()};
+  ap.associate(client_mac, key);
+
+  attack::Sniffer sniffer{bssid};
+  medium.attach(sniffer, sim::Position{-5, 10}, 6);
+
+  // --- Step 1-4: the encrypted configuration handshake (Fig. 2). ---
+  client.request_virtual_interfaces(3);
+  simulator.run();
+  std::cout << "Handshake complete. Virtual interfaces:\n";
+  for (const net::VirtualInterface& vif : client.interfaces()) {
+    std::cout << "  " << vif.address().to_string() << "\n";
+  }
+  std::cout << "(the sniffer saw only ciphertext; the mapping to "
+            << client_mac.to_string() << " stays secret)\n\n";
+
+  // --- Data: a 30-second browsing session through the live stack. ---
+  const traffic::Trace session = traffic::generate_trace(
+      traffic::AppType::kBrowsing, util::Duration::seconds(30.0), 7);
+  std::size_t delivered_down = 0;
+  std::size_t delivered_up = 0;
+  client.set_upper_layer_sink([&](std::uint32_t) { ++delivered_down; });
+  ap.set_upper_layer_sink(
+      [&](const mac::MacAddress&, std::uint32_t) { ++delivered_up; });
+  for (const traffic::PacketRecord& r : session.records()) {
+    if (r.direction == mac::Direction::kUplink) {
+      simulator.schedule_at(r.time, [&client, s = r.size_bytes] {
+        client.send_packet(mac::payload_of(s));
+      });
+    } else {
+      simulator.schedule_at(r.time, [&ap, &client_mac, s = r.size_bytes] {
+        ap.send_to_client(client_mac, mac::payload_of(s));
+      });
+    }
+  }
+  simulator.run();
+
+  std::cout << "Session done: " << delivered_up << " uplink / "
+            << delivered_down
+            << " downlink packets delivered above the MAC layer\n"
+            << "(reshaping is transparent: the upper layers saw one "
+               "identity, one flow).\n\n";
+
+  // --- The adversary's ledger. ---
+  util::TablePrinter table{{"Station on the air", "Frames", "Is real MAC?"}};
+  for (const mac::MacAddress& station : sniffer.observed_stations()) {
+    const auto flow = sniffer.flow_of(station, traffic::AppType::kBrowsing);
+    table.add_row({station.to_string(), std::to_string(flow.size()),
+                   station == client_mac ? "YES (leak!)" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe sniffer captured " << sniffer.frames_captured()
+            << " data frames and sees three unrelated-looking stations.\n";
+
+  medium.detach(sniffer);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The adversary's view: run the full traffic-analysis attack of the paper
+// (ref. [6]: windowed MAC-layer features + SVM/MLP) against a user with
+// and without traffic reshaping.
+//
+// This is the paper's threat scenario end to end: the attacker profiles
+// the seven applications on clean traffic, then tries to tell what a
+// victim is doing from a 5-second eavesdrop.
+//
+//   $ ./examples/online_activity_attack
+#include <iostream>
+
+#include "eval/defense_factory.h"
+#include "eval/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace reshape;
+
+  eval::ExperimentConfig config;
+  config.seed = 42;
+  config.window = util::Duration::seconds(5.0);
+  config.train_sessions_per_app = 8;
+  config.train_session_duration = util::Duration::seconds(60.0);
+  config.test_sessions_per_app = 4;
+  config.test_session_duration = util::Duration::seconds(60.0);
+
+  eval::ExperimentHarness harness{config};
+  std::cout << "Training the adversary (SVM + MLP on "
+            << config.train_sessions_per_app << " sessions x 7 apps)...\n";
+  harness.train();
+
+  const auto undefended =
+      harness.evaluate(eval::no_defense_factory(), "no defense");
+  const auto defended = harness.evaluate(
+      eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3),
+      "traffic reshaping (OR)");
+
+  util::TablePrinter table{
+      {"Activity", "Undefended acc (%)", "Reshaped acc (%)"}};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    const auto i = traffic::app_index(app);
+    table.add_row({std::string{traffic::to_string(app)},
+                   util::TablePrinter::fmt(undefended.accuracy[i], 1),
+                   util::TablePrinter::fmt(defended.accuracy[i], 1)});
+  }
+  table.add_row({"MEAN", util::TablePrinter::fmt(undefended.mean_accuracy, 1),
+                 util::TablePrinter::fmt(defended.mean_accuracy, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nWith reshaping on, every virtual interface is classified "
+               "independently,\nand most land on the 'attractor' classes "
+               "(chatting, downloading) instead\nof the user's real "
+               "activity. Eavesdropping longer does not help — see\n"
+               "bench_table3_accuracy_w60 for the W = 60 s variant.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: reshape one application flow and look at what an
+// eavesdropper would see.
+//
+// Builds a BitTorrent-like traffic trace, applies Orthogonal Reshaping
+// (the paper's OR algorithm with its default I = L = 3 configuration),
+// and prints the per-virtual-interface feature summary — the reproduction
+// of the paper's core idea in ~40 lines of API use.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/defense.h"
+#include "core/scheduler.h"
+#include "features/features.h"
+#include "traffic/generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace reshape;
+
+  // 1. A two-minute BitTorrent session (synthetic, seeded).
+  const traffic::Trace trace = traffic::generate_trace(
+      traffic::AppType::kBitTorrent, util::Duration::seconds(120.0),
+      /*seed=*/2011);
+  std::cout << "Original flow: " << trace.size() << " packets, "
+            << trace.total_bytes() / 1024 << " KiB\n\n";
+
+  // 2. Orthogonal Reshaping with the paper's default ranges
+  //    (0,232], (232,1540], (1540,1576] and identity targets.
+  core::ReshapingDefense reshaping{std::make_unique<core::OrthogonalScheduler>(
+      core::OrthogonalScheduler::identity(core::SizeRanges::paper_default()))};
+  const core::DefenseResult result = reshaping.apply(trace);
+
+  // 3. What each virtual MAC interface looks like on the air.
+  util::TablePrinter table{{"Flow", "Packets", "Mean size (B)", "Min", "Max",
+                            "Mean IAT (s)"}};
+  const auto add_row = [&](const std::string& name, const traffic::Trace& t) {
+    const auto f = features::extract_whole(t);
+    if (!f) {
+      table.add_row({name, "0", "-", "-", "-", "-"});
+      return;
+    }
+    // Combine both directions for the display.
+    const double n = f->downlink.packet_count + f->uplink.packet_count;
+    table.add_row({name, std::to_string(static_cast<long>(n)),
+                   util::TablePrinter::fmt(
+                       (f->downlink.size_mean * f->downlink.packet_count +
+                        f->uplink.size_mean * f->uplink.packet_count) /
+                           (n > 0 ? n : 1), 1),
+                   util::TablePrinter::fmt(
+                       std::min(f->downlink.size_min, f->uplink.size_min), 0),
+                   util::TablePrinter::fmt(
+                       std::max(f->downlink.size_max, f->uplink.size_max), 0),
+                   util::TablePrinter::fmt(f->downlink.iat_mean, 4)});
+  };
+  add_row("original", trace);
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    add_row("interface " + std::to_string(i + 1), result.streams[i]);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBytes added by reshaping: " << result.added_bytes
+            << " (the paper's headline: zero noise-traffic overhead)\n"
+            << "Each interface shows only one slice of the original "
+               "size distribution;\nno single virtual MAC reveals that this "
+               "user is running BitTorrent.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "attack/classifier_attack.h"
+
+#include <array>
+
+#include "traffic/app_type.h"
+#include "util/check.h"
+
+namespace reshape::attack {
+
+ClassifierAttack::ClassifierAttack(AttackConfig config,
+                                   std::unique_ptr<ml::Classifier> classifier)
+    : config_{config}, classifier_{std::move(classifier)} {
+  util::require(classifier_ != nullptr,
+                "ClassifierAttack: classifier must not be null");
+  util::require(config_.window > util::Duration{},
+                "ClassifierAttack: window must be positive");
+}
+
+std::vector<std::vector<double>> ClassifierAttack::feature_rows(
+    const traffic::Trace& trace) const {
+  const auto windows = features::extract_all_windows(
+      trace, config_.window, config_.min_packets_per_window);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(windows.size());
+  for (const features::WindowFeatures& w : windows) {
+    rows.push_back(features::project(
+        config_.log_compress ? features::log_compress(w) : w,
+        config_.feature_set));
+  }
+  return rows;
+}
+
+namespace {
+
+/// The feature block an empty direction produces under the configured
+/// processing — masking must write exactly this signature or masked
+/// training rows won't coincide with genuinely one-sided test flows.
+std::array<double, features::DirectionFeatures::kCount> empty_block(
+    bool log_compressed) {
+  features::DirectionFeatures empty;
+  if (log_compressed) {
+    features::WindowFeatures w;  // both directions empty
+    return features::log_compress(w).downlink.to_array();
+  }
+  return empty.to_array();
+}
+
+/// Overwrites one direction's block of a full feature row with the
+/// empty-direction signature (the appearance of the window in a one-sided
+/// capture). Row layout is the WindowFeatures order: downlink block then
+/// uplink block.
+std::vector<double> mask_direction(const std::vector<double>& row,
+                                   bool keep_downlink, bool log_compressed) {
+  constexpr std::size_t kHalf = features::DirectionFeatures::kCount;
+  const auto blank = empty_block(log_compressed);
+  std::vector<double> out = row;
+  const std::size_t start = keep_downlink ? kHalf : 0;
+  for (std::size_t d = 0; d < kHalf; ++d) {
+    out[start + d] = blank[d];
+  }
+  return out;
+}
+
+/// True when the row has at least one packet in the given direction
+/// (log2(1 + n) and n are both positive exactly when n > 0).
+bool has_direction(const std::vector<double>& row, bool downlink) {
+  constexpr std::size_t kHalf = features::DirectionFeatures::kCount;
+  return row[downlink ? 0 : kHalf] > 0.0;  // packet_count leads each block
+}
+
+}  // namespace
+
+void ClassifierAttack::train(std::span<const traffic::Trace> clean_traces) {
+  util::require(!clean_traces.empty(), "ClassifierAttack::train: no traces");
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  const bool augment = config_.augment_direction_masks &&
+                       config_.feature_set == features::FeatureSet::kAll;
+  for (const traffic::Trace& t : clean_traces) {
+    const int label = static_cast<int>(traffic::app_index(t.app()));
+    for (auto& row : feature_rows(t)) {
+      if (augment) {
+        if (has_direction(row, true)) {
+          rows.push_back(
+              mask_direction(row, /*keep_downlink=*/true, config_.log_compress));
+          labels.push_back(label);
+        }
+        if (has_direction(row, false)) {
+          rows.push_back(mask_direction(row, /*keep_downlink=*/false,
+                                        config_.log_compress));
+          labels.push_back(label);
+        }
+      }
+      rows.push_back(std::move(row));
+      labels.push_back(label);
+    }
+  }
+  util::require(!rows.empty(),
+                "ClassifierAttack::train: traces yielded no usable windows");
+  scaler_.fit(rows);
+  ml::Dataset data{scaler_.transform_all(rows), std::move(labels),
+                   static_cast<int>(traffic::kAppCount)};
+  classifier_->fit(data);
+  trained_ = true;
+}
+
+std::vector<int> ClassifierAttack::classify_flow(
+    const traffic::Trace& flow) const {
+  util::require(trained_, "ClassifierAttack::classify_flow: not trained");
+  std::vector<int> out;
+  for (const auto& row : feature_rows(flow)) {
+    out.push_back(classifier_->predict(scaler_.transform(row)));
+  }
+  return out;
+}
+
+ml::ConfusionMatrix ClassifierAttack::evaluate(
+    std::span<const traffic::Trace> flows) const {
+  ml::ConfusionMatrix confusion{static_cast<int>(traffic::kAppCount)};
+  for (const traffic::Trace& flow : flows) {
+    const int truth = static_cast<int>(traffic::app_index(flow.app()));
+    for (const int predicted : classify_flow(flow)) {
+      confusion.add(truth, predicted);
+    }
+  }
+  return confusion;
+}
+
+}  // namespace reshape::attack

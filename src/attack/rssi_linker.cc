@@ -1,0 +1,54 @@
+#include "attack/rssi_linker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reshape::attack {
+
+RssiLinker::RssiLinker(double threshold_db) : threshold_db_{threshold_db} {
+  util::require(threshold_db >= 0.0, "RssiLinker: threshold must be >= 0");
+}
+
+std::vector<LinkedGroup> RssiLinker::link(
+    const std::unordered_map<mac::MacAddress, double>& mean_rssi) const {
+  // Sort by RSSI; single-linkage on a line reduces to splitting whenever
+  // the gap between neighbours exceeds the threshold.
+  std::vector<std::pair<double, mac::MacAddress>> points;
+  points.reserve(mean_rssi.size());
+  for (const auto& [addr, rssi] : mean_rssi) {
+    points.emplace_back(rssi, addr);
+  }
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second < b.second;
+  });
+
+  std::vector<LinkedGroup> groups;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i == 0 || points[i].first - points[i - 1].first > threshold_db_) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(points[i].second);
+  }
+  for (LinkedGroup& g : groups) {
+    std::sort(g.begin(), g.end());
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const LinkedGroup& a, const LinkedGroup& b) {
+              return a.front() < b.front();
+            });
+  return groups;
+}
+
+bool RssiLinker::exactly_linked(const std::vector<LinkedGroup>& groups,
+                                const LinkedGroup& expected) {
+  LinkedGroup sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  return std::any_of(groups.begin(), groups.end(),
+                     [&](const LinkedGroup& g) { return g == sorted_expected; });
+}
+
+}  // namespace reshape::attack

@@ -1,0 +1,46 @@
+// RSSI-based power analysis (§V-A's attack, from refs. [23] and [12]):
+// link virtual MAC addresses that belong to the same physical transmitter
+// by clustering their mean received signal strengths.
+//
+// Signals from one spot arrive at the sniffer with (nearly) the same mean
+// RSSI; distinct stations at distinct distances differ by many dB. The
+// linker does single-linkage clustering on per-MAC mean RSSI with a dB
+// threshold. Per-packet transmit power control (core::TransmitPowerControl)
+// is the paper's proposed mitigation — with randomised power, per-MAC
+// means spread out and the clusters break.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mac/mac_address.h"
+
+namespace reshape::attack {
+
+/// A group of MAC addresses the attacker believes share one transmitter.
+using LinkedGroup = std::vector<mac::MacAddress>;
+
+/// Clusters per-MAC mean RSSI values.
+class RssiLinker {
+ public:
+  /// MACs whose mean RSSIs differ by at most `threshold_db` (transitively)
+  /// are linked. Requires threshold_db >= 0.
+  explicit RssiLinker(double threshold_db = 2.0);
+
+  /// Returns groups (each sorted by address) covering every input MAC;
+  /// singletons are groups of one. Deterministic: groups ordered by their
+  /// lowest address.
+  [[nodiscard]] std::vector<LinkedGroup> link(
+      const std::unordered_map<mac::MacAddress, double>& mean_rssi) const;
+
+  /// True when every address in `expected` landed in one group together
+  /// and nothing else joined them — i.e. the attack de-anonymised the
+  /// client exactly.
+  [[nodiscard]] static bool exactly_linked(
+      const std::vector<LinkedGroup>& groups, const LinkedGroup& expected);
+
+ private:
+  double threshold_db_;
+};
+
+}  // namespace reshape::attack

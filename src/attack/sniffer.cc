@@ -1,0 +1,80 @@
+#include "attack/sniffer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::attack {
+
+Sniffer::Sniffer(mac::MacAddress bssid) : bssid_{bssid} {
+  util::require(!bssid_.is_null(), "Sniffer: bssid must be set");
+}
+
+mac::MacAddress Sniffer::station_key(const mac::Frame& frame) const {
+  if (frame.source == bssid_) {
+    return frame.destination;  // downlink: key by receiving station
+  }
+  if (frame.destination == bssid_) {
+    return frame.source;  // uplink: key by transmitting station
+  }
+  return mac::MacAddress{};  // foreign cell
+}
+
+void Sniffer::on_frame(const mac::Frame& frame, double rssi_dbm) {
+  if (!frame.is_data()) {
+    return;  // handshake ciphertext is opaque; only data frames are kept
+  }
+  if (station_key(frame).is_null()) {
+    return;
+  }
+  captures_.push_back(CapturedFrame{frame, rssi_dbm});
+}
+
+std::vector<mac::MacAddress> Sniffer::observed_stations() const {
+  std::vector<mac::MacAddress> out;
+  for (const CapturedFrame& c : captures_) {
+    const mac::MacAddress key = station_key(c.frame);
+    if (std::find(out.begin(), out.end(), key) == out.end()) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+traffic::Trace Sniffer::flow_of(const mac::MacAddress& station,
+                                traffic::AppType label) const {
+  traffic::Trace flow{label};
+  for (const CapturedFrame& c : captures_) {
+    if (station_key(c.frame) != station) {
+      continue;
+    }
+    traffic::PacketRecord r;
+    r.time = c.frame.timestamp;
+    r.size_bytes = c.frame.size_bytes;
+    r.direction = c.frame.source == bssid_ ? mac::Direction::kDownlink
+                                           : mac::Direction::kUplink;
+    flow.push_back(r);
+  }
+  return flow;
+}
+
+std::unordered_map<mac::MacAddress, double> Sniffer::mean_rssi() const {
+  std::unordered_map<mac::MacAddress, util::RunningStats> stats;
+  for (const CapturedFrame& c : captures_) {
+    // RSSI identifies the *transmitter*; downlink frames all come from the
+    // AP, so only uplink frames reveal a station's power signature.
+    if (c.frame.destination == bssid_) {
+      stats[c.frame.source].add(c.rssi_dbm);
+    }
+  }
+  std::unordered_map<mac::MacAddress, double> out;
+  for (const auto& [addr, s] : stats) {
+    out.emplace(addr, s.mean());
+  }
+  return out;
+}
+
+void Sniffer::clear() { captures_.clear(); }
+
+}  // namespace reshape::attack

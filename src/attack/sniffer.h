@@ -1,0 +1,66 @@
+// The passive eavesdropper (attack model of §II-A).
+//
+// A sniffer is a radio pinned to one channel that records every data
+// frame it hears. Flows are keyed by the *client-side* MAC address —
+// destination for downlink frames (AP -> station), source for uplink —
+// because that is the identifier an adversary can use to group packets
+// when traffic reshaping spreads one user across several virtual MACs.
+// Per-frame RSSI is retained for the §V-A power-analysis attack.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mac/frame.h"
+#include "mac/mac_address.h"
+#include "sim/medium.h"
+#include "traffic/trace.h"
+
+namespace reshape::attack {
+
+/// Everything the sniffer keeps about one captured frame.
+struct CapturedFrame {
+  mac::Frame frame;
+  double rssi_dbm = 0.0;
+};
+
+/// A passive per-channel capture device.
+class Sniffer : public sim::RadioListener {
+ public:
+  /// `bssid` identifies the AP whose cell is being observed; frames not
+  /// involving that BSSID are ignored (matching a targeted capture).
+  explicit Sniffer(mac::MacAddress bssid);
+
+  void on_frame(const mac::Frame& frame, double rssi_dbm) override;
+
+  [[nodiscard]] std::uint64_t frames_captured() const {
+    return captures_.size();
+  }
+  [[nodiscard]] const std::vector<CapturedFrame>& captures() const {
+    return captures_;
+  }
+
+  /// The distinct client-side MAC addresses observed.
+  [[nodiscard]] std::vector<mac::MacAddress> observed_stations() const;
+
+  /// The flow of one client-side MAC as a Trace (direction assigned from
+  /// the frame's relation to the BSSID); `label` is attached for scoring.
+  [[nodiscard]] traffic::Trace flow_of(const mac::MacAddress& station,
+                                       traffic::AppType label) const;
+
+  /// Mean RSSI per observed station (power analysis input).
+  [[nodiscard]] std::unordered_map<mac::MacAddress, double> mean_rssi() const;
+
+  void clear();
+
+ private:
+  /// The client-side key of a frame, or null MAC when the frame does not
+  /// involve the observed BSSID.
+  [[nodiscard]] mac::MacAddress station_key(const mac::Frame& frame) const;
+
+  mac::MacAddress bssid_;
+  std::vector<CapturedFrame> captures_;
+};
+
+}  // namespace reshape::attack

@@ -1,0 +1,54 @@
+#include "core/airtime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mac/frame.h"
+#include "util/check.h"
+
+namespace reshape::core {
+
+double AirtimeCost::overhead_percent(const AirtimeCost& baseline) const {
+  if (baseline.total.count_us() == 0) {
+    return 0.0;
+  }
+  return 100.0 *
+         static_cast<double>(total.count_us() - baseline.total.count_us()) /
+         static_cast<double>(baseline.total.count_us());
+}
+
+AirtimeCost trace_airtime(const traffic::Trace& trace, double bitrate_mbps) {
+  util::require(bitrate_mbps > 0.0, "trace_airtime: bitrate must be > 0");
+  AirtimeCost cost;
+  for (const traffic::PacketRecord& r : trace.records()) {
+    cost.total += mac::airtime(r.size_bytes, bitrate_mbps);
+  }
+  const util::Duration span = trace.duration();
+  if (span.count_us() > 0) {
+    cost.utilisation = static_cast<double>(cost.total.count_us()) /
+                       static_cast<double>(span.count_us());
+  }
+  return cost;
+}
+
+AirtimeCost defense_airtime(const DefenseResult& result,
+                            double bitrate_mbps) {
+  AirtimeCost cost;
+  util::TimePoint first = util::TimePoint::from_microseconds(
+      std::numeric_limits<std::int64_t>::max());
+  util::TimePoint last;
+  for (const traffic::Trace& s : result.streams) {
+    cost.total += trace_airtime(s, bitrate_mbps).total;
+    if (!s.empty()) {
+      first = std::min(first, s.start_time());
+      last = std::max(last, s.end_time());
+    }
+  }
+  if (last > first) {
+    cost.utilisation = static_cast<double>(cost.total.count_us()) /
+                       static_cast<double>((last - first).count_us());
+  }
+  return cost;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,34 @@
+// Airtime cost accounting for defenses.
+//
+// The paper argues efficiency in bytes; the binding resource on a WLAN is
+// channel *airtime*. This module converts a defense's observable output
+// back into the airtime the medium spends on it, exposing what padding
+// and morphing really cost a shared channel — and that reshaping costs
+// nothing (it retransmits the same frames, only under different MAC
+// addresses).
+#pragma once
+
+#include "core/defense.h"
+#include "util/time.h"
+
+namespace reshape::core {
+
+/// Airtime summary of one flow or defense output.
+struct AirtimeCost {
+  util::Duration total;          // sum of per-frame airtimes
+  double utilisation = 0.0;      // total / wall-clock span, in [0, ~1]
+
+  /// Extra airtime relative to a baseline, as a percentage.
+  [[nodiscard]] double overhead_percent(const AirtimeCost& baseline) const;
+};
+
+/// Airtime of every packet of a trace at a fixed PHY bitrate (Mbit/s).
+[[nodiscard]] AirtimeCost trace_airtime(const traffic::Trace& trace,
+                                        double bitrate_mbps);
+
+/// Combined airtime across all streams of a defense result. Streams of a
+/// reshaped flow share the one physical channel, so their airtimes add.
+[[nodiscard]] AirtimeCost defense_airtime(const DefenseResult& result,
+                                          double bitrate_mbps);
+
+}  // namespace reshape::core

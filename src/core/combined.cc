@@ -1,0 +1,38 @@
+#include "core/combined.h"
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+CombinedDefense::CombinedDefense(
+    std::unique_ptr<Scheduler> scheduler,
+    std::unordered_map<std::size_t, std::unique_ptr<MorphingDefense>> morphers)
+    : reshaping_{std::move(scheduler)}, morphers_{std::move(morphers)} {
+  for (const auto& [iface, morpher] : morphers_) {
+    util::require(iface < reshaping_.scheduler().interface_count(),
+                  "CombinedDefense: morpher keyed to nonexistent interface");
+    util::require(morpher != nullptr, "CombinedDefense: null morpher");
+  }
+}
+
+DefenseResult CombinedDefense::apply(const traffic::Trace& trace) {
+  DefenseResult reshaped = reshaping_.apply(trace);
+  DefenseResult out;
+  out.original_bytes = reshaped.original_bytes;
+  out.streams.reserve(reshaped.streams.size());
+  for (std::size_t i = 0; i < reshaped.streams.size(); ++i) {
+    const auto it = morphers_.find(i);
+    if (it == morphers_.end()) {
+      out.streams.push_back(std::move(reshaped.streams[i]));
+      continue;
+    }
+    DefenseResult morphed = it->second->apply(reshaped.streams[i]);
+    util::internal_check(morphed.streams.size() == 1,
+                         "CombinedDefense: morphing must yield one stream");
+    out.added_bytes += morphed.added_bytes;
+    out.streams.push_back(std::move(morphed.streams.front()));
+  }
+  return out;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,51 @@
+#include "core/defense.h"
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+double DefenseResult::overhead_percent() const {
+  if (original_bytes == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(added_bytes) /
+         static_cast<double>(original_bytes);
+}
+
+std::size_t DefenseResult::total_packets() const {
+  std::size_t acc = 0;
+  for (const traffic::Trace& s : streams) {
+    acc += s.size();
+  }
+  return acc;
+}
+
+DefenseResult NoDefense::apply(const traffic::Trace& trace) {
+  DefenseResult out;
+  out.original_bytes = trace.total_bytes();
+  out.streams.push_back(trace);
+  return out;
+}
+
+ReshapingDefense::ReshapingDefense(std::unique_ptr<Scheduler> scheduler)
+    : scheduler_{std::move(scheduler)} {
+  util::require(scheduler_ != nullptr,
+                "ReshapingDefense: scheduler must not be null");
+}
+
+DefenseResult ReshapingDefense::apply(const traffic::Trace& trace) {
+  DefenseResult out;
+  out.original_bytes = trace.total_bytes();
+  out.streams.assign(scheduler_->interface_count(),
+                     traffic::Trace{trace.app()});
+  scheduler_->reset();
+  for (const traffic::PacketRecord& r : trace.records()) {
+    const std::size_t i = scheduler_->select_interface(r);
+    util::internal_check(i < out.streams.size(),
+                         "ReshapingDefense: scheduler returned bad interface");
+    out.streams[i].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,83 @@
+// Trace-level defense abstraction.
+//
+// Every defense mechanism the paper evaluates (reshaping with RA/RR/OR,
+// frequency hopping, packet padding, traffic morphing, and combinations)
+// is a transformation from one original trace to the set of flows an
+// eavesdropper can observe, plus a byte-overhead account. This mirrors the
+// paper's own trace-based methodology (§IV: "we evaluate traffic reshaping
+// through simulations" over captured traces).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "traffic/trace.h"
+
+namespace reshape::core {
+
+/// The observable output of a defense applied to one trace.
+struct DefenseResult {
+  /// One trace per flow the adversary can isolate: per virtual MAC
+  /// address for reshaping, per channel partition for FH, the single
+  /// original flow for padding/morphing. Streams may be empty.
+  std::vector<traffic::Trace> streams;
+
+  /// Bytes of the original trace.
+  std::uint64_t original_bytes = 0;
+
+  /// Bytes added on the air (padding/morphing); zero for reshaping.
+  std::uint64_t added_bytes = 0;
+
+  /// added/original as a percentage (the paper's overhead metric).
+  [[nodiscard]] double overhead_percent() const;
+
+  /// Total packets across all streams.
+  [[nodiscard]] std::size_t total_packets() const;
+};
+
+/// A defense mechanism.
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  /// Transforms one application trace into observable flows.
+  [[nodiscard]] virtual DefenseResult apply(const traffic::Trace& trace) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The identity defense: the adversary sees the original flow unchanged.
+class NoDefense final : public Defense {
+ public:
+  [[nodiscard]] DefenseResult apply(const traffic::Trace& trace) override;
+  [[nodiscard]] std::string_view name() const override { return "Original"; }
+};
+
+/// Traffic reshaping: dispatches each packet to a virtual interface via a
+/// Scheduler; the adversary observes one flow per virtual MAC address.
+///
+/// The same scheduler logic runs on the AP for downlink and on the client
+/// for uplink (§III-C: "the reshaping algorithm is running on both the
+/// client and AP side"); both directions of a packet's flow land on the
+/// interface the scheduler picks, so each virtual MAC carries a coherent
+/// bidirectional sub-flow.
+class ReshapingDefense final : public Defense {
+ public:
+  /// Takes ownership of the scheduler (non-null).
+  explicit ReshapingDefense(std::unique_ptr<Scheduler> scheduler);
+
+  [[nodiscard]] DefenseResult apply(const traffic::Trace& trace) override;
+  [[nodiscard]] std::string_view name() const override {
+    return scheduler_->name();
+  }
+
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace reshape::core

@@ -1,0 +1,45 @@
+#include "core/frequency_hopping.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+HoppingSchedule::HoppingSchedule(HoppingConfig config)
+    : config_{std::move(config)} {
+  util::require(!config_.channels.empty(),
+                "HoppingSchedule: need >= 1 channel");
+  util::require(config_.dwell > util::Duration{},
+                "HoppingSchedule: dwell must be positive");
+}
+
+int HoppingSchedule::channel_at(util::TimePoint t) const {
+  const auto slot = static_cast<std::size_t>(
+      (t - util::TimePoint{}) / config_.dwell);
+  return config_.channels[slot % config_.channels.size()];
+}
+
+FrequencyHoppingDefense::FrequencyHoppingDefense(HoppingConfig config,
+                                                 int monitored_channel)
+    : schedule_{std::move(config)}, monitored_channel_{monitored_channel} {
+  const auto& channels = schedule_.config().channels;
+  util::require(std::find(channels.begin(), channels.end(),
+                          monitored_channel) != channels.end(),
+                "FrequencyHoppingDefense: monitored channel not in hop set");
+}
+
+DefenseResult FrequencyHoppingDefense::apply(const traffic::Trace& trace) {
+  DefenseResult out;
+  out.original_bytes = trace.total_bytes();
+  traffic::Trace observed{trace.app()};
+  for (const traffic::PacketRecord& r : trace.records()) {
+    if (schedule_.channel_at(r.time) == monitored_channel_) {
+      observed.push_back(r);
+    }
+  }
+  out.streams.push_back(std::move(observed));
+  return out;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,28 @@
+#include "core/padding.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+PaddingDefense::PaddingDefense(std::uint32_t pad_to) : pad_to_{pad_to} {
+  util::require(pad_to > 0, "PaddingDefense: pad target must be > 0");
+}
+
+DefenseResult PaddingDefense::apply(const traffic::Trace& trace) {
+  DefenseResult out;
+  out.original_bytes = trace.total_bytes();
+  traffic::Trace padded{trace.app()};
+  padded.reserve(trace.size());
+  for (traffic::PacketRecord r : trace.records()) {
+    const std::uint32_t target = std::max(r.size_bytes, pad_to_);
+    out.added_bytes += target - r.size_bytes;
+    r.size_bytes = target;
+    padded.push_back(r);
+  }
+  out.streams.push_back(std::move(padded));
+  return out;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,32 @@
+// Packet-padding baseline (Table VI).
+//
+// The classical defense: pad every packet to a fixed length (the paper
+// pads to the maximum packet size, 1576 bytes on the air). Padding hides
+// the size feature at enormous byte cost and leaves timing untouched —
+// which is exactly how the paper's Table VI defeats it with a
+// timing-feature attack.
+#pragma once
+
+#include <cstdint>
+
+#include "core/defense.h"
+#include "mac/frame.h"
+
+namespace reshape::core {
+
+/// Pads every packet up to `pad_to` bytes (packets already at or above
+/// the target are unchanged).
+class PaddingDefense final : public Defense {
+ public:
+  explicit PaddingDefense(std::uint32_t pad_to = mac::kMaxFrameBytes);
+
+  [[nodiscard]] DefenseResult apply(const traffic::Trace& trace) override;
+  [[nodiscard]] std::string_view name() const override { return "Padding"; }
+
+  [[nodiscard]] std::uint32_t pad_to() const { return pad_to_; }
+
+ private:
+  std::uint32_t pad_to_;
+};
+
+}  // namespace reshape::core

@@ -1,0 +1,92 @@
+#include "core/parameter_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mac/frame.h"
+#include "util/check.h"
+
+namespace reshape::core {
+
+double privacy_entropy_bits(std::size_t total_mac_addresses) {
+  util::require(total_mac_addresses >= 1,
+                "privacy_entropy_bits: population must be >= 1");
+  return std::log2(static_cast<double>(total_mac_addresses));
+}
+
+namespace {
+
+SizeRanges ranges_for_interfaces(std::size_t interfaces) {
+  switch (interfaces) {
+    case 2:
+      return SizeRanges::paper_l2();
+    case 3:
+      return SizeRanges::paper_default();
+    case 5:
+      return SizeRanges::paper_l5();
+    default: {
+      // Keep the two mode edges (232 and 1540) and split the mid-range
+      // evenly for the remaining boundaries.
+      const std::size_t mid_splits = interfaces - 3;
+      std::vector<std::uint32_t> bounds;
+      bounds.push_back(232);
+      const double lo = 232.0;
+      const double hi = 1540.0;
+      for (std::size_t k = 1; k <= mid_splits; ++k) {
+        bounds.push_back(static_cast<std::uint32_t>(
+            lo + (hi - lo) * static_cast<double>(k) /
+                     static_cast<double>(mid_splits + 1)));
+      }
+      bounds.push_back(1540);
+      bounds.push_back(mac::kMaxFrameBytes);
+      return SizeRanges{std::move(bounds)};
+    }
+  }
+}
+
+}  // namespace
+
+ParameterRecommendation recommend_parameters(std::size_t desired_interfaces,
+                                             std::size_t wlan_population) {
+  const std::size_t interfaces = std::clamp<std::size_t>(desired_interfaces,
+                                                         2, 8);
+  SizeRanges ranges = ranges_for_interfaces(interfaces);
+  util::internal_check(ranges.count() == interfaces,
+                       "recommend_parameters: I must equal L here");
+  ParameterRecommendation rec{
+      interfaces, ranges, TargetDistribution::orthogonal_identity(interfaces),
+      privacy_entropy_bits(std::max<std::size_t>(wlan_population, 1) +
+                           interfaces)};
+  return rec;
+}
+
+SizeRanges equal_mass_ranges(const traffic::Trace& trace, std::size_t l) {
+  util::require(l >= 1, "equal_mass_ranges: need l >= 1");
+  util::require(!trace.empty(), "equal_mass_ranges: empty trace");
+
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(trace.size());
+  for (const traffic::PacketRecord& r : trace.records()) {
+    sizes.push_back(r.size_bytes);
+  }
+  std::sort(sizes.begin(), sizes.end());
+
+  std::vector<std::uint32_t> bounds;
+  for (std::size_t k = 1; k < l; ++k) {
+    const std::size_t rank = k * sizes.size() / l;
+    const std::uint32_t candidate = sizes[std::min(rank, sizes.size() - 1)];
+    // Bounds must be strictly increasing; heavily repeated sizes (e.g. a
+    // downloading trace that is 99% 1576-byte frames) can collapse
+    // quantiles, in which case we skip the duplicate boundary.
+    if (bounds.empty() ? candidate > 0 : candidate > bounds.back()) {
+      bounds.push_back(candidate);
+    }
+  }
+  const std::uint32_t max_size = sizes.back();
+  if (bounds.empty() || bounds.back() < max_size) {
+    bounds.push_back(max_size);
+  }
+  return SizeRanges{std::move(bounds)};
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,50 @@
+// Parameter-selection rules for traffic reshaping (§III-C.3):
+//   * L (number of size ranges): derived from where the applications'
+//     packet sizes actually concentrate — the paper observes modes in
+//     [108, 232] and [1546, 1576] and recommends L >= 3;
+//   * I (number of virtual interfaces): trades privacy entropy
+//     H = log2(N) against AP resource cost; the paper finds I = 3
+//     sufficient with diminishing returns beyond;
+//   * phi: per-interface targets, orthogonal for OR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/target_distribution.h"
+#include "traffic/trace.h"
+
+namespace reshape::core {
+
+/// Privacy entropy of a WLAN with `total_mac_addresses` observable MAC
+/// addresses, assuming an attacker with no side information (paper cites
+/// ref. [14]): H = log2(N).
+[[nodiscard]] double privacy_entropy_bits(std::size_t total_mac_addresses);
+
+/// Recommendation produced by the rule engine.
+struct ParameterRecommendation {
+  std::size_t interfaces = 3;     // I
+  SizeRanges ranges;              // the L ranges
+  TargetDistribution target;      // phi (orthogonal)
+  double privacy_entropy = 0.0;   // bits, for the chosen WLAN population
+};
+
+/// Applies the paper's selection rules.
+///
+/// `desired_interfaces` is clamped to [2, 8]; the range partition is the
+/// paper's recommendation for that I (Table V's partitions for I = 2, 3,
+/// 5; for other I, boundaries are interpolated between the small-packet
+/// mode edge (232), mid-range splits, and the large mode edge (1540)).
+/// `wlan_population` is the number of MAC addresses already visible in
+/// the WLAN, used for the entropy report.
+[[nodiscard]] ParameterRecommendation recommend_parameters(
+    std::size_t desired_interfaces, std::size_t wlan_population);
+
+/// Splits a trace's observed size distribution into `l` ranges with
+/// approximately equal probability mass (quantile partition) — a
+/// data-driven alternative to the fixed paper partition; the final bound
+/// is always the trace's maximum observed size.
+[[nodiscard]] SizeRanges equal_mass_ranges(const traffic::Trace& trace,
+                                           std::size_t l);
+
+}  // namespace reshape::core

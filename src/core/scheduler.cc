@@ -1,0 +1,90 @@
+#include "core/scheduler.h"
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+RandomScheduler::RandomScheduler(std::size_t interfaces, util::Rng rng)
+    : interfaces_{interfaces}, rng_{rng} {
+  util::require(interfaces >= 1, "RandomScheduler: need >= 1 interface");
+}
+
+std::size_t RandomScheduler::select_interface(
+    const traffic::PacketRecord& /*packet*/) {
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(interfaces_) - 1));
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::size_t interfaces)
+    : interfaces_{interfaces} {
+  util::require(interfaces >= 1, "RoundRobinScheduler: need >= 1 interface");
+}
+
+std::size_t RoundRobinScheduler::select_interface(
+    const traffic::PacketRecord& /*packet*/) {
+  const std::size_t i = next_;
+  next_ = (next_ + 1) % interfaces_;
+  return i;
+}
+
+OrthogonalScheduler::OrthogonalScheduler(SizeRanges ranges,
+                                         TargetDistribution target)
+    : ranges_{std::move(ranges)}, target_{std::move(target)} {
+  util::require(target_.ranges() == ranges_.count(),
+                "OrthogonalScheduler: target/ranges shape mismatch");
+  util::require(target_.is_orthogonal(),
+                "OrthogonalScheduler: target must satisfy Eq. (2)");
+  owner_.reserve(ranges_.count());
+  for (std::size_t j = 0; j < ranges_.count(); ++j) {
+    owner_.push_back(target_.owner_of(j));
+  }
+}
+
+OrthogonalScheduler OrthogonalScheduler::identity(SizeRanges ranges) {
+  const std::size_t n = ranges.count();
+  return OrthogonalScheduler{std::move(ranges),
+                             TargetDistribution::orthogonal_identity(n)};
+}
+
+std::size_t OrthogonalScheduler::select_interface(
+    const traffic::PacketRecord& packet) {
+  return owner_[ranges_.range_of(packet.size_bytes)];
+}
+
+std::size_t OrthogonalScheduler::interface_count() const {
+  return target_.interfaces();
+}
+
+ModuloScheduler::ModuloScheduler(std::size_t interfaces)
+    : interfaces_{interfaces} {
+  util::require(interfaces >= 1, "ModuloScheduler: need >= 1 interface");
+}
+
+std::size_t ModuloScheduler::select_interface(
+    const traffic::PacketRecord& packet) {
+  return packet.size_bytes % interfaces_;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::size_t interfaces,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(interfaces, util::Rng{seed});
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>(interfaces);
+    case SchedulerKind::kOrthogonal: {
+      util::require(interfaces == 3,
+                    "make_scheduler: the default OR setup is I = L = 3; "
+                    "construct OrthogonalScheduler directly for other I");
+      return std::make_unique<OrthogonalScheduler>(
+          OrthogonalScheduler::identity(SizeRanges::paper_default()));
+    }
+    case SchedulerKind::kModulo:
+      return std::make_unique<ModuloScheduler>(interfaces);
+  }
+  util::internal_check(false, "make_scheduler: invalid kind");
+  return nullptr;
+}
+
+}  // namespace reshape::core

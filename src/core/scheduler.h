@@ -1,0 +1,134 @@
+// Packet-to-interface schedulers — the reshaping algorithms of §III-C.
+//
+// A Scheduler is the function F(s_k) = i mapping each packet to one of I
+// virtual interfaces in real time. The paper evaluates:
+//   * RA  — Random Algorithm: uniform random interface per packet;
+//   * RR  — Round-Robin: i = k mod I over the packet index k;
+//   * OR  — Orthogonal Reshaping, in two flavours:
+//       - range mode (Fig. 4): the interface owning the packet's size
+//         range under an orthogonal target distribution, and
+//       - modulo mode (Fig. 5): i = L(s_k) mod I over the packet size.
+// RA and RR leave per-interface size distributions equal to the original
+// (they subsample it uniformly), which is why they barely reduce the
+// attacker's accuracy; OR makes the per-interface distributions orthogonal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/target_distribution.h"
+#include "traffic/trace.h"
+#include "util/rng.h"
+
+namespace reshape::core {
+
+/// Maps packets to virtual interfaces in arrival order.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Interface index in [0, interface_count()) for the next packet.
+  [[nodiscard]] virtual std::size_t select_interface(
+      const traffic::PacketRecord& packet) = 0;
+
+  [[nodiscard]] virtual std::size_t interface_count() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Resets per-flow state (packet counters, RNG phase is NOT reset).
+  virtual void reset() {}
+};
+
+/// RA: uniformly random interface per packet.
+class RandomScheduler final : public Scheduler {
+ public:
+  RandomScheduler(std::size_t interfaces, util::Rng rng);
+
+  [[nodiscard]] std::size_t select_interface(
+      const traffic::PacketRecord& packet) override;
+  [[nodiscard]] std::size_t interface_count() const override {
+    return interfaces_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "RA"; }
+
+ private:
+  std::size_t interfaces_;
+  util::Rng rng_;
+};
+
+/// RR: i = k mod I over the packet arrival index k.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::size_t interfaces);
+
+  [[nodiscard]] std::size_t select_interface(
+      const traffic::PacketRecord& packet) override;
+  [[nodiscard]] std::size_t interface_count() const override {
+    return interfaces_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "RR"; }
+  void reset() override { next_ = 0; }
+
+ private:
+  std::size_t interfaces_;
+  std::size_t next_ = 0;
+};
+
+/// OR, range mode: the packet goes to the interface owning its size range
+/// under an orthogonal target distribution.
+class OrthogonalScheduler final : public Scheduler {
+ public:
+  /// `target` must be orthogonal (Eq. 2) and cover `ranges.count()` ranges.
+  OrthogonalScheduler(SizeRanges ranges, TargetDistribution target);
+
+  /// Convenience: the paper's default — I = L, interface i owns range i.
+  [[nodiscard]] static OrthogonalScheduler identity(SizeRanges ranges);
+
+  [[nodiscard]] std::size_t select_interface(
+      const traffic::PacketRecord& packet) override;
+  [[nodiscard]] std::size_t interface_count() const override;
+  [[nodiscard]] std::string_view name() const override { return "OR"; }
+
+  [[nodiscard]] const SizeRanges& ranges() const { return ranges_; }
+  [[nodiscard]] const TargetDistribution& target() const { return target_; }
+
+ private:
+  SizeRanges ranges_;
+  TargetDistribution target_;
+  std::vector<std::size_t> owner_;  // range j -> interface
+};
+
+/// OR, modulo mode (Fig. 5): i = size mod I. Orthogonal in the fine-grained
+/// partition where every distinct size is its own range; per-interface
+/// traffic spans the full size axis, hiding that reshaping is in use.
+class ModuloScheduler final : public Scheduler {
+ public:
+  explicit ModuloScheduler(std::size_t interfaces);
+
+  [[nodiscard]] std::size_t select_interface(
+      const traffic::PacketRecord& packet) override;
+  [[nodiscard]] std::size_t interface_count() const override {
+    return interfaces_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "OR-mod"; }
+
+ private:
+  std::size_t interfaces_;
+};
+
+/// The defense algorithms compared in Tables II/III.
+enum class SchedulerKind : std::uint8_t {
+  kRandom,
+  kRoundRobin,
+  kOrthogonal,
+  kModulo,
+};
+
+/// Factory used by the experiment harness. For kOrthogonal the paper's
+/// default ranges/targets are used with `interfaces` == ranges count
+/// (I = L); pass explicit objects to OrthogonalScheduler for other setups.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                                        std::size_t interfaces,
+                                                        std::uint64_t seed);
+
+}  // namespace reshape::core

@@ -1,0 +1,174 @@
+#include "core/target_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::core {
+
+SizeRanges::SizeRanges(std::vector<std::uint32_t> upper_bounds)
+    : bounds_{std::move(upper_bounds)} {
+  util::require(!bounds_.empty(), "SizeRanges: need at least one range");
+  util::require(bounds_.front() > 0, "SizeRanges: first bound must be > 0");
+  for (std::size_t j = 1; j < bounds_.size(); ++j) {
+    util::require(bounds_[j] > bounds_[j - 1],
+                  "SizeRanges: bounds must be strictly increasing");
+  }
+}
+
+SizeRanges SizeRanges::paper_default() { return SizeRanges{{232, 1540, 1576}}; }
+
+SizeRanges SizeRanges::paper_l2() { return SizeRanges{{1500, 1576}}; }
+
+SizeRanges SizeRanges::paper_l5() {
+  return SizeRanges{{232, 500, 1000, 1540, 1576}};
+}
+
+SizeRanges SizeRanges::equal_thirds() { return SizeRanges{{525, 1050, 1576}}; }
+
+std::uint32_t SizeRanges::upper_bound(std::size_t j) const {
+  util::require_index(j < bounds_.size(), "SizeRanges::upper_bound: range");
+  return bounds_[j];
+}
+
+std::size_t SizeRanges::range_of(std::uint32_t size) const {
+  // Range j covers (bounds_[j-1], bounds_[j]]; sizes above l_max clamp.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), size);
+  if (it == bounds_.end()) {
+    return bounds_.size() - 1;
+  }
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::vector<double> SizeRanges::probabilities(
+    const traffic::Trace& trace) const {
+  std::vector<double> counts(bounds_.size(), 0.0);
+  for (const traffic::PacketRecord& r : trace.records()) {
+    counts[range_of(r.size_bytes)] += 1.0;
+  }
+  if (!trace.empty()) {
+    for (double& c : counts) {
+      c /= static_cast<double>(trace.size());
+    }
+  }
+  return counts;
+}
+
+TargetDistribution::TargetDistribution(std::vector<std::vector<double>> phi)
+    : phi_{std::move(phi)} {
+  util::require(!phi_.empty(), "TargetDistribution: need >= 1 interface");
+  const std::size_t l = phi_.front().size();
+  util::require(l > 0, "TargetDistribution: need >= 1 range");
+  for (const auto& row : phi_) {
+    util::require(row.size() == l, "TargetDistribution: ragged phi matrix");
+    double sum = 0.0;
+    for (const double v : row) {
+      util::require(v >= 0.0 && v <= 1.0,
+                    "TargetDistribution: phi entries must be in [0,1]");
+      sum += v;
+    }
+    util::require(std::abs(sum - 1.0) < 1e-9,
+                  "TargetDistribution: each phi row must sum to 1");
+  }
+}
+
+TargetDistribution TargetDistribution::orthogonal_identity(std::size_t n) {
+  util::require(n >= 1, "orthogonal_identity: n must be >= 1");
+  std::vector<std::vector<double>> phi(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    phi[i][i] = 1.0;
+  }
+  return TargetDistribution{std::move(phi)};
+}
+
+TargetDistribution TargetDistribution::from_assignment(
+    std::span<const std::size_t> assignment, std::size_t interfaces) {
+  util::require(interfaces >= 1, "from_assignment: need >= 1 interface");
+  util::require(!assignment.empty(), "from_assignment: empty assignment");
+  std::vector<std::size_t> owned(interfaces, 0);
+  for (const std::size_t i : assignment) {
+    util::require(i < interfaces, "from_assignment: interface out of range");
+    ++owned[i];
+  }
+  for (std::size_t i = 0; i < interfaces; ++i) {
+    util::require(owned[i] > 0,
+                  "from_assignment: every interface must own >= 1 range");
+  }
+  // phi^i is uniform over the ranges interface i owns — rows sum to 1 and
+  // distinct rows have disjoint support, hence orthogonal.
+  std::vector<std::vector<double>> phi(
+      interfaces, std::vector<double>(assignment.size(), 0.0));
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    phi[assignment[j]][j] = 1.0 / static_cast<double>(owned[assignment[j]]);
+  }
+  return TargetDistribution{std::move(phi)};
+}
+
+double TargetDistribution::value(std::size_t i, std::size_t j) const {
+  util::require_index(i < phi_.size(), "TargetDistribution::value: interface");
+  util::require_index(j < phi_.front().size(),
+                      "TargetDistribution::value: range");
+  return phi_[i][j];
+}
+
+std::span<const double> TargetDistribution::row(std::size_t i) const {
+  util::require_index(i < phi_.size(), "TargetDistribution::row: interface");
+  return phi_[i];
+}
+
+bool TargetDistribution::is_orthogonal(double tolerance) const {
+  for (std::size_t a = 0; a < phi_.size(); ++a) {
+    for (std::size_t b = a + 1; b < phi_.size(); ++b) {
+      if (util::dot(phi_[a], phi_[b]) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t TargetDistribution::owner_of(std::size_t j) const {
+  util::require_index(j < ranges(), "TargetDistribution::owner_of: range");
+  util::require(is_orthogonal(), "TargetDistribution::owner_of: not orthogonal");
+  for (std::size_t i = 0; i < phi_.size(); ++i) {
+    if (phi_[i][j] > 0.0) {
+      return i;
+    }
+  }
+  // Rows sum to 1 and are orthogonal, so every range has exactly one owner
+  // unless phi has a zero column — treat that as a caller error.
+  util::require(false, "TargetDistribution::owner_of: unowned range");
+  return 0;
+}
+
+double reshaping_objective(const TargetDistribution& target,
+                           std::span<const std::vector<double>> observed) {
+  util::require(observed.size() == target.interfaces(),
+                "reshaping_objective: interface count mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    util::require(observed[i].size() == target.ranges(),
+                  "reshaping_objective: range count mismatch");
+    double sq = 0.0;
+    for (std::size_t j = 0; j < observed[i].size(); ++j) {
+      const double d = target.value(i, j) - observed[i][j];
+      sq += d * d;
+    }
+    total += std::sqrt(sq);
+  }
+  return total;
+}
+
+std::vector<std::vector<double>> observed_distributions(
+    std::span<const traffic::Trace> streams, const SizeRanges& ranges) {
+  std::vector<std::vector<double>> out;
+  out.reserve(streams.size());
+  for (const traffic::Trace& s : streams) {
+    out.push_back(ranges.probabilities(s));
+  }
+  return out;
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,111 @@
+// Target packet-size distributions and the paper's optimization framework.
+//
+// §III-C formalises reshaping as follows: packet sizes are partitioned
+// into L ranges (0, l1], (l1, l2], ..., (l_{L-1}, l_max]; the original
+// traffic has probability P_j of falling in range j; interface i observes
+// probability p^i_j; and the operator chooses a *target* distribution
+// phi^i = [phi^i_1 ... phi^i_L] per interface. The reshaping algorithm
+// minimises (Eq. 1)
+//
+//     sum_i sqrt( sum_j |phi^i_j - p^i_j|^2 )
+//
+// subject to conservation of packets across interfaces. Orthogonal
+// Reshaping (OR) chooses pairwise-orthogonal targets (Eq. 2):
+// phi^{i1} . phi^{i2} = 0 for i1 != i2, which with phi in [0,1] forces
+// every range to belong to exactly one interface — making the online
+// optimum (p = phi) achievable without knowledge of future traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "traffic/trace.h"
+
+namespace reshape::core {
+
+/// A partition of packet sizes into L contiguous ranges
+/// (0, bounds[0]], (bounds[0], bounds[1]], ..., (bounds[L-2], bounds[L-1]].
+///
+/// Invariant: bounds are strictly increasing and the last bound is the
+/// maximum packet size (l_max).
+class SizeRanges {
+ public:
+  /// Requires at least one bound, strictly increasing.
+  explicit SizeRanges(std::vector<std::uint32_t> upper_bounds);
+
+  /// The paper's default L=3 partition: (0,232], (232,1540], (1540,1576].
+  [[nodiscard]] static SizeRanges paper_default();
+
+  /// The paper's Table V partitions.
+  [[nodiscard]] static SizeRanges paper_l2();  // (0,1500], (1500,1576]
+  [[nodiscard]] static SizeRanges paper_l5();  // 5 ranges, see Table V text
+
+  /// The Fig. 4 equal-thirds partition: (0,525], (525,1050], (1050,1576].
+  [[nodiscard]] static SizeRanges equal_thirds();
+
+  [[nodiscard]] std::size_t count() const { return bounds_.size(); }
+  [[nodiscard]] std::uint32_t upper_bound(std::size_t j) const;
+  [[nodiscard]] std::uint32_t max_size() const { return bounds_.back(); }
+
+  /// Index j of the range containing `size` (sizes above l_max clamp into
+  /// the last range, matching how a capture of an unexpected jumbo frame
+  /// would be binned).
+  [[nodiscard]] std::size_t range_of(std::uint32_t size) const;
+
+  /// The empirical range-probability vector [P_1..P_L] of a trace.
+  [[nodiscard]] std::vector<double> probabilities(
+      const traffic::Trace& trace) const;
+
+ private:
+  std::vector<std::uint32_t> bounds_;
+};
+
+/// A per-interface matrix of target probabilities phi[i][j].
+///
+/// Invariant: every row sums to 1 and entries lie in [0, 1].
+class TargetDistribution {
+ public:
+  /// Validates row-stochasticity.
+  explicit TargetDistribution(std::vector<std::vector<double>> phi);
+
+  /// The canonical orthogonal assignment for I == L: interface i takes
+  /// range i (phi = identity matrix).
+  [[nodiscard]] static TargetDistribution orthogonal_identity(std::size_t n);
+
+  /// An orthogonal target from an explicit range->interface map
+  /// (`assignment[j]` = interface owning range j; every interface in
+  /// [0, interfaces) must own at least one range).
+  [[nodiscard]] static TargetDistribution from_assignment(
+      std::span<const std::size_t> assignment, std::size_t interfaces);
+
+  [[nodiscard]] std::size_t interfaces() const { return phi_.size(); }
+  [[nodiscard]] std::size_t ranges() const { return phi_.front().size(); }
+  [[nodiscard]] double value(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::span<const double> row(std::size_t i) const;
+
+  /// Eq. (2): true when all distinct rows have zero dot product.
+  [[nodiscard]] bool is_orthogonal(double tolerance = 1e-12) const;
+
+  /// For orthogonal targets: the interface owning range j. Requires
+  /// is_orthogonal().
+  [[nodiscard]] std::size_t owner_of(std::size_t j) const;
+
+ private:
+  std::vector<std::vector<double>> phi_;
+};
+
+/// Eq. (1) objective: sum_i sqrt(sum_j |phi_ij - p_ij|^2), where p is the
+/// observed per-interface range distribution. `observed[i]` must have the
+/// same length as the target's range count.
+[[nodiscard]] double reshaping_objective(
+    const TargetDistribution& target,
+    std::span<const std::vector<double>> observed);
+
+/// Computes each interface's observed range distribution p^i from its
+/// stream, against the given ranges. Interfaces with no packets yield a
+/// zero vector.
+[[nodiscard]] std::vector<std::vector<double>> observed_distributions(
+    std::span<const traffic::Trace> streams, const SizeRanges& ranges);
+
+}  // namespace reshape::core

@@ -1,0 +1,30 @@
+#include "core/tpc.h"
+
+#include "util/check.h"
+
+namespace reshape::core {
+
+TransmitPowerControl::TransmitPowerControl(double min_dbm, double max_dbm,
+                                           util::Rng rng)
+    : min_dbm_{min_dbm}, max_dbm_{max_dbm}, rng_{rng} {}
+
+TransmitPowerControl TransmitPowerControl::fixed(double power_dbm) {
+  return TransmitPowerControl{power_dbm, power_dbm, util::Rng{0}};
+}
+
+TransmitPowerControl TransmitPowerControl::uniform(double min_dbm,
+                                                   double max_dbm,
+                                                   util::Rng rng) {
+  util::require(min_dbm < max_dbm,
+                "TransmitPowerControl::uniform: min must be < max");
+  return TransmitPowerControl{min_dbm, max_dbm, rng};
+}
+
+double TransmitPowerControl::next_power_dbm() {
+  if (!randomised()) {
+    return min_dbm_;
+  }
+  return rng_.uniform_real(min_dbm_, max_dbm_);
+}
+
+}  // namespace reshape::core

@@ -1,0 +1,43 @@
+// Per-packet transmit power control (§V-A, "Against Power Analysis").
+//
+// RSSI side channels let an adversary link the virtual MAC addresses of
+// one physical client: all its interfaces transmit from the same spot, so
+// their mean RSSIs at the sniffer cluster tightly. The paper's proposed
+// mitigation is per-packet TPC — randomising the transmit power so RSSI
+// no longer identifies the transmitter. This module provides the power
+// sampler used by the live client/AP and by the §V-A ablation bench.
+#pragma once
+
+#include "util/rng.h"
+
+namespace reshape::core {
+
+/// Samples a transmit power per packet.
+class TransmitPowerControl {
+ public:
+  /// Fixed-power (TPC disabled) control.
+  [[nodiscard]] static TransmitPowerControl fixed(double power_dbm);
+
+  /// Uniformly random power in [min_dbm, max_dbm] per packet — the paper's
+  /// fine-granularity adjustment that "adds noises to RSSI values".
+  /// Requires min_dbm < max_dbm.
+  [[nodiscard]] static TransmitPowerControl uniform(double min_dbm,
+                                                    double max_dbm,
+                                                    util::Rng rng);
+
+  /// The transmit power for the next packet.
+  [[nodiscard]] double next_power_dbm();
+
+  [[nodiscard]] bool randomised() const { return max_dbm_ > min_dbm_; }
+  [[nodiscard]] double min_dbm() const { return min_dbm_; }
+  [[nodiscard]] double max_dbm() const { return max_dbm_; }
+
+ private:
+  TransmitPowerControl(double min_dbm, double max_dbm, util::Rng rng);
+
+  double min_dbm_;
+  double max_dbm_;
+  util::Rng rng_;
+};
+
+}  // namespace reshape::core

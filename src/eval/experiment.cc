@@ -1,0 +1,192 @@
+#include "eval/experiment.h"
+
+#include "ml/mlp.h"
+#include "ml/svm.h"
+#include "traffic/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace reshape::eval {
+
+ExperimentHarness::ExperimentHarness(ExperimentConfig config)
+    : config_{config}, profiles_(traffic::kAppCount) {
+  util::require(config_.window > util::Duration{},
+                "ExperimentHarness: window must be positive");
+  util::require(config_.train_sessions_per_app > 0 &&
+                    config_.test_sessions_per_app > 0,
+                "ExperimentHarness: need sessions");
+  util::require(config_.train_session_duration >= config_.window &&
+                    config_.test_session_duration >= config_.window,
+                "ExperimentHarness: sessions must cover >= one window");
+}
+
+std::uint64_t ExperimentHarness::session_seed(traffic::AppType app,
+                                              std::size_t session,
+                                              bool training) const {
+  // Stable, collision-free derivation: independent streams per
+  // (experiment, app, session, role).
+  std::uint64_t x = config_.seed;
+  x = util::splitmix64(x ^ (0x9E37ULL + traffic::app_index(app)));
+  x = util::splitmix64(x ^ (training ? 0x7261696E00ULL + session
+                                     : 0x7465737400ULL + session));
+  return x;
+}
+
+void ExperimentHarness::train() {
+  if (trained()) {
+    return;
+  }
+
+  // Training corpus: clean sessions of every app.
+  std::vector<traffic::Trace> corpus;
+  corpus.reserve(traffic::kAppCount * config_.train_sessions_per_app);
+  for (const traffic::AppType app : traffic::kAllApps) {
+    for (std::size_t s = 0; s < config_.train_sessions_per_app; ++s) {
+      corpus.push_back(traffic::generate_trace(
+          app, config_.train_session_duration, session_seed(app, s, true),
+          config_.session_jitter));
+    }
+  }
+
+  const attack::AttackConfig attack_config{config_.window,
+                                           config_.feature_set, 2};
+
+  {
+    ml::SvmConfig svm;
+    svm.seed = util::splitmix64(config_.seed ^ 0x5111ULL);
+    NamedAttack named;
+    named.name = "svm";
+    named.attack = std::make_unique<attack::ClassifierAttack>(
+        attack_config, std::make_unique<ml::SvmClassifier>(svm));
+    attacks_.push_back(std::move(named));
+  }
+  {
+    ml::MlpConfig mlp;
+    mlp.seed = util::splitmix64(config_.seed ^ 0x3111ULL);
+    NamedAttack named;
+    named.name = "mlp";
+    named.attack = std::make_unique<attack::ClassifierAttack>(
+        attack_config, std::make_unique<ml::MlpClassifier>(mlp));
+    attacks_.push_back(std::move(named));
+  }
+
+  for (NamedAttack& named : attacks_) {
+    named.attack->train(corpus);
+  }
+
+  // Pick the stronger attacker on clean held-out traffic ("the highest
+  // classification accuracy", paper §IV-C).
+  std::vector<traffic::Trace> clean_test;
+  for (const traffic::AppType app : traffic::kAllApps) {
+    for (std::size_t s = 0; s < config_.test_sessions_per_app; ++s) {
+      clean_test.push_back(traffic::generate_trace(
+          app, config_.test_session_duration,
+          session_seed(app, s, false) ^ 0xC1EA0ULL, config_.session_jitter));
+    }
+  }
+  for (NamedAttack& named : attacks_) {
+    named.clean_mean_accuracy =
+        named.attack->evaluate(clean_test).mean_accuracy();
+  }
+  best_attack_ = 0;
+  for (std::size_t i = 1; i < attacks_.size(); ++i) {
+    if (attacks_[i].clean_mean_accuracy >
+        attacks_[best_attack_].clean_mean_accuracy) {
+      best_attack_ = i;
+    }
+  }
+}
+
+std::vector<traffic::Trace> ExperimentHarness::test_flows(
+    const DefenseFactory& factory, traffic::AppType app,
+    std::array<double, traffic::kAppCount>& overhead_out) {
+  std::vector<traffic::Trace> flows;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t added_bytes = 0;
+  for (std::size_t s = 0; s < config_.test_sessions_per_app; ++s) {
+    const std::uint64_t seed = session_seed(app, s, false);
+    const traffic::Trace trace = traffic::generate_trace(
+        app, config_.test_session_duration, seed, config_.session_jitter);
+    auto defense = factory(app, util::splitmix64(seed ^ 0xDEFULL));
+    util::internal_check(defense != nullptr,
+                         "ExperimentHarness: factory returned null defense");
+    core::DefenseResult result = defense->apply(trace);
+    original_bytes += result.original_bytes;
+    added_bytes += result.added_bytes;
+    for (traffic::Trace& stream : result.streams) {
+      if (!stream.empty()) {
+        flows.push_back(std::move(stream));
+      }
+    }
+  }
+  overhead_out[traffic::app_index(app)] =
+      original_bytes == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(added_bytes) /
+                static_cast<double>(original_bytes);
+  return flows;
+}
+
+DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
+                                              std::string defense_name) {
+  train();
+
+  // The paper reports "the highest classification accuracy" its attack
+  // system (SVM + NN) achieves — the defender's worst case. Run every
+  // attacker over the defended flows and keep the strongest.
+  DefenseEvaluation out;
+  out.defense_name = defense_name;
+
+  std::vector<std::vector<traffic::Trace>> per_app_flows;
+  per_app_flows.reserve(traffic::kAppCount);
+  for (const traffic::AppType app : traffic::kAllApps) {
+    per_app_flows.push_back(test_flows(factory, app, out.overhead));
+  }
+
+  bool first = true;
+  for (const NamedAttack& attacker : attacks_) {
+    ml::ConfusionMatrix confusion{static_cast<int>(traffic::kAppCount)};
+    for (const auto& flows : per_app_flows) {
+      confusion.merge(attacker.attack->evaluate(flows));
+    }
+    if (first || confusion.mean_accuracy() >
+                     static_cast<double>(out.mean_accuracy) / 100.0) {
+      out.classifier_name = attacker.name;
+      out.confusion = confusion;
+      out.mean_accuracy = 100.0 * confusion.mean_accuracy();
+      first = false;
+    }
+  }
+
+  for (const traffic::AppType app : traffic::kAllApps) {
+    const auto i = traffic::app_index(app);
+    out.accuracy[i] = 100.0 * out.confusion.accuracy(static_cast<int>(i));
+    out.false_positive[i] =
+        100.0 * out.confusion.false_positive(static_cast<int>(i));
+  }
+  out.mean_false_positive = 100.0 * out.confusion.mean_false_positive();
+  double overhead_sum = 0.0;
+  for (const double o : out.overhead) {
+    overhead_sum += o;
+  }
+  out.mean_overhead = overhead_sum / static_cast<double>(traffic::kAppCount);
+  return out;
+}
+
+const util::EmpiricalDistribution& ExperimentHarness::size_profile(
+    traffic::AppType app) {
+  auto& slot = profiles_[traffic::app_index(app)];
+  if (!slot) {
+    // The defender's own measurement pass: a clean profile session,
+    // independent of both training and test seeds.
+    const traffic::Trace profile = traffic::generate_trace(
+        app, util::Duration::seconds(60.0),
+        util::splitmix64(config_.seed ^
+                         (0x70726F6600ULL + traffic::app_index(app))),
+        config_.session_jitter);
+    slot = std::make_unique<util::EmpiricalDistribution>(profile.sizes());
+  }
+  return *slot;
+}
+
+}  // namespace reshape::eval

@@ -1,0 +1,108 @@
+// The experiment harness behind every table in the reproduction.
+//
+// Methodology (mirroring the paper's §IV):
+//   * The adversary profiles the seven applications on *undefended*
+//     traffic: training sessions are generated per app, cut into
+//     W-windows, and used to fit both attack classifiers (SVM and NN);
+//     the stronger of the two (by mean accuracy on clean test traffic)
+//     is "the" attacker whose numbers each table reports — matching the
+//     paper's "we present the highest classification accuracy".
+//   * A defense is evaluated by applying it to fresh test sessions and
+//     letting the attacker classify every flow it can isolate (each
+//     virtual MAC under reshaping, the monitored channel partition under
+//     FH, the single morphed/padded flow otherwise). Every W-window of
+//     every flow scores one confusion-matrix entry whose ground truth is
+//     the originating application.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/classifier_attack.h"
+#include "core/defense.h"
+#include "features/features.h"
+#include "ml/metrics.h"
+#include "traffic/app_model.h"
+#include "traffic/app_type.h"
+#include "traffic/trace.h"
+#include "util/distribution.h"
+#include "util/time.h"
+
+namespace reshape::eval {
+
+/// Harness parameters.
+struct ExperimentConfig {
+  std::uint64_t seed = 2011;
+  util::Duration window = util::Duration::seconds(5.0);  // W
+  std::size_t train_sessions_per_app = 12;
+  util::Duration train_session_duration = util::Duration::seconds(90.0);
+  std::size_t test_sessions_per_app = 6;
+  util::Duration test_session_duration = util::Duration::seconds(90.0);
+  features::FeatureSet feature_set = features::FeatureSet::kAll;
+  traffic::SessionJitter session_jitter{};
+};
+
+/// Builds a fresh defense instance for one (app, session); defenses carry
+/// RNG/counter state, so each session gets its own.
+using DefenseFactory = std::function<std::unique_ptr<core::Defense>(
+    traffic::AppType app, std::uint64_t seed)>;
+
+/// Everything a table row needs about one defense.
+struct DefenseEvaluation {
+  std::string defense_name;
+  std::string classifier_name;  // which attacker won (svm/mlp)
+  ml::ConfusionMatrix confusion{static_cast<int>(traffic::kAppCount)};
+  std::array<double, traffic::kAppCount> accuracy{};        // percent
+  std::array<double, traffic::kAppCount> false_positive{};  // percent
+  std::array<double, traffic::kAppCount> overhead{};        // percent
+  double mean_accuracy = 0.0;        // percent
+  double mean_false_positive = 0.0;  // percent
+  double mean_overhead = 0.0;        // percent
+};
+
+/// Trains the attackers once, then evaluates any number of defenses.
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(ExperimentConfig config);
+
+  /// Generates training sessions and fits SVM + MLP attackers. Idempotent.
+  void train();
+
+  /// Applies the defense to fresh test sessions of every app and scores
+  /// the attacker on the observable flows.
+  [[nodiscard]] DefenseEvaluation evaluate(const DefenseFactory& factory,
+                                           std::string defense_name);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] bool trained() const { return !attacks_.empty(); }
+
+  /// The empirical on-air size distribution of an application (pooled
+  /// directions), generated from a profile session — what a defender
+  /// deploying morphing would measure. Cached per app.
+  [[nodiscard]] const util::EmpiricalDistribution& size_profile(
+      traffic::AppType app);
+
+ private:
+  struct NamedAttack {
+    std::string name;
+    std::unique_ptr<attack::ClassifierAttack> attack;
+    double clean_mean_accuracy = 0.0;
+  };
+
+  [[nodiscard]] std::uint64_t session_seed(traffic::AppType app,
+                                           std::size_t session,
+                                           bool training) const;
+  [[nodiscard]] std::vector<traffic::Trace> test_flows(
+      const DefenseFactory& factory, traffic::AppType app,
+      std::array<double, traffic::kAppCount>& overhead_out);
+
+  ExperimentConfig config_;
+  std::vector<NamedAttack> attacks_;
+  std::size_t best_attack_ = 0;
+  std::vector<std::unique_ptr<util::EmpiricalDistribution>> profiles_;
+};
+
+}  // namespace reshape::eval

@@ -1,0 +1,163 @@
+#include "features/features.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::features {
+
+std::array<double, DirectionFeatures::kCount> DirectionFeatures::to_array()
+    const {
+  return {packet_count, size_max, size_min, size_mean,
+          size_std,     iat_mean, iat_std};
+}
+
+std::vector<double> WindowFeatures::to_vector() const {
+  std::vector<double> out;
+  out.reserve(kCount);
+  for (const double v : downlink.to_array()) {
+    out.push_back(v);
+  }
+  for (const double v : uplink.to_array()) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+const std::vector<std::string>& WindowFeatures::names() {
+  static const std::vector<std::string> kNames = {
+      "down.count",    "down.size_max", "down.size_min", "down.size_mean",
+      "down.size_std", "down.iat_mean", "down.iat_std",  "up.count",
+      "up.size_max",   "up.size_min",   "up.size_mean",  "up.size_std",
+      "up.iat_mean",   "up.iat_std",
+  };
+  return kNames;
+}
+
+namespace {
+
+DirectionFeatures direction_features(
+    std::span<const traffic::PacketRecord> window, mac::Direction dir) {
+  util::RunningStats sizes;
+  util::RunningStats gaps;
+  std::optional<util::TimePoint> previous;
+  for (const traffic::PacketRecord& r : window) {
+    if (r.direction != dir) {
+      continue;
+    }
+    sizes.add(static_cast<double>(r.size_bytes));
+    if (previous.has_value()) {
+      const util::Duration gap = r.time - *previous;
+      if (gap <= kIdleGapFilter) {
+        gaps.add(gap.to_seconds());
+      }
+    }
+    previous = r.time;
+  }
+
+  DirectionFeatures f;
+  f.packet_count = static_cast<double>(sizes.count());
+  if (!sizes.empty()) {
+    f.size_max = sizes.max();
+    f.size_min = sizes.min();
+    f.size_mean = sizes.mean();
+    f.size_std = sizes.stddev();
+  }
+  if (!gaps.empty()) {
+    f.iat_mean = gaps.mean();
+    f.iat_std = gaps.stddev();
+  }
+  return f;
+}
+
+}  // namespace
+
+std::optional<WindowFeatures> extract_window(
+    std::span<const traffic::PacketRecord> window) {
+  if (window.empty()) {
+    return std::nullopt;
+  }
+  WindowFeatures f;
+  f.downlink = direction_features(window, mac::Direction::kDownlink);
+  f.uplink = direction_features(window, mac::Direction::kUplink);
+  return f;
+}
+
+std::vector<WindowFeatures> extract_all_windows(const traffic::Trace& trace,
+                                                util::Duration w,
+                                                std::size_t min_packets) {
+  util::require(w > util::Duration{},
+                "extract_all_windows: window must be positive");
+  std::vector<WindowFeatures> out;
+  if (trace.empty()) {
+    return out;
+  }
+  const util::TimePoint start = trace.start_time();
+  const util::TimePoint end = trace.end_time();
+  for (util::TimePoint t0 = start; t0 <= end; t0 += w) {
+    const auto window = trace.slice(t0, t0 + w);
+    if (window.size() < min_packets) {
+      continue;
+    }
+    if (auto f = extract_window(window)) {
+      out.push_back(*f);
+    }
+  }
+  return out;
+}
+
+std::optional<WindowFeatures> extract_whole(const traffic::Trace& trace) {
+  return extract_window(trace.records());
+}
+
+namespace {
+
+DirectionFeatures log_compress_direction(const DirectionFeatures& f) {
+  DirectionFeatures out = f;
+  out.packet_count = std::log2(1.0 + f.packet_count);
+  // 1 ms floor keeps zero-iat (absent or single-packet) windows finite
+  // and well below every real interarrival value.
+  out.iat_mean = std::log10(f.iat_mean + 1e-3);
+  out.iat_std = std::log10(f.iat_std + 1e-3);
+  return out;
+}
+
+}  // namespace
+
+WindowFeatures log_compress(const WindowFeatures& features) {
+  WindowFeatures out;
+  out.downlink = log_compress_direction(features.downlink);
+  out.uplink = log_compress_direction(features.uplink);
+  return out;
+}
+
+std::vector<double> project(const WindowFeatures& features, FeatureSet set) {
+  const std::vector<double> all = features.to_vector();
+  switch (set) {
+    case FeatureSet::kAll:
+      return all;
+    case FeatureSet::kTimingOnly:
+      // count + iat_mean + iat_std per direction.
+      return {all[0], all[5], all[6], all[7], all[12], all[13]};
+    case FeatureSet::kSizeOnly:
+      return {all[1], all[2], all[3], all[4], all[8], all[9], all[10], all[11]};
+  }
+  util::internal_check(false, "project: invalid FeatureSet");
+  return {};
+}
+
+std::size_t feature_count(FeatureSet set) {
+  switch (set) {
+    case FeatureSet::kAll:
+      return WindowFeatures::kCount;
+    case FeatureSet::kTimingOnly:
+      return 6;
+    case FeatureSet::kSizeOnly:
+      return 8;
+  }
+  util::internal_check(false, "feature_count: invalid FeatureSet");
+  return 0;
+}
+
+}  // namespace reshape::features

@@ -1,0 +1,97 @@
+// MAC-layer traffic features, following the classification system of
+// Zhang et al. (WiSec'11) that the paper uses as its attacker (§IV-C):
+// "number of packets, max/min/average/standard deviation of packet size,
+// and packet interarrival time in downlink and uplink".
+//
+// Windows of length W (the eavesdropping duration) are cut from a trace;
+// idle gaps longer than 5 seconds are excluded from interarrival
+// statistics, matching the paper's §IV-B processing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traffic/trace.h"
+#include "util/time.h"
+
+namespace reshape::features {
+
+/// Gaps longer than this are "idle time without data transmission" and do
+/// not contribute to interarrival statistics (paper §IV-B).
+inline constexpr util::Duration kIdleGapFilter = util::Duration::seconds(5.0);
+
+/// Per-direction feature block.
+struct DirectionFeatures {
+  double packet_count = 0.0;
+  double size_max = 0.0;
+  double size_min = 0.0;
+  double size_mean = 0.0;
+  double size_std = 0.0;
+  double iat_mean = 0.0;  // seconds, idle-filtered
+  double iat_std = 0.0;   // seconds, idle-filtered
+
+  static constexpr std::size_t kCount = 7;
+
+  [[nodiscard]] std::array<double, kCount> to_array() const;
+};
+
+/// The full feature vector of one window: downlink block then uplink block.
+struct WindowFeatures {
+  DirectionFeatures downlink;
+  DirectionFeatures uplink;
+
+  static constexpr std::size_t kCount = 2 * DirectionFeatures::kCount;
+
+  [[nodiscard]] std::vector<double> to_vector() const;
+
+  /// Human-readable names, index-aligned with to_vector().
+  [[nodiscard]] static const std::vector<std::string>& names();
+};
+
+/// Which features feed the classifier. kAll is the paper's default
+/// attacker; kTimingOnly is the "traffic analysis attack based on the
+/// packet interarrival time" used for Table VI, which padding and
+/// morphing cannot defeat.
+enum class FeatureSet : std::uint8_t {
+  kAll,
+  kTimingOnly,
+  kSizeOnly,
+};
+
+/// Projects a full window-feature vector onto the chosen subset.
+[[nodiscard]] std::vector<double> project(const WindowFeatures& features,
+                                          FeatureSet set);
+
+/// Compresses the heavy-tailed dimensions: packet counts become
+/// log2(1 + n) and interarrival statistics log10(iat + 1 ms). Rates in
+/// home WLANs span three orders of magnitude (1–54 Mbit/s links, variable
+/// server throughput), so linear count/iat axes carry no usable contrast
+/// after bounded scaling; the log domain restores it. Size features stay
+/// linear (they are bounded by the MTU). Applied by the attack pipeline
+/// before scaling.
+[[nodiscard]] WindowFeatures log_compress(const WindowFeatures& features);
+
+/// Number of dimensions project() returns for the subset.
+[[nodiscard]] std::size_t feature_count(FeatureSet set);
+
+/// Computes features over one span of records (one window). Returns
+/// std::nullopt when the span is empty (nothing to classify).
+[[nodiscard]] std::optional<WindowFeatures> extract_window(
+    std::span<const traffic::PacketRecord> window);
+
+/// Cuts `trace` into consecutive windows of length `w` (aligned to the
+/// trace's start) and extracts features for every non-empty window that
+/// contains at least `min_packets` packets.
+[[nodiscard]] std::vector<WindowFeatures> extract_all_windows(
+    const traffic::Trace& trace, util::Duration w, std::size_t min_packets = 2);
+
+/// Whole-trace feature summary (used by the Table I reproduction, which
+/// reports per-interface averages over a long capture).
+[[nodiscard]] std::optional<WindowFeatures> extract_whole(
+    const traffic::Trace& trace);
+
+}  // namespace reshape::features

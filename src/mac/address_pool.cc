@@ -1,0 +1,68 @@
+#include "mac/address_pool.h"
+
+#include <cmath>
+
+namespace reshape::mac {
+
+AddressPool::AddressPool(util::Rng rng, std::size_t max_attempts)
+    : rng_{rng}, max_attempts_{max_attempts} {}
+
+void AddressPool::reserve(const MacAddress& address) {
+  reserved_.insert(address);
+}
+
+bool AddressPool::in_use(const MacAddress& address) const {
+  return allocated_.contains(address) || reserved_.contains(address) ||
+         address.is_null() || address.is_multicast();
+}
+
+std::optional<MacAddress> AddressPool::allocate() {
+  for (std::size_t attempt = 0; attempt < max_attempts_; ++attempt) {
+    const MacAddress candidate = MacAddress::random_local(rng_);
+    if (!in_use(candidate)) {
+      allocated_.insert(candidate);
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<MacAddress>> AddressPool::allocate_n(std::size_t n) {
+  std::vector<MacAddress> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto addr = allocate();
+    if (!addr) {
+      for (const MacAddress& a : out) {
+        release(a);
+      }
+      return std::nullopt;
+    }
+    out.push_back(*addr);
+  }
+  return out;
+}
+
+bool AddressPool::release(const MacAddress& address) {
+  return allocated_.erase(address) > 0;
+}
+
+bool AddressPool::is_allocated(const MacAddress& address) const {
+  return allocated_.contains(address);
+}
+
+double AddressPool::collision_probability(std::size_t n) {
+  // P(collision) = 1 - prod_{k=0}^{n-1} (1 - k/2^48), computed via
+  // log1p to stay accurate for tiny probabilities.
+  constexpr double kSpace = 281474976710656.0;  // 2^48
+  if (n < 2) {
+    return 0.0;
+  }
+  double log_no_collision = 0.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    log_no_collision += std::log1p(-static_cast<double>(k) / kSpace);
+  }
+  return -std::expm1(log_no_collision);
+}
+
+}  // namespace reshape::mac

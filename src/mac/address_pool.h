@@ -1,0 +1,67 @@
+// The AP-side MAC address pool (paper §III-B.1, Figure 2 step 3).
+//
+// The AP mints unused virtual MAC addresses for clients on request and
+// recycles them when a client releases its interfaces. The paper leans on
+// the birthday paradox for 48-bit addresses; `collision_probability` makes
+// that bound available for the parameter-selection logic and tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "mac/mac_address.h"
+#include "util/rng.h"
+
+namespace reshape::mac {
+
+/// Allocates and recycles unused locally-administered MAC addresses.
+///
+/// Invariant: `allocated()` never contains duplicates and never contains a
+/// reserved (externally registered) address.
+class AddressPool {
+ public:
+  /// `rng` drives address minting; `max_attempts` bounds the retry loop for
+  /// the (astronomically unlikely) repeated-collision case.
+  explicit AddressPool(util::Rng rng, std::size_t max_attempts = 64);
+
+  /// Registers an address that must never be handed out (e.g. the physical
+  /// address of an associated client, or the AP's own BSSID).
+  void reserve(const MacAddress& address);
+
+  /// Mints one unused address. Returns std::nullopt only if `max_attempts`
+  /// consecutive collisions occur (practically impossible at 48 bits).
+  [[nodiscard]] std::optional<MacAddress> allocate();
+
+  /// Mints `n` distinct unused addresses, or std::nullopt if any single
+  /// allocation fails; on failure nothing is leaked.
+  [[nodiscard]] std::optional<std::vector<MacAddress>> allocate_n(
+      std::size_t n);
+
+  /// Returns an address to the pool. Returns false when the address was
+  /// not currently allocated (double-free or foreign address).
+  bool release(const MacAddress& address);
+
+  /// True when the pool currently tracks the address as allocated.
+  [[nodiscard]] bool is_allocated(const MacAddress& address) const;
+
+  [[nodiscard]] std::size_t allocated_count() const {
+    return allocated_.size();
+  }
+  [[nodiscard]] std::size_t reserved_count() const { return reserved_.size(); }
+
+  /// Probability that at least two of `n` uniformly random 48-bit MAC
+  /// addresses collide (birthday bound, computed in log space).
+  [[nodiscard]] static double collision_probability(std::size_t n);
+
+ private:
+  [[nodiscard]] bool in_use(const MacAddress& address) const;
+
+  util::Rng rng_;
+  std::size_t max_attempts_;
+  std::unordered_set<MacAddress> allocated_;
+  std::unordered_set<MacAddress> reserved_;
+};
+
+}  // namespace reshape::mac

@@ -1,0 +1,95 @@
+#include "mac/crypto.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace reshape::mac {
+
+namespace {
+
+/// Keystream generator: SplitMix64 over (key, nonce, block index).
+class Keystream {
+ public:
+  Keystream(SymmetricKey key, std::uint64_t nonce)
+      : state_{util::splitmix64(key.hi ^ util::splitmix64(key.lo ^ nonce))} {}
+
+  std::uint8_t next_byte() {
+    if (bytes_left_ == 0) {
+      current_ = util::splitmix64(state_++);
+      bytes_left_ = 8;
+    }
+    const auto b = static_cast<std::uint8_t>(current_ & 0xFFu);
+    current_ >>= 8;
+    --bytes_left_;
+    return b;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t current_ = 0;
+  int bytes_left_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t NonceGenerator::next() {
+  return util::splitmix64(state_ ^ counter_++);
+}
+
+std::uint64_t StreamCipher::tag(const std::vector<std::uint8_t>& data,
+                                std::uint64_t nonce) const {
+  // FNV-style keyed accumulation finalised through SplitMix64.
+  std::uint64_t acc = key_.lo ^ util::splitmix64(key_.hi ^ nonce);
+  for (const std::uint8_t b : data) {
+    acc = (acc ^ b) * 0x100000001B3ULL;
+  }
+  return util::splitmix64(acc);
+}
+
+std::vector<std::uint8_t> StreamCipher::encrypt(
+    const std::vector<std::uint8_t>& plaintext, std::uint64_t nonce) const {
+  Keystream ks{key_, nonce};
+  std::vector<std::uint8_t> out;
+  out.reserve(plaintext.size() + 8);
+  for (const std::uint8_t b : plaintext) {
+    out.push_back(static_cast<std::uint8_t>(b ^ ks.next_byte()));
+  }
+  put_u64(out, tag(plaintext, nonce));
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> StreamCipher::decrypt(
+    const std::vector<std::uint8_t>& ciphertext, std::uint64_t nonce) const {
+  if (ciphertext.size() < 8) {
+    return std::nullopt;
+  }
+  const std::size_t body = ciphertext.size() - 8;
+  Keystream ks{key_, nonce};
+  std::vector<std::uint8_t> plain;
+  plain.reserve(body);
+  for (std::size_t i = 0; i < body; ++i) {
+    plain.push_back(static_cast<std::uint8_t>(ciphertext[i] ^ ks.next_byte()));
+  }
+  if (get_u64(ciphertext, body) != tag(plain, nonce)) {
+    return std::nullopt;
+  }
+  return plain;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value & 0xFFu));
+    value >>= 8;
+  }
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t offset) {
+  util::require(offset + 8 <= in.size(), "get_u64: out of bounds");
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | in[offset + static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+}  // namespace reshape::mac

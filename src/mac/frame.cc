@@ -1,0 +1,29 @@
+#include "mac/frame.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reshape::mac {
+
+std::uint32_t on_air_size(std::uint32_t payload_bytes) {
+  const std::uint32_t raw = payload_bytes + FrameOverhead::encrypted_data_total();
+  return std::min(raw, kMaxFrameBytes);
+}
+
+std::uint32_t payload_of(std::uint32_t frame_bytes) {
+  const std::uint32_t overhead = FrameOverhead::encrypted_data_total();
+  return frame_bytes > overhead ? frame_bytes - overhead : 0;
+}
+
+util::Duration airtime(std::uint32_t size_bytes, double bitrate_mbps) {
+  util::require(bitrate_mbps > 0.0, "airtime: bitrate must be > 0");
+  // DIFS (34us) + preamble/PLCP (20us) + payload serialisation.
+  constexpr double kFixedUs = 54.0;
+  const double payload_us =
+      static_cast<double>(size_bytes) * 8.0 / bitrate_mbps;
+  return util::Duration::microseconds(
+      static_cast<std::int64_t>(kFixedUs + payload_us));
+}
+
+}  // namespace reshape::mac

@@ -1,0 +1,101 @@
+// The 802.11 frame model.
+//
+// The eavesdropper in the paper observes MAC-layer frames: their size on
+// the air, source/destination addresses, timestamps, and channel. This
+// module models exactly those observables plus the header/encryption
+// overhead needed to convert an upper-layer payload into an on-air size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/mac_address.h"
+#include "util/time.h"
+
+namespace reshape::mac {
+
+/// 802.11 frame classes (management / control / data).
+enum class FrameType : std::uint8_t {
+  kManagement,
+  kControl,
+  kData,
+};
+
+/// The subset of subtypes the simulator exercises.
+enum class FrameSubtype : std::uint8_t {
+  kAssociationRequest,
+  kAssociationResponse,
+  kProbeRequest,
+  kProbeResponse,
+  kBeacon,
+  kAck,
+  kData,
+  kQosData,
+};
+
+/// Direction of a data frame relative to the client under observation.
+enum class Direction : std::uint8_t {
+  kDownlink,  // AP -> client
+  kUplink,    // client -> AP
+};
+
+/// Sizes (bytes) of the fixed 802.11 framing fields.
+struct FrameOverhead {
+  static constexpr std::uint32_t kMacHeader = 24;   // 3-address data header
+  static constexpr std::uint32_t kQosControl = 2;   // QoS data frames
+  static constexpr std::uint32_t kFcs = 4;          // frame check sequence
+  static constexpr std::uint32_t kCcmpHeader = 8;   // CCMP (WPA2) header
+  static constexpr std::uint32_t kCcmpMic = 8;      // CCMP integrity tag
+  static constexpr std::uint32_t kLlcSnap = 8;      // LLC/SNAP encapsulation
+
+  /// Total per-frame overhead for an encrypted QoS data frame.
+  [[nodiscard]] static constexpr std::uint32_t encrypted_data_total() {
+    return kMacHeader + kQosControl + kFcs + kCcmpHeader + kCcmpMic + kLlcSnap;
+  }
+};
+
+/// Maximum on-air frame size used throughout the paper (bytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1576;
+
+/// A captured/transmittable MAC frame. Payload bytes themselves are never
+/// modelled — only their length — because all of the paper's analyses are
+/// length/timing side channels over encrypted traffic.
+struct Frame {
+  FrameType type = FrameType::kData;
+  FrameSubtype subtype = FrameSubtype::kData;
+  MacAddress source;
+  MacAddress destination;
+  MacAddress bssid;
+  std::uint32_t size_bytes = 0;         // full on-air size
+  util::TimePoint timestamp;            // start of transmission
+  int channel = 1;                      // 802.11b/g channel number
+  double tx_power_dbm = 15.0;           // transmit power (for RSSI model)
+  std::uint16_t sequence = 0;
+  bool encrypted = true;
+
+  /// Opaque payload bytes. Only management frames of the virtual-interface
+  /// configuration handshake carry real bytes (ciphertext); data frames
+  /// model payload *length* only, as every analysis in the paper is a
+  /// length/timing side channel.
+  std::vector<std::uint8_t> payload;
+
+  /// True when this frame carries upper-layer data.
+  [[nodiscard]] bool is_data() const { return type == FrameType::kData; }
+};
+
+/// Computes the on-air size of an encrypted data frame carrying a payload
+/// of `payload_bytes`, clamped to kMaxFrameBytes (the A-MSDU limit the
+/// paper's traces exhibit).
+[[nodiscard]] std::uint32_t on_air_size(std::uint32_t payload_bytes);
+
+/// Inverse of on_air_size: the payload a frame of `frame_bytes` carries
+/// (0 when the frame is pure overhead).
+[[nodiscard]] std::uint32_t payload_of(std::uint32_t frame_bytes);
+
+/// Transmission airtime of a frame at the given PHY bitrate, including a
+/// DIFS + preamble budget. Bitrate in Mbit/s must be positive.
+[[nodiscard]] util::Duration airtime(std::uint32_t size_bytes,
+                                     double bitrate_mbps);
+
+}  // namespace reshape::mac

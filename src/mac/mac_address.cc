@@ -1,0 +1,78 @@
+#include "mac/mac_address.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace reshape::mac {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+MacAddress MacAddress::from_u64(std::uint64_t value) {
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 5; i >= 0; --i) {
+    octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value & 0xFFu);
+    value >>= 8;
+  }
+  return MacAddress{octets};
+}
+
+MacAddress MacAddress::parse(std::string_view text) {
+  util::require(text.size() == 17, "MacAddress::parse: expected 17 chars");
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t pos = i * 3;
+    const int hi = hex_digit(text[pos]);
+    const int lo = hex_digit(text[pos + 1]);
+    util::require(hi >= 0 && lo >= 0, "MacAddress::parse: bad hex digit");
+    if (i < 5) {
+      util::require(text[pos + 2] == ':',
+                    "MacAddress::parse: expected ':' separator");
+    }
+    octets[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return MacAddress{octets};
+}
+
+MacAddress MacAddress::random_local(util::Rng& rng) {
+  std::uint64_t bits = rng.next_u64() & 0xFFFFFFFFFFFFULL;
+  MacAddress addr = from_u64(bits);
+  std::array<std::uint8_t, 6> octets = addr.octets();
+  octets[0] = static_cast<std::uint8_t>((octets[0] | 0x02u) &
+                                        0xFEu);  // local, unicast
+  return MacAddress{octets};
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t value = 0;
+  for (const std::uint8_t o : octets_) {
+    value = (value << 8) | o;
+  }
+  return value;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return std::string{buf};
+}
+
+}  // namespace reshape::mac

@@ -1,0 +1,77 @@
+// 48-bit IEEE 802 MAC addresses.
+//
+// The traffic-reshaping design hinges on virtual MAC addresses being
+// indistinguishable from physical ones on the air, so the type carries the
+// full 48-bit space plus the locally-administered / unicast bit handling a
+// driver (MadWifi in the paper) would apply when minting virtual addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace reshape::mac {
+
+/// A 48-bit MAC address with value semantics.
+class MacAddress {
+ public:
+  /// The all-zero address (used as "unset").
+  constexpr MacAddress() = default;
+
+  /// Builds from six octets, most significant first.
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_{octets} {}
+
+  /// Builds from the low 48 bits of the given value.
+  [[nodiscard]] static MacAddress from_u64(std::uint64_t value);
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static MacAddress parse(std::string_view text);
+
+  /// A uniformly random address with the locally-administered bit set and
+  /// the multicast bit cleared — the shape a driver gives virtual MACs.
+  [[nodiscard]] static MacAddress random_local(util::Rng& rng);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+
+  [[nodiscard]] std::uint64_t to_u64() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// True when the I/G bit marks the address as group/multicast.
+  [[nodiscard]] bool is_multicast() const { return (octets_[0] & 0x01u) != 0; }
+
+  /// True when the U/L bit marks the address as locally administered.
+  [[nodiscard]] bool is_locally_administered() const {
+    return (octets_[0] & 0x02u) != 0;
+  }
+
+  /// True for the all-zero "unset" address.
+  [[nodiscard]] bool is_null() const { return to_u64() == 0; }
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace reshape::mac
+
+template <>
+struct std::hash<reshape::mac::MacAddress> {
+  std::size_t operator()(const reshape::mac::MacAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.to_u64());
+  }
+};

@@ -1,0 +1,160 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace reshape::ml {
+
+namespace {
+
+/// Gini impurity of a label histogram.
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) {
+    return 0.0;
+  }
+  double acc = 1.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    acc -= p * p;
+  }
+  return acc;
+}
+
+int majority(std::span<const std::size_t> counts) {
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeConfig config)
+    : config_{config} {
+  util::require(config_.max_depth >= 1, "DecisionTree: max_depth >= 1");
+  util::require(config_.min_samples_split >= 2,
+                "DecisionTree: min_samples_split >= 2");
+}
+
+std::int32_t DecisionTreeClassifier::build(const Dataset& data,
+                                           std::vector<std::size_t>& indices,
+                                           std::size_t depth) {
+  const std::size_t n = indices.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (const std::size_t i : indices) {
+    ++counts[static_cast<std::size_t>(data.label(i))];
+  }
+  const double impurity = gini(counts, n);
+
+  Node node;
+  node.label = majority(counts);
+  node.depth = static_cast<std::uint32_t>(depth);
+
+  const bool splittable = depth < config_.max_depth &&
+                          n >= config_.min_samples_split && impurity > 0.0;
+  if (splittable) {
+    // Exhaustive best (feature, threshold) search: sort indices per
+    // feature, sweep the class histogram across the boundary.
+    double best_gain = config_.min_gini_gain;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    std::size_t best_cut = 0;
+    std::vector<std::size_t> best_order;
+
+    const std::size_t dims = data.dimensions();
+    std::vector<std::size_t> order = indices;
+    for (std::size_t f = 0; f < dims; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return data.row(a)[f] < data.row(b)[f];
+                });
+      std::vector<std::size_t> left(counts.size(), 0);
+      std::vector<std::size_t> right = counts;
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        const auto cls = static_cast<std::size_t>(data.label(order[k]));
+        ++left[cls];
+        --right[cls];
+        const double lo = data.row(order[k])[f];
+        const double hi = data.row(order[k + 1])[f];
+        if (hi <= lo) {
+          continue;  // no boundary between equal values
+        }
+        const double n_left = static_cast<double>(k + 1);
+        const double n_right = static_cast<double>(n - k - 1);
+        const double child =
+            (n_left * gini(left, k + 1) + n_right * gini(right, n - k - 1)) /
+            static_cast<double>(n);
+        const double gain = impurity - child;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = (lo + hi) / 2.0;
+          best_cut = k + 1;
+          best_order = order;
+        }
+      }
+    }
+
+    if (best_feature >= 0) {
+      std::vector<std::size_t> left_idx(best_order.begin(),
+                                        best_order.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                best_cut));
+      std::vector<std::size_t> right_idx(best_order.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 best_cut),
+                                         best_order.end());
+      // best_order was sorted on best_feature at some earlier iteration of
+      // the loop over features only if f == best_feature when captured —
+      // we captured it at the winning split, so the partition is valid.
+      node.feature = best_feature;
+      node.threshold = best_threshold;
+      const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(node);
+      const std::int32_t left_child = build(data, left_idx, depth + 1);
+      const std::int32_t right_child = build(data, right_idx, depth + 1);
+      nodes_[static_cast<std::size_t>(self)].left = left_child;
+      nodes_[static_cast<std::size_t>(self)].right = right_child;
+      return self;
+    }
+  }
+
+  const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);  // leaf
+  return self;
+}
+
+void DecisionTreeClassifier::fit(const Dataset& data) {
+  util::require(!data.empty(), "DecisionTree::fit: empty dataset");
+  num_classes_ = data.num_classes();
+  nodes_.clear();
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = build(data, indices, 0);
+}
+
+int DecisionTreeClassifier::predict(std::span<const double> row) const {
+  util::require(trained(), "DecisionTree::predict: not trained");
+  std::int32_t at = root_;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    if (node.feature < 0) {
+      return node.label;
+    }
+    util::require(static_cast<std::size_t>(node.feature) < row.size(),
+                  "DecisionTree::predict: dimensionality mismatch");
+    at = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+             ? node.left
+             : node.right;
+  }
+}
+
+std::size_t DecisionTreeClassifier::depth() const {
+  std::size_t deepest = 0;
+  for (const Node& node : nodes_) {
+    deepest = std::max<std::size_t>(deepest, node.depth);
+  }
+  return deepest;
+}
+
+}  // namespace reshape::ml

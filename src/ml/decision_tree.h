@@ -1,0 +1,67 @@
+// CART-style decision tree classifier.
+//
+// A fourth attacker family for the robustness ablation: the paper's
+// background (§II-A) lists decision-surface learners among the techniques
+// used for traffic analysis, and a defense that only fools kernel or
+// neural learners would be weak. Axis-aligned trees are also the learner
+// most likely to latch onto single give-away features (e.g. "size_max >
+// 1540 => downloading"), making them a sharp probe of what reshaping
+// actually hides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace reshape::ml {
+
+/// Decision-tree hyperparameters.
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 4;
+  double min_gini_gain = 1e-4;
+};
+
+/// Binary CART tree with Gini impurity splits.
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeConfig config = {});
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string_view name() const override { return "tree"; }
+
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+
+  /// Number of nodes in the fitted tree (leaves + splits).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree (a single leaf has depth 0).
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;   // index into nodes_
+    std::int32_t right = -1;  // index into nodes_
+    int label = 0;            // majority label (used at leaves)
+    std::uint32_t depth = 0;
+  };
+
+  [[nodiscard]] std::int32_t build(const Dataset& data,
+                                   std::vector<std::size_t>& indices,
+                                   std::size_t depth);
+
+  TreeConfig config_;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace reshape::ml

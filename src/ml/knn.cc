@@ -1,0 +1,49 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_{k} {
+  util::require(k > 0, "KnnClassifier: k must be > 0");
+}
+
+void KnnClassifier::fit(const Dataset& data) {
+  util::require(!data.empty(), "KnnClassifier::fit: empty dataset");
+  rows_.assign(data.rows().begin(), data.rows().end());
+  labels_.assign(data.labels().begin(), data.labels().end());
+  num_classes_ = data.num_classes();
+}
+
+int KnnClassifier::predict(std::span<const double> row) const {
+  util::require(!rows_.empty(), "KnnClassifier::predict: not trained");
+  util::require(row.size() == rows_.front().size(),
+                "KnnClassifier::predict: dimensionality mismatch");
+
+  std::vector<std::pair<double, int>> dists;  // (distance^2, label)
+  dists.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = rows_[i][j] - row[j];
+      d2 += d * d;
+    }
+    dists.emplace_back(d2, labels_[i]);
+  }
+  const std::size_t k = std::min(k_, dists.size());
+  std::partial_sort(dists.begin(),
+                    dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(dists[i].second)];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace reshape::ml

@@ -1,0 +1,36 @@
+// k-nearest-neighbours classifier.
+//
+// Not used by the paper's headline attacker, but the related-work section
+// notes that "Bayesian techniques" and other learners have been applied to
+// traffic analysis; kNN and Naive Bayes serve as extra attack models for
+// robustness experiments (a defense that only fools one classifier family
+// is weak).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace reshape::ml {
+
+/// Euclidean-distance kNN with majority voting (ties -> smaller label).
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string_view name() const override { return "knn"; }
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace reshape::ml

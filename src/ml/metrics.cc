@@ -1,0 +1,112 @@
+#include "ml/metrics.h"
+
+#include "util/check.h"
+
+namespace reshape::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_{num_classes} {
+  util::require(num_classes > 0, "ConfusionMatrix: num_classes must be > 0");
+  cells_.assign(static_cast<std::size_t>(num_classes) *
+                    static_cast<std::size_t>(num_classes),
+                0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  util::require(truth >= 0 && truth < num_classes_,
+                "ConfusionMatrix::add: truth out of range");
+  util::require(predicted >= 0 && predicted < num_classes_,
+                "ConfusionMatrix::add: prediction out of range");
+  ++cells_[static_cast<std::size_t>(truth) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  util::require(other.num_classes_ == num_classes_,
+                "ConfusionMatrix::merge: shape mismatch");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t ConfusionMatrix::count(int truth, int predicted) const {
+  util::require(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                    predicted < num_classes_,
+                "ConfusionMatrix::count: index out of range");
+  return cells_[static_cast<std::size_t>(truth) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+std::uint64_t ConfusionMatrix::class_total(int truth) const {
+  std::uint64_t acc = 0;
+  for (int p = 0; p < num_classes_; ++p) {
+    acc += count(truth, p);
+  }
+  return acc;
+}
+
+double ConfusionMatrix::accuracy(int cls) const {
+  const std::uint64_t n = class_total(cls);
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::mean_accuracy() const {
+  double acc = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (class_total(c) > 0) {
+      acc += accuracy(c);
+      ++present;
+    }
+  }
+  return present > 0 ? acc / present : 0.0;
+}
+
+double ConfusionMatrix::overall_accuracy() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::uint64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    correct += count(c, c);
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::false_positive(int cls) const {
+  std::uint64_t others = 0;
+  std::uint64_t misclassified_as_cls = 0;
+  for (int t = 0; t < num_classes_; ++t) {
+    if (t == cls) {
+      continue;
+    }
+    others += class_total(t);
+    misclassified_as_cls += count(t, cls);
+  }
+  if (others == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(misclassified_as_cls) /
+         static_cast<double>(others);
+}
+
+double ConfusionMatrix::mean_false_positive() const {
+  double acc = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (class_total(c) > 0) {
+      acc += false_positive(c);
+      ++present;
+    }
+  }
+  return present > 0 ? acc / present : 0.0;
+}
+
+}  // namespace reshape::ml

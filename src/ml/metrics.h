@@ -1,0 +1,52 @@
+// Classification metrics matching the paper's definitions (§IV):
+//   * accuracy of class X — correctly classified instances of X over all
+//     instances of X (per-class recall);
+//   * mean accuracy — the unweighted average of per-class accuracies
+//     ("overall average recognition probability");
+//   * false positive of class X — instances of other classes classified
+//     as X, over all instances of other classes (ref. [22]'s definition).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reshape::ml {
+
+/// A square confusion matrix accumulated one (truth, prediction) at a time.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int truth, int predicted);
+
+  /// Merges counts from another matrix of the same shape.
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] std::uint64_t count(int truth, int predicted) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t class_total(int truth) const;
+
+  /// Per-class recall in [0,1]; 0 when the class has no instances.
+  [[nodiscard]] double accuracy(int cls) const;
+
+  /// Unweighted mean of per-class accuracies over classes that appear.
+  [[nodiscard]] double mean_accuracy() const;
+
+  /// Overall fraction of correct predictions.
+  [[nodiscard]] double overall_accuracy() const;
+
+  /// False-positive rate of `cls` per the paper's definition.
+  [[nodiscard]] double false_positive(int cls) const;
+
+  /// Unweighted mean of per-class FP rates over classes that appear.
+  [[nodiscard]] double mean_false_positive() const;
+
+ private:
+  int num_classes_;
+  std::vector<std::uint64_t> cells_;  // row-major [truth][predicted]
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace reshape::ml

@@ -1,0 +1,69 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::ml {
+
+void NaiveBayesClassifier::fit(const Dataset& data) {
+  util::require(!data.empty(), "NaiveBayesClassifier::fit: empty dataset");
+  num_classes_ = data.num_classes();
+  const std::size_t dims = data.dimensions();
+
+  std::vector<std::vector<util::RunningStats>> stats(
+      static_cast<std::size_t>(num_classes_),
+      std::vector<util::RunningStats>(dims));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(data.label(i));
+    ++counts[cls];
+    for (std::size_t d = 0; d < dims; ++d) {
+      stats[cls][d].add(data.row(i)[d]);
+    }
+  }
+
+  means_.assign(static_cast<std::size_t>(num_classes_),
+                std::vector<double>(dims, 0.0));
+  variances_.assign(static_cast<std::size_t>(num_classes_),
+                    std::vector<double>(dims, 1.0));
+  log_priors_.assign(static_cast<std::size_t>(num_classes_), -1e30);
+
+  for (std::size_t c = 0; c < static_cast<std::size_t>(num_classes_); ++c) {
+    if (counts[c] == 0) {
+      continue;  // class absent: prior stays -inf-like
+    }
+    log_priors_[c] = std::log(static_cast<double>(counts[c]) /
+                              static_cast<double>(data.size()));
+    for (std::size_t d = 0; d < dims; ++d) {
+      means_[c][d] = stats[c][d].mean();
+      // Variance floor keeps degenerate (constant) features finite.
+      variances_[c][d] = std::max(stats[c][d].variance(), 1e-9);
+    }
+  }
+}
+
+int NaiveBayesClassifier::predict(std::span<const double> row) const {
+  util::require(trained(), "NaiveBayesClassifier::predict: not trained");
+  util::require(row.size() == means_.front().size(),
+                "NaiveBayesClassifier::predict: dimensionality mismatch");
+  int best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    double score = log_priors_[c];
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      const double diff = row[d] - means_[c][d];
+      score += -0.5 * (std::log(2.0 * M_PI * variances_[c][d]) +
+                       diff * diff / variances_[c][d]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace reshape::ml

@@ -1,0 +1,31 @@
+// Gaussian Naive Bayes classifier (the "Bayesian techniques" family the
+// paper's background section cites among traffic-analysis attackers).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace reshape::ml {
+
+/// Per-class independent Gaussians per feature with class priors.
+class NaiveBayesClassifier final : public Classifier {
+ public:
+  NaiveBayesClassifier() = default;
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string_view name() const override { return "gnb"; }
+
+  [[nodiscard]] bool trained() const { return !means_.empty(); }
+
+ private:
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> means_;      // [class][dim]
+  std::vector<std::vector<double>> variances_;  // [class][dim]
+  std::vector<double> log_priors_;              // [class]
+};
+
+}  // namespace reshape::ml

@@ -1,0 +1,143 @@
+// The modified access point (§III-B).
+//
+// Responsibilities:
+//   * answer configuration handshakes — decide I, mint virtual MAC
+//     addresses from the pool, reply encrypted (Figure 2);
+//   * downlink reshaping — pick a virtual interface per outgoing packet
+//     with the reshaping algorithm and address the frame to that virtual
+//     MAC (Figure 3, right);
+//   * uplink translation — rewrite virtual source addresses back to the
+//     client's unique physical address before handing packets to upper
+//     layers, circumventing ARP so remote servers need no changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/tpc.h"
+#include "mac/address_pool.h"
+#include "mac/crypto.h"
+#include "mac/frame.h"
+#include "mac/mac_address.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace reshape::net {
+
+/// Delivery callback for packets that cleared MAC translation: the upper
+/// layer always sees the client's *physical* address.
+using UpperLayerSink =
+    std::function<void(const mac::MacAddress& client_physical,
+                       std::uint32_t payload_bytes)>;
+
+/// AP policy knobs.
+struct ApConfig {
+  std::size_t default_interfaces = 3;  // I when the client lets us decide
+  std::size_t max_interfaces = 8;      // resource ceiling per client
+  double tx_power_dbm = 18.0;
+};
+
+/// The access point.
+class AccessPoint : public sim::RadioListener {
+ public:
+  /// `scheduler_factory` builds one reshaping scheduler per associated
+  /// client (downlink dispatch). The AP attaches itself to the medium.
+  AccessPoint(sim::Simulator& simulator, sim::Medium& medium,
+              sim::Position position, mac::MacAddress bssid, int channel,
+              ApConfig config, util::Rng rng,
+              std::function<std::unique_ptr<core::Scheduler>()>
+                  scheduler_factory);
+
+  ~AccessPoint() override;
+  AccessPoint(const AccessPoint&) = delete;
+  AccessPoint& operator=(const AccessPoint&) = delete;
+
+  /// Registers a client (association + key establishment, out of scope of
+  /// the paper's protocol, modelled as pre-shared state).
+  void associate(const mac::MacAddress& client_physical,
+                 mac::SymmetricKey key);
+
+  /// Sends `payload_bytes` of application data to an associated client.
+  /// If the client has virtual interfaces the reshaping scheduler picks
+  /// the destination virtual MAC; otherwise the physical MAC is used.
+  void send_to_client(const mac::MacAddress& client_physical,
+                      std::uint32_t payload_bytes);
+
+  /// Upper-layer delivery hook for uplink traffic.
+  void set_upper_layer_sink(UpperLayerSink sink);
+
+  /// Per-packet transmit power control (defaults to fixed config power).
+  void set_power_control(core::TransmitPowerControl tpc);
+
+  // RadioListener:
+  void on_frame(const mac::Frame& frame, double rssi_dbm) override;
+
+  [[nodiscard]] const mac::MacAddress& bssid() const { return bssid_; }
+  [[nodiscard]] int channel() const { return channel_; }
+
+  /// The virtual addresses currently assigned to a client (empty when the
+  /// client has none).
+  [[nodiscard]] std::vector<mac::MacAddress> virtual_addresses_of(
+      const mac::MacAddress& client_physical) const;
+
+  /// Reclaims a client's virtual addresses (dynamic reconfiguration /
+  /// resource recycling, §III-B.1). Returns how many were reclaimed.
+  std::size_t recycle(const mac::MacAddress& client_physical);
+
+  [[nodiscard]] std::uint64_t uplink_packets() const {
+    return uplink_packets_;
+  }
+  [[nodiscard]] std::uint64_t downlink_packets() const {
+    return downlink_packets_;
+  }
+  [[nodiscard]] std::uint64_t handshakes_completed() const {
+    return handshakes_completed_;
+  }
+  [[nodiscard]] std::uint64_t rejected_frames() const {
+    return rejected_frames_;
+  }
+
+ private:
+  struct ClientState {
+    mac::SymmetricKey key;
+    std::vector<mac::MacAddress> virtual_addresses;
+    std::unique_ptr<core::Scheduler> scheduler;
+    // Protocol nonces already honoured for this client. A captured
+    // request replayed by an attacker (who cannot forge new ciphertext)
+    // must not trigger a fresh assignment round.
+    std::unordered_set<std::uint64_t> seen_nonces;
+  };
+
+  void handle_config_request(const mac::Frame& frame);
+  void transmit(mac::Frame frame);
+  [[nodiscard]] ClientState* client_of_virtual(const mac::MacAddress& addr);
+  [[nodiscard]] std::size_t decide_interface_count(
+      std::uint32_t requested) const;
+
+  sim::Simulator& simulator_;
+  sim::Medium& medium_;
+  sim::Position position_;
+  mac::MacAddress bssid_;
+  int channel_;
+  ApConfig config_;
+  mac::AddressPool pool_;
+  mac::NonceGenerator nonce_gen_;
+  core::TransmitPowerControl tpc_;
+  std::function<std::unique_ptr<core::Scheduler>()> scheduler_factory_;
+  std::unordered_map<mac::MacAddress, ClientState> clients_;
+  std::unordered_map<mac::MacAddress, mac::MacAddress> virtual_to_physical_;
+  UpperLayerSink upper_layer_;
+  std::uint16_t sequence_ = 0;
+  std::uint64_t uplink_packets_ = 0;
+  std::uint64_t downlink_packets_ = 0;
+  std::uint64_t handshakes_completed_ = 0;
+  std::uint64_t rejected_frames_ = 0;
+};
+
+}  // namespace reshape::net

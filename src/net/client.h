@@ -1,0 +1,122 @@
+// The modified wireless client (§III-B).
+//
+// Responsibilities:
+//   * initiate the encrypted configuration handshake and bring up the
+//     assigned virtual MAC interfaces;
+//   * uplink reshaping — pick a virtual interface per outgoing packet and
+//     stamp its MAC address as the frame source (Figure 3, left);
+//   * downlink reception — accept frames addressed to *any* of its
+//     virtual MACs (or the physical one), translate back to the physical
+//     address, and hand the payload to upper layers, keeping the whole
+//     mechanism transparent above the MAC layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/tpc.h"
+#include "mac/crypto.h"
+#include "mac/frame.h"
+#include "mac/mac_address.h"
+#include "net/virtual_interface.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace reshape::net {
+
+/// Handshake progress of the client.
+enum class ClientState : std::uint8_t {
+  kAssociated,         // no virtual interfaces yet
+  kAwaitingResponse,   // request sent, waiting for the AP
+  kConfigured,         // virtual interfaces are up
+};
+
+/// The wireless client.
+class WirelessClient : public sim::RadioListener {
+ public:
+  /// Attaches to the medium at `position`, tuned to `channel`, associated
+  /// with the AP identified by `bssid` sharing `key`.
+  WirelessClient(sim::Simulator& simulator, sim::Medium& medium,
+                 sim::Position position, mac::MacAddress physical_address,
+                 mac::MacAddress bssid, int channel, mac::SymmetricKey key,
+                 util::Rng rng,
+                 std::unique_ptr<core::Scheduler> uplink_scheduler);
+
+  ~WirelessClient() override;
+  WirelessClient(const WirelessClient&) = delete;
+  WirelessClient& operator=(const WirelessClient&) = delete;
+
+  /// Step 1 of Figure 2: requests `count` virtual interfaces (0 lets the
+  /// AP decide). The response arrives asynchronously via the medium.
+  void request_virtual_interfaces(std::uint32_t count);
+
+  /// Sends `payload_bytes` of application data to the AP. With virtual
+  /// interfaces configured, the reshaping scheduler chooses which virtual
+  /// MAC transmits.
+  void send_packet(std::uint32_t payload_bytes);
+
+  /// Upper-layer delivery hook for downlink traffic (receives the
+  /// translated *physical* source identity implicitly — payload only,
+  /// since the client knows its own identity).
+  void set_upper_layer_sink(std::function<void(std::uint32_t payload)> sink);
+
+  /// Per-packet transmit power control (§V-A defense), applied to every
+  /// transmission.
+  void set_power_control(core::TransmitPowerControl tpc);
+
+  /// Per-*interface* power control: each virtual interface transmits at
+  /// its own (possibly randomised) power level, disguising the interfaces
+  /// as distinct users at distinct distances — the §V-A proposal. The
+  /// vector is indexed by virtual-interface position and must match the
+  /// configured interface count; frames sent before configuration (or on
+  /// the physical address) use the global control.
+  void set_interface_power_controls(
+      std::vector<core::TransmitPowerControl> controls);
+
+  // RadioListener:
+  void on_frame(const mac::Frame& frame, double rssi_dbm) override;
+
+  [[nodiscard]] ClientState state() const { return state_; }
+  [[nodiscard]] const mac::MacAddress& physical_address() const {
+    return physical_address_;
+  }
+  [[nodiscard]] const std::vector<VirtualInterface>& interfaces() const {
+    return interfaces_;
+  }
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  [[nodiscard]] std::uint64_t handshake_failures() const {
+    return handshake_failures_;
+  }
+
+ private:
+  void transmit(mac::Frame frame);
+  void handle_config_response(const mac::Frame& frame);
+  [[nodiscard]] bool owns_address(const mac::MacAddress& addr) const;
+
+  sim::Simulator& simulator_;
+  sim::Medium& medium_;
+  sim::Position position_;
+  mac::MacAddress physical_address_;
+  mac::MacAddress bssid_;
+  int channel_;
+  mac::StreamCipher cipher_;
+  mac::NonceGenerator nonce_gen_;
+  core::TransmitPowerControl tpc_;
+  std::vector<core::TransmitPowerControl> interface_tpc_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  std::vector<VirtualInterface> interfaces_;
+  std::function<void(std::uint32_t)> upper_layer_;
+  ClientState state_ = ClientState::kAssociated;
+  std::optional<std::uint64_t> pending_nonce_;
+  std::uint16_t sequence_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t handshake_failures_ = 0;
+};
+
+}  // namespace reshape::net

@@ -1,0 +1,95 @@
+#include "net/config_protocol.h"
+
+#include "util/check.h"
+
+namespace reshape::net {
+
+namespace {
+
+constexpr std::uint8_t kRequestTag = 0x01;
+constexpr std::uint8_t kResponseTag = 0x02;
+
+/// payload = [cipher_nonce (8, clear) | ciphertext...]
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& body,
+                               const mac::StreamCipher& cipher,
+                               std::uint64_t cipher_nonce) {
+  std::vector<std::uint8_t> payload;
+  mac::put_u64(payload, cipher_nonce);
+  const auto ct = cipher.encrypt(body, cipher_nonce);
+  payload.insert(payload.end(), ct.begin(), ct.end());
+  return payload;
+}
+
+std::optional<std::vector<std::uint8_t>> unseal(
+    const std::vector<std::uint8_t>& payload,
+    const mac::StreamCipher& cipher) {
+  if (payload.size() < 8) {
+    return std::nullopt;
+  }
+  const std::uint64_t cipher_nonce = mac::get_u64(payload, 0);
+  const std::vector<std::uint8_t> ct(payload.begin() + 8, payload.end());
+  return cipher.decrypt(ct, cipher_nonce);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const ConfigRequest& request,
+                                         const mac::StreamCipher& cipher,
+                                         std::uint64_t cipher_nonce) {
+  std::vector<std::uint8_t> body;
+  body.push_back(kRequestTag);
+  mac::put_u64(body, request.physical_address.to_u64());
+  mac::put_u64(body, request.nonce);
+  mac::put_u64(body, request.requested_interfaces);
+  return seal(body, cipher, cipher_nonce);
+}
+
+std::optional<ConfigRequest> decode_request(
+    const std::vector<std::uint8_t>& payload,
+    const mac::StreamCipher& cipher) {
+  const auto body = unseal(payload, cipher);
+  if (!body || body->size() != 1 + 8 * 3 || (*body)[0] != kRequestTag) {
+    return std::nullopt;
+  }
+  ConfigRequest req;
+  req.physical_address = mac::MacAddress::from_u64(mac::get_u64(*body, 1));
+  req.nonce = mac::get_u64(*body, 9);
+  req.requested_interfaces =
+      static_cast<std::uint32_t>(mac::get_u64(*body, 17));
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(const ConfigResponse& response,
+                                          const mac::StreamCipher& cipher,
+                                          std::uint64_t cipher_nonce) {
+  std::vector<std::uint8_t> body;
+  body.push_back(kResponseTag);
+  mac::put_u64(body, response.nonce);
+  mac::put_u64(body, response.virtual_addresses.size());
+  for (const mac::MacAddress& a : response.virtual_addresses) {
+    mac::put_u64(body, a.to_u64());
+  }
+  return seal(body, cipher, cipher_nonce);
+}
+
+std::optional<ConfigResponse> decode_response(
+    const std::vector<std::uint8_t>& payload,
+    const mac::StreamCipher& cipher) {
+  const auto body = unseal(payload, cipher);
+  if (!body || body->size() < 1 + 16 || (*body)[0] != kResponseTag) {
+    return std::nullopt;
+  }
+  ConfigResponse resp;
+  resp.nonce = mac::get_u64(*body, 1);
+  const std::uint64_t count = mac::get_u64(*body, 9);
+  if (body->size() != 1 + 16 + count * 8) {
+    return std::nullopt;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    resp.virtual_addresses.push_back(
+        mac::MacAddress::from_u64(mac::get_u64(*body, 17 + i * 8)));
+  }
+  return resp;
+}
+
+}  // namespace reshape::net

@@ -1,0 +1,56 @@
+// The encrypted virtual-interface configuration handshake (§III-B.1,
+// Figure 2):
+//   1. client -> AP : Enc{ physical_addr | nonce }          (request)
+//   2. AP decides I from privacy requirement / resources
+//   3. AP draws I unused addresses from its MAC address pool
+//   4. AP -> client : Enc{ nonce | assigned addresses }     (response)
+//
+// Both messages ride in management frames whose payload is ciphertext,
+// so an eavesdropper never learns the physical<->virtual mapping. The
+// cipher nonce rides in the clear ahead of the ciphertext (like an IV);
+// the *protocol* nonce — the anti-replay token the client checks —
+// travels encrypted inside the body.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/crypto.h"
+#include "mac/mac_address.h"
+
+namespace reshape::net {
+
+/// Step-1 request body.
+struct ConfigRequest {
+  mac::MacAddress physical_address;
+  std::uint64_t nonce = 0;
+  std::uint32_t requested_interfaces = 0;  // 0 = let the AP decide
+};
+
+/// Step-4 response body.
+struct ConfigResponse {
+  std::uint64_t nonce = 0;  // echoes the request
+  std::vector<mac::MacAddress> virtual_addresses;
+};
+
+/// Serialises and encrypts a request into a management-frame payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(
+    const ConfigRequest& request, const mac::StreamCipher& cipher,
+    std::uint64_t cipher_nonce);
+
+/// Decrypts and parses a request payload; std::nullopt on wrong key,
+/// tampering, or malformed body.
+[[nodiscard]] std::optional<ConfigRequest> decode_request(
+    const std::vector<std::uint8_t>& payload, const mac::StreamCipher& cipher);
+
+/// Serialises and encrypts a response.
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const ConfigResponse& response, const mac::StreamCipher& cipher,
+    std::uint64_t cipher_nonce);
+
+/// Decrypts and parses a response; std::nullopt on failure.
+[[nodiscard]] std::optional<ConfigResponse> decode_response(
+    const std::vector<std::uint8_t>& payload, const mac::StreamCipher& cipher);
+
+}  // namespace reshape::net

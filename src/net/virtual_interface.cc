@@ -1,0 +1,32 @@
+#include "net/virtual_interface.h"
+
+#include "util/check.h"
+
+namespace reshape::net {
+
+void VirtualInterface::configure(const mac::MacAddress& address) {
+  util::require(!address.is_null() && !address.is_multicast(),
+                "VirtualInterface::configure: invalid address");
+  util::require(state_ != InterfaceState::kUp,
+                "VirtualInterface::configure: already up");
+  address_ = address;
+  state_ = InterfaceState::kUp;
+}
+
+void VirtualInterface::release() {
+  util::require(state_ == InterfaceState::kUp,
+                "VirtualInterface::release: not up");
+  state_ = InterfaceState::kReleased;
+}
+
+void VirtualInterface::record_tx(std::uint32_t bytes) {
+  ++tx_packets_;
+  tx_bytes_ += bytes;
+}
+
+void VirtualInterface::record_rx(std::uint32_t bytes) {
+  ++rx_packets_;
+  rx_bytes_ += bytes;
+}
+
+}  // namespace reshape::net

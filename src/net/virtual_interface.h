@@ -1,0 +1,54 @@
+// A virtual MAC interface over one physical radio (MadWifi-style, §III-A).
+//
+// Each virtual interface behaves as "a fully functional, regular network
+// interface" with its own MAC address, while sharing the physical card —
+// only one interface transmits at any instant. The interface keeps the
+// per-direction counters the evaluation reads back.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/mac_address.h"
+
+namespace reshape::net {
+
+/// Lifecycle of a virtual interface.
+enum class InterfaceState : std::uint8_t {
+  kDown,        // created, not yet configured with an address
+  kUp,          // configured and associated
+  kReleased,    // address returned to the AP pool
+};
+
+/// One virtual MAC interface.
+class VirtualInterface {
+ public:
+  VirtualInterface() = default;
+
+  /// Brings the interface up with the AP-assigned address.
+  void configure(const mac::MacAddress& address);
+
+  /// Releases the interface (its address goes back to the pool).
+  void release();
+
+  [[nodiscard]] InterfaceState state() const { return state_; }
+  [[nodiscard]] bool is_up() const { return state_ == InterfaceState::kUp; }
+  [[nodiscard]] const mac::MacAddress& address() const { return address_; }
+
+  void record_tx(std::uint32_t bytes);
+  void record_rx(std::uint32_t bytes);
+
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  InterfaceState state_ = InterfaceState::kDown;
+  mac::MacAddress address_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace reshape::net

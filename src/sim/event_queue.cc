@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace reshape::sim {
+
+void EventQueue::push(util::TimePoint when, Callback callback) {
+  util::require(static_cast<bool>(callback),
+                "EventQueue::push: callback must be callable");
+  heap_.push(Entry{when, next_sequence_++, std::move(callback)});
+}
+
+util::TimePoint EventQueue::next_time() const {
+  util::require(!heap_.empty(), "EventQueue::next_time: queue is empty");
+  return heap_.top().when;
+}
+
+EventQueue::Callback EventQueue::pop() {
+  util::require(!heap_.empty(), "EventQueue::pop: queue is empty");
+  // priority_queue::top() is const&; the move is safe because we pop
+  // immediately after and never touch the moved-from entry.
+  Callback cb = std::move(const_cast<Entry&>(heap_.top()).callback);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace reshape::sim

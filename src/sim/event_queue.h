@@ -1,0 +1,53 @@
+// Deterministic event queue for the discrete-event simulator.
+//
+// Ties on the timestamp are broken by insertion order (a monotonically
+// increasing sequence number), so identical runs replay identically —
+// a requirement for the reproducibility of every table in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace reshape::sim {
+
+/// A time-ordered queue of callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues a callback to fire at `when`.
+  void push(util::TimePoint when, Callback callback);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Requires !empty().
+  [[nodiscard]] util::TimePoint next_time() const;
+
+  /// Removes and returns the earliest event's callback. Requires !empty().
+  [[nodiscard]] Callback pop();
+
+ private:
+  struct Entry {
+    util::TimePoint when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace reshape::sim

@@ -1,0 +1,85 @@
+#include "sim/medium.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::sim {
+
+double distance(Position a, Position b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double PathLossModel::rssi_dbm(double tx_power_dbm, double distance_m,
+                               util::Rng& rng) const {
+  const double d = std::max(distance_m, reference_distance_m);
+  const double loss =
+      reference_loss_db +
+      10.0 * exponent * std::log10(d / reference_distance_m);
+  const double shadowing =
+      shadowing_sigma_db > 0.0 ? rng.normal(0.0, shadowing_sigma_db) : 0.0;
+  return tx_power_dbm - loss + shadowing;
+}
+
+Medium::Medium(PathLossModel model, util::Rng rng) : model_{model}, rng_{rng} {}
+
+void Medium::attach(RadioListener& listener, Position position, int channel) {
+  util::require(find(listener) == nullptr, "Medium::attach: already attached");
+  entries_.push_back(Entry{&listener, position, channel});
+}
+
+void Medium::detach(RadioListener& listener) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const Entry& e) { return e.listener == &listener; });
+  util::require(it != entries_.end(), "Medium::detach: not attached");
+  entries_.erase(it);
+}
+
+Medium::Entry* Medium::find(const RadioListener& listener) {
+  for (Entry& e : entries_) {
+    if (e.listener == &listener) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const Medium::Entry* Medium::find(const RadioListener& listener) const {
+  for (const Entry& e : entries_) {
+    if (e.listener == &listener) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void Medium::set_channel(RadioListener& listener, int channel) {
+  Entry* entry = find(listener);
+  util::require(entry != nullptr, "Medium::set_channel: not attached");
+  entry->channel = channel;
+}
+
+int Medium::channel_of(const RadioListener& listener) const {
+  const Entry* entry = find(listener);
+  util::require(entry != nullptr, "Medium::channel_of: not attached");
+  return entry->channel;
+}
+
+void Medium::transmit(const mac::Frame& frame, Position tx_position,
+                      const RadioListener* exclude) {
+  ++frames_transmitted_;
+  for (const Entry& e : entries_) {
+    if (e.listener == exclude || e.channel != frame.channel) {
+      continue;
+    }
+    const double rssi = model_.rssi_dbm(
+        frame.tx_power_dbm, distance(tx_position, e.position), rng_);
+    e.listener->on_frame(frame, rssi);
+  }
+}
+
+}  // namespace reshape::sim

@@ -1,0 +1,102 @@
+// The shared wireless medium.
+//
+// The paper's threat model rests on the broadcast nature of 802.11: every
+// frame on a channel is observable by any radio tuned to that channel.
+// Medium models exactly that — transmit() delivers a frame to every
+// attached listener whose radio is on the frame's channel, along with the
+// received signal strength (RSSI) from a log-distance path-loss model
+// (used by the §V-A power-analysis experiments; the paper's own traces
+// were captured around -50 dBm).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mac/frame.h"
+#include "util/rng.h"
+
+namespace reshape::sim {
+
+/// 2-D position in metres (the RSSI model only needs distance).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double distance(Position a, Position b);
+
+/// Log-distance path loss with optional log-normal shadowing.
+///
+/// rssi = tx_power_dbm - pl0 - 10 * exponent * log10(max(d, d0) / d0) + X,
+/// X ~ N(0, shadowing_sigma_db).
+struct PathLossModel {
+  double reference_loss_db = 40.0;   // loss at d0 (free space, 2.4 GHz, 1 m)
+  double reference_distance_m = 1.0;
+  double exponent = 3.0;             // indoor residential
+  double shadowing_sigma_db = 2.0;
+
+  [[nodiscard]] double rssi_dbm(double tx_power_dbm, double distance_m,
+                                util::Rng& rng) const;
+};
+
+/// Receives frames from the medium. Implementations: stations, APs,
+/// sniffers. Non-owning observer interface (Core Guidelines I.11 — no
+/// ownership transfer through raw pointers; the caller keeps ownership).
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+
+  /// Called for every frame on the listener's channel, including frames
+  /// the listener itself addressed to others (promiscuous delivery; the
+  /// implementation filters).
+  virtual void on_frame(const mac::Frame& frame, double rssi_dbm) = 0;
+};
+
+/// The broadcast RF medium across all 802.11 channels.
+class Medium {
+ public:
+  /// `rng` drives shadowing noise; pass sigma = 0 in the model for a
+  /// deterministic RSSI.
+  Medium(PathLossModel model, util::Rng rng);
+
+  /// Attaches a listener at a position, tuned to `channel`. The listener
+  /// must outlive the medium or detach first.
+  void attach(RadioListener& listener, Position position, int channel);
+
+  /// Detaches a previously attached listener.
+  void detach(RadioListener& listener);
+
+  /// Retunes a listener's radio to a different channel (frequency hopping).
+  void set_channel(RadioListener& listener, int channel);
+
+  /// Current channel of an attached listener.
+  [[nodiscard]] int channel_of(const RadioListener& listener) const;
+
+  /// Broadcasts a frame transmitted from `tx_position` on frame.channel.
+  /// Every listener on that channel receives it with a modelled RSSI.
+  /// The transmitter itself is skipped when `exclude` points to it.
+  void transmit(const mac::Frame& frame, Position tx_position,
+                const RadioListener* exclude = nullptr);
+
+  [[nodiscard]] std::size_t listener_count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t frames_transmitted() const {
+    return frames_transmitted_;
+  }
+
+ private:
+  struct Entry {
+    RadioListener* listener;
+    Position position;
+    int channel;
+  };
+
+  [[nodiscard]] Entry* find(const RadioListener& listener);
+  [[nodiscard]] const Entry* find(const RadioListener& listener) const;
+
+  PathLossModel model_;
+  util::Rng rng_;
+  std::vector<Entry> entries_;
+  std::uint64_t frames_transmitted_ = 0;
+};
+
+}  // namespace reshape::sim

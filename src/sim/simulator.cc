@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace reshape::sim {
+
+void Simulator::schedule_at(util::TimePoint when,
+                            EventQueue::Callback callback) {
+  util::require(when >= now_, "Simulator::schedule_at: time is in the past");
+  queue_.push(when, std::move(callback));
+}
+
+void Simulator::schedule_after(util::Duration delay,
+                               EventQueue::Callback callback) {
+  util::require(delay >= util::Duration{},
+                "Simulator::schedule_after: negative delay");
+  queue_.push(now_ + delay, std::move(callback));
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    auto cb = queue_.pop();
+    cb();
+    ++processed_;
+  }
+}
+
+void Simulator::run_until(util::TimePoint deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    auto cb = queue_.pop();
+    cb();
+    ++processed_;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace reshape::sim

@@ -1,0 +1,265 @@
+#include "traffic/app_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::traffic {
+
+std::uint32_t SizeModel::sample(util::Rng& rng) const {
+  util::internal_check(!components.empty(), "SizeModel: no components");
+  std::vector<double> weights;
+  weights.reserve(components.size());
+  for (const SizeComponent& c : components) {
+    weights.push_back(c.weight);
+  }
+  const SizeComponent& c = components[rng.discrete(weights)];
+  return static_cast<std::uint32_t>(
+      rng.uniform_int(static_cast<std::int64_t>(c.lo),
+                      static_cast<std::int64_t>(c.hi)));
+}
+
+double SizeModel::mean() const {
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (const SizeComponent& c : components) {
+    total_weight += c.weight;
+    acc += c.weight * (static_cast<double>(c.lo) + static_cast<double>(c.hi)) /
+           2.0;
+  }
+  return total_weight > 0.0 ? acc / total_weight : 0.0;
+}
+
+double ArrivalModel::expected_mean_gap() const {
+  switch (kind) {
+    case ArrivalKind::kSteadyExp:
+    case ArrivalKind::kSteadyJitter:
+      return mean_gap_s;
+    case ArrivalKind::kBursty: {
+      // A burst of mean length B contributes (B-1) in-burst gaps of mean g
+      // plus one idle gap of mean G, over B packets.
+      const double b = std::max(burst_len_mean, 1.0);
+      return ((b - 1.0) * mean_gap_s + idle_gap_mean_s) / b;
+    }
+  }
+  util::internal_check(false, "ArrivalModel: invalid kind");
+  return 0.0;
+}
+
+namespace {
+
+/// Multiplies by exp(N(0, sigma)).
+double jittered(util::Rng& rng, double value, double sigma) {
+  return value * std::exp(rng.normal(0.0, sigma));
+}
+
+/// Multiplies by a mean-one log-normal factor exp(N(-sigma^2/2, sigma)) so
+/// averages across sessions stay on the calibrated value.
+double rate_jittered(util::Rng& rng, double value, double sigma) {
+  return value * std::exp(rng.normal(-sigma * sigma / 2.0, sigma));
+}
+
+DirectionModel perturb_direction(const DirectionModel& in, util::Rng& rng,
+                                 SessionJitter jitter) {
+  DirectionModel out = in;
+  for (SizeComponent& c : out.size.components) {
+    c.weight = jittered(rng, c.weight, jitter.mix_sigma);
+  }
+  // One session-wide pace multiplier slows/speeds the whole direction
+  // (server throughput, link rate); the steady-jitter CV is preserved.
+  const double pace = std::exp(
+      rng.normal(-jitter.rate_sigma * jitter.rate_sigma / 2.0,
+                 jitter.rate_sigma));
+  out.arrival.mean_gap_s = in.arrival.mean_gap_s * pace;
+  out.arrival.jitter_sigma_s = in.arrival.jitter_sigma_s * pace;
+  if (in.arrival.kind == ArrivalKind::kBursty) {
+    // Burst sizes and idle spacing drift independently of pace (content-
+    // dependent), with half the rate spread.
+    out.arrival.burst_len_mean = std::max(
+        1.0, jittered(rng, in.arrival.burst_len_mean, jitter.rate_sigma / 2));
+    out.arrival.idle_gap_mean_s =
+        rate_jittered(rng, in.arrival.idle_gap_mean_s, jitter.rate_sigma / 2);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Calibrated per-application parameters.
+//
+// Downlink targets (paper Table I, "Original" column):
+//   app  mean size (B)  mean interarrival (s)
+//   br.       1013.2        0.0284
+//   ch.        269.1        0.9901
+//   ga.        459.5        0.3084
+//   do.       1575.3        0.0023
+//   up.        132.8        0.0301
+//   vo.       1547.6        0.0119
+//   bt.        962.0        0.0247
+//
+// Size modes follow the paper's observation (§III-C.3): most packets sit
+// in [108, 232] or [1546, 1576]; mid-range mass is app-specific.
+// ------------------------------------------------------------------------
+
+AppModel make_browsing() {
+  AppModel m;
+  m.app = AppType::kBrowsing;
+  m.rate_spread = 1.0;
+  // Page loads: dense object-fetch bursts separated by reading pauses
+  // (some pauses exceed the 5 s idle filter and vanish from features).
+  m.downlink.size.components = {
+      {0.32, 108, 232},   // headers, small objects, ACK-sized frames
+      {0.14, 233, 1540},  // css/js tails
+      {0.54, 1546, 1576}, // full-MTU content frames
+  };
+  m.downlink.arrival = {ArrivalKind::kBursty, 0.004, 0.0, 90.0, 2.2, 1.0};
+  m.uplink.size.components = {
+      {0.75, 80, 140},    // TCP ACKs
+      {0.20, 300, 700},   // HTTP requests
+      {0.05, 1000, 1576}, // uploads (forms, cookies)
+  };
+  m.uplink.arrival = {ArrivalKind::kBursty, 0.008, 0.0, 30.0, 2.2, 1.0};
+  return m;
+}
+
+AppModel make_chatting() {
+  AppModel m;
+  m.app = AppType::kChatting;
+  m.rate_spread = 0.5;
+  // Short message exchanges with seconds of thinking time between them.
+  m.downlink.size.components = {
+      {0.86, 108, 232},
+      {0.10, 233, 1000},
+      {0.04, 1546, 1576},  // inline images / avatars
+  };
+  m.downlink.arrival = {ArrivalKind::kBursty, 0.05, 0.0, 2.0, 1.95, 0.8};
+  m.uplink.size.components = {
+      {0.88, 108, 232},
+      {0.08, 233, 1000},
+      {0.04, 1546, 1576},
+  };
+  m.uplink.arrival = {ArrivalKind::kBursty, 0.05, 0.0, 2.0, 2.4, 0.8};
+  return m;
+}
+
+AppModel make_gaming() {
+  AppModel m;
+  m.app = AppType::kGaming;
+  m.rate_spread = 0.5;
+  // State updates in small clusters; low volume, small packets.
+  m.downlink.size.components = {
+      {0.72, 108, 232},
+      {0.10, 233, 800},
+      {0.18, 1546, 1576},  // asset streaming
+  };
+  m.downlink.arrival = {ArrivalKind::kBursty, 0.06, 0.0, 4.0, 1.1, 0.5};
+  m.uplink.size.components = {
+      {0.95, 80, 160},  // input/commands
+      {0.05, 233, 500},
+  };
+  m.uplink.arrival = {ArrivalKind::kBursty, 0.04, 0.0, 8.0, 0.55, 0.4};
+  return m;
+}
+
+AppModel make_downloading() {
+  AppModel m;
+  m.app = AppType::kDownloading;
+  m.rate_spread = 1.25;
+  // Saturated TCP bulk transfer: back-to-back full frames.
+  m.downlink.size.components = {
+      {0.002, 108, 232},
+      {0.998, 1574, 1576},
+  };
+  m.downlink.arrival = {ArrivalKind::kSteadyJitter, 0.0023, 0.0008, 0, 0, 0};
+  m.uplink.size.components = {
+      {0.98, 80, 140},  // ACK clocking
+      {0.02, 233, 600},
+  };
+  m.uplink.arrival = {ArrivalKind::kSteadyJitter, 0.0046, 0.0015, 0, 0, 0};
+  return m;
+}
+
+AppModel make_uploading() {
+  AppModel m;
+  m.app = AppType::kUploading;
+  m.rate_spread = 1.25;
+  // Mirror of downloading: MSS-sized TCP segments fill the uplink while
+  // the downlink carries ACK clocking. The only application whose uplink
+  // dwarfs its downlink — which is why it stays identifiable under
+  // reshaping (paper §IV-C).
+  m.downlink.size.components = {
+      {0.975, 108, 150},
+      {0.02, 233, 500},
+      {0.005, 1546, 1576},
+  };
+  m.downlink.arrival = {ArrivalKind::kSteadyJitter, 0.0301, 0.008, 0, 0, 0};
+  m.uplink.size.components = {
+      {0.003, 108, 232},
+      {0.997, 1570, 1576},
+  };
+  m.uplink.arrival = {ArrivalKind::kSteadyJitter, 0.0024, 0.0008, 0, 0, 0};
+  return m;
+}
+
+AppModel make_video() {
+  AppModel m;
+  m.app = AppType::kVideo;
+  m.rate_spread = 1.2;
+  // Streaming video: near-constant high rate of full frames.
+  m.downlink.size.components = {
+      {0.012, 108, 232},
+      {0.006, 233, 1540},
+      {0.982, 1556, 1576},
+  };
+  m.downlink.arrival = {ArrivalKind::kSteadyJitter, 0.0119, 0.002, 0, 0, 0};
+  m.uplink.size.components = {
+      {0.90, 80, 200},  // player control / ACKs
+      {0.10, 233, 800},
+  };
+  m.uplink.arrival = {ArrivalKind::kBursty, 0.05, 0.0, 3.0, 0.9, 0.5};
+  return m;
+}
+
+AppModel make_bittorrent() {
+  AppModel m;
+  m.app = AppType::kBitTorrent;
+  m.rate_spread = 1.0;
+  // Piece exchange: mixed sizes in both directions, moderately bursty.
+  m.downlink.size.components = {
+      {0.36, 108, 232},   // haves/requests/keepalives
+      {0.13, 233, 1400},  // partial blocks
+      {0.51, 1546, 1576}, // full blocks
+  };
+  m.downlink.arrival = {ArrivalKind::kBursty, 0.008, 0.0, 40.0, 0.62, 0.8};
+  m.uplink.size.components = {
+      {0.30, 108, 232},
+      {0.15, 233, 1400},
+      {0.55, 1546, 1576},
+  };
+  m.uplink.arrival = {ArrivalKind::kBursty, 0.01, 0.0, 25.0, 0.82, 0.8};
+  return m;
+}
+
+}  // namespace
+
+AppModel AppModel::perturbed(util::Rng& rng, SessionJitter jitter) const {
+  util::require(jitter.rate_sigma >= 0.0 && jitter.mix_sigma >= 0.0,
+                "AppModel::perturbed: sigmas must be >= 0");
+  SessionJitter scaled = jitter;
+  scaled.rate_sigma *= rate_spread;
+  AppModel out = *this;
+  out.downlink = perturb_direction(downlink, rng, scaled);
+  out.uplink = perturb_direction(uplink, rng, scaled);
+  return out;
+}
+
+const AppModel& model_for(AppType app) {
+  static const std::array<AppModel, kAppCount> kModels = {
+      make_browsing(),    make_chatting(),  make_gaming(), make_downloading(),
+      make_uploading(),   make_video(),     make_bittorrent(),
+  };
+  return kModels[app_index(app)];
+}
+
+}  // namespace reshape::traffic

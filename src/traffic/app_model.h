@@ -1,0 +1,113 @@
+// Stochastic traffic models for the seven applications.
+//
+// These models replace the paper's 50+ hours of residential traces. Each
+// application has a downlink and an uplink model consisting of
+//   * a packet-size mixture — weighted uniform components concentrated on
+//     the paper's two observed modes [108, 232] and [1546, 1576] bytes,
+//     plus an application-specific mid-range component, calibrated so the
+//     downlink means match the paper's Table I "Original" column; and
+//   * an arrival process — either a bursty on/off process (geometric burst
+//     lengths, exponential in-burst gaps, log-normal inter-burst idles) or
+//     a steady process with jittered gaps, calibrated to Table I's mean
+//     interarrival times.
+//
+// `perturbed()` injects session-level heterogeneity (rate and mixture
+// jitter) so that different sessions of the same application differ the
+// way different real-world uses do — without it, synthetic classes would
+// be unrealistically easy to classify.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/app_type.h"
+#include "util/rng.h"
+
+namespace reshape::traffic {
+
+/// One weighted uniform component of a packet-size mixture.
+struct SizeComponent {
+  double weight = 0.0;       // relative, need not be normalised
+  std::uint32_t lo = 0;      // inclusive, bytes on the air
+  std::uint32_t hi = 0;      // inclusive
+};
+
+/// Packet-size mixture model.
+struct SizeModel {
+  std::vector<SizeComponent> components;
+
+  /// Draws an on-air packet size.
+  [[nodiscard]] std::uint32_t sample(util::Rng& rng) const;
+
+  /// Mean of the mixture (closed form).
+  [[nodiscard]] double mean() const;
+};
+
+/// How successive packet gaps are produced.
+enum class ArrivalKind : std::uint8_t {
+  kBursty,        // on/off: bursts of packets separated by idle periods
+  kSteadyExp,     // Poisson-like: exponential gaps
+  kSteadyJitter,  // near-CBR: Gaussian jitter around a nominal gap
+};
+
+/// Packet arrival process model.
+struct ArrivalModel {
+  ArrivalKind kind = ArrivalKind::kSteadyExp;
+  double mean_gap_s = 0.1;       // in-burst (kBursty) or steady mean gap
+  double jitter_sigma_s = 0.0;   // kSteadyJitter only
+  double burst_len_mean = 1.0;   // kBursty only; >= 1
+  double idle_gap_mean_s = 1.0;  // kBursty only; mean of the idle period
+  double idle_gap_sigma = 0.5;   // kBursty only; log-normal shape
+
+  /// Expected long-run mean interarrival time (closed form).
+  [[nodiscard]] double expected_mean_gap() const;
+};
+
+/// One direction of one application.
+struct DirectionModel {
+  SizeModel size;
+  ArrivalModel arrival;
+};
+
+/// Session-level heterogeneity.
+///
+/// Real captures of the same application differ wildly in *rate* (the
+/// paper's home WLANs fluctuated between 1 and 54 Mbit/s, and server-side
+/// throughput varies even more) but only mildly in the *size mixture*
+/// (sizes are protocol-determined). rate_sigma is the log-normal sigma
+/// applied to every arrival-rate parameter — multipliers are drawn as
+/// exp(N(-sigma^2/2, sigma)) so the *mean* rate across sessions matches
+/// the calibrated model (Table I stays on target). mix_sigma jitters
+/// mixture weights.
+struct SessionJitter {
+  double rate_sigma = 0.8;
+  double mix_sigma = 0.18;
+
+  /// No heterogeneity (exact calibrated model).
+  [[nodiscard]] static constexpr SessionJitter none() { return {0.0, 0.0}; }
+};
+
+/// Full two-direction model of an application.
+struct AppModel {
+  AppType app = AppType::kBrowsing;
+  DirectionModel downlink;
+  DirectionModel uplink;
+
+  /// Per-application multiplier on SessionJitter::rate_sigma. Network-
+  /// bound applications (downloading, uploading, video, BitTorrent) see
+  /// order-of-magnitude throughput differences between homes and hours;
+  /// human-paced applications (chatting, gaming) keep a stable cadence.
+  /// This is what makes *rate* features weakly discriminative across
+  /// bulk-transfer classes — the property behind the paper's video→
+  /// downloading collapse under OR.
+  double rate_spread = 1.0;
+
+  /// A copy with session-level heterogeneity applied (see SessionJitter).
+  /// Zero sigmas return an identical copy.
+  [[nodiscard]] AppModel perturbed(util::Rng& rng, SessionJitter jitter) const;
+};
+
+/// The calibrated model for an application (see the table in app_model.cc).
+[[nodiscard]] const AppModel& model_for(AppType app);
+
+}  // namespace reshape::traffic

@@ -1,0 +1,56 @@
+#include "traffic/app_type.h"
+
+#include "util/check.h"
+
+namespace reshape::traffic {
+
+std::string_view to_string(AppType app) {
+  switch (app) {
+    case AppType::kBrowsing:
+      return "Browsing";
+    case AppType::kChatting:
+      return "Chatting";
+    case AppType::kGaming:
+      return "Gaming";
+    case AppType::kDownloading:
+      return "Downloading";
+    case AppType::kUploading:
+      return "Uploading";
+    case AppType::kVideo:
+      return "Video";
+    case AppType::kBitTorrent:
+      return "BitTorrent";
+  }
+  util::internal_check(false, "to_string: invalid AppType");
+  return {};
+}
+
+std::string_view short_name(AppType app) {
+  switch (app) {
+    case AppType::kBrowsing:
+      return "br.";
+    case AppType::kChatting:
+      return "ch.";
+    case AppType::kGaming:
+      return "ga.";
+    case AppType::kDownloading:
+      return "do.";
+    case AppType::kUploading:
+      return "up.";
+    case AppType::kVideo:
+      return "vo.";
+    case AppType::kBitTorrent:
+      return "bt.";
+  }
+  util::internal_check(false, "short_name: invalid AppType");
+  return {};
+}
+
+std::size_t app_index(AppType app) { return static_cast<std::size_t>(app); }
+
+AppType app_from_index(std::size_t index) {
+  util::require_index(index < kAppCount, "app_from_index: index out of range");
+  return static_cast<AppType>(index);
+}
+
+}  // namespace reshape::traffic

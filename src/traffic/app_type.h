@@ -1,0 +1,45 @@
+// The seven online activities the paper classifies (its Fig. 1 legend):
+// web browsing, chatting, online gaming, downloading, uploading, online
+// video, and BitTorrent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace reshape::traffic {
+
+/// A user's online activity class.
+enum class AppType : std::uint8_t {
+  kBrowsing,
+  kChatting,
+  kGaming,
+  kDownloading,
+  kUploading,
+  kVideo,
+  kBitTorrent,
+};
+
+/// Number of activity classes.
+inline constexpr std::size_t kAppCount = 7;
+
+/// All activities, in the paper's table order (br, ch, ga, do, up, vo, bt).
+inline constexpr std::array<AppType, kAppCount> kAllApps{
+    AppType::kBrowsing,  AppType::kChatting,  AppType::kGaming,
+    AppType::kDownloading, AppType::kUploading, AppType::kVideo,
+    AppType::kBitTorrent,
+};
+
+/// Long human-readable name ("Browsing", "BitTorrent", ...).
+[[nodiscard]] std::string_view to_string(AppType app);
+
+/// The paper's two-letter row label ("br.", "ch.", ...).
+[[nodiscard]] std::string_view short_name(AppType app);
+
+/// Dense index in [0, kAppCount) for array-keyed tables.
+[[nodiscard]] std::size_t app_index(AppType app);
+
+/// Inverse of app_index. Throws std::out_of_range for bad indices.
+[[nodiscard]] AppType app_from_index(std::size_t index);
+
+}  // namespace reshape::traffic

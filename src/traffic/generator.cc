@@ -1,0 +1,122 @@
+#include "traffic/generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::traffic {
+
+namespace {
+
+/// Geometric burst length with the given mean (>= 1).
+std::uint64_t sample_burst_length(util::Rng& rng, double mean) {
+  if (mean <= 1.0) {
+    return 1;
+  }
+  const double p = 1.0 / mean;
+  const double u = std::max(rng.uniform01(), 1e-12);
+  const auto len =
+      1 + static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  return std::max<std::uint64_t>(len, 1);
+}
+
+/// Log-normal with a target mean `m` and underlying sigma `s`:
+/// mu = ln(m) - s^2/2 gives E[X] = m.
+double sample_idle_gap(util::Rng& rng, double mean, double sigma) {
+  util::internal_check(mean > 0.0, "idle gap mean must be > 0");
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return rng.lognormal(mu, sigma);
+}
+
+}  // namespace
+
+DirectionalSource::DirectionalSource(DirectionModel model,
+                                     mac::Direction direction, util::Rng rng)
+    : model_{std::move(model)}, direction_{direction}, rng_{rng} {
+  // Random phase so sessions do not all start with a packet at t=0.
+  next_time_ = util::TimePoint::from_seconds(
+      rng_.uniform_real(0.0, std::max(model_.arrival.expected_mean_gap(),
+                                      1e-4)));
+}
+
+util::Duration DirectionalSource::next_gap() {
+  const ArrivalModel& a = model_.arrival;
+  switch (a.kind) {
+    case ArrivalKind::kSteadyExp:
+      return util::Duration::seconds(rng_.exponential(1.0 / a.mean_gap_s));
+    case ArrivalKind::kSteadyJitter: {
+      const double g = rng_.normal(a.mean_gap_s, a.jitter_sigma_s);
+      return util::Duration::seconds(std::max(g, 1e-5));
+    }
+    case ArrivalKind::kBursty: {
+      if (burst_remaining_ == 0) {
+        burst_remaining_ = sample_burst_length(rng_, a.burst_len_mean);
+        --burst_remaining_;
+        return util::Duration::seconds(
+            sample_idle_gap(rng_, a.idle_gap_mean_s, a.idle_gap_sigma));
+      }
+      --burst_remaining_;
+      return util::Duration::seconds(rng_.exponential(1.0 / a.mean_gap_s));
+    }
+  }
+  util::internal_check(false, "DirectionalSource: invalid arrival kind");
+  return {};
+}
+
+PacketRecord DirectionalSource::next() {
+  PacketRecord r;
+  r.time = next_time_;
+  r.size_bytes = model_.size.sample(rng_);
+  r.direction = direction_;
+  // Advance by at least one microsecond so the stream is strictly ordered.
+  const util::Duration gap = next_gap();
+  next_time_ += (gap > util::Duration::microseconds(1)
+                     ? gap
+                     : util::Duration::microseconds(1));
+  return r;
+}
+
+AppTrafficSource::AppTrafficSource(AppType app, std::uint64_t seed,
+                                   SessionJitter jitter)
+    : app_{app},
+      model_{[&] {
+        util::Rng perturb_rng{util::splitmix64(seed)};
+        return model_for(app).perturbed(perturb_rng, jitter);
+      }()},
+      down_{model_.downlink, mac::Direction::kDownlink,
+            util::Rng{util::splitmix64(seed ^ 0xD0D0D0D0ULL)}},
+      up_{model_.uplink, mac::Direction::kUplink,
+          util::Rng{util::splitmix64(seed ^ 0x0B0B0B0BULL)}},
+      pending_down_{down_.next()},
+      pending_up_{up_.next()} {}
+
+PacketRecord AppTrafficSource::next() {
+  if (pending_down_.time <= pending_up_.time) {
+    const PacketRecord out = pending_down_;
+    pending_down_ = down_.next();
+    return out;
+  }
+  const PacketRecord out = pending_up_;
+  pending_up_ = up_.next();
+  return out;
+}
+
+Trace generate_trace(AppType app, util::Duration duration, std::uint64_t seed,
+                     SessionJitter jitter) {
+  util::require(duration > util::Duration{},
+                "generate_trace: duration must be positive");
+  AppTrafficSource source{app, seed, jitter};
+  Trace trace{app};
+  const util::TimePoint end = util::TimePoint{} + duration;
+  for (PacketRecord r = source.next(); r.time < end; r = source.next()) {
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+Trace generate_trace(AppType app, util::Duration duration, std::uint64_t seed,
+                     mac::Direction dir, SessionJitter jitter) {
+  return generate_trace(app, duration, seed, jitter).filter(dir);
+}
+
+}  // namespace reshape::traffic

@@ -1,0 +1,79 @@
+// Streaming packet generation from application models.
+//
+// AppTrafficSource produces one merged, time-ordered stream of downlink
+// and uplink PacketRecords for a single application session. The
+// convenience function generate_trace() materialises a session into a
+// Trace; the experiment harness calls it once per (app, session) pair with
+// distinct seeds to emulate independent capture sessions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "traffic/app_model.h"
+#include "traffic/trace.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace reshape::traffic {
+
+/// Generates the packet stream of one direction of one session.
+class DirectionalSource {
+ public:
+  DirectionalSource(DirectionModel model, mac::Direction direction,
+                    util::Rng rng);
+
+  /// The next packet (time strictly increases call over call).
+  [[nodiscard]] PacketRecord next();
+
+  /// Timestamp of the packet `next()` would return.
+  [[nodiscard]] util::TimePoint peek_time() const { return next_time_; }
+
+ private:
+  [[nodiscard]] util::Duration next_gap();
+
+  DirectionModel model_;
+  mac::Direction direction_;
+  util::Rng rng_;
+  util::TimePoint next_time_;
+  std::uint64_t burst_remaining_ = 0;
+};
+
+/// Merged two-direction session stream for one application.
+class AppTrafficSource {
+ public:
+  /// `jitter` controls session-level heterogeneity
+  /// (SessionJitter::none() = the calibrated base model exactly).
+  AppTrafficSource(AppType app, std::uint64_t seed,
+                   SessionJitter jitter = {});
+
+  /// The next packet across both directions, in time order.
+  [[nodiscard]] PacketRecord next();
+
+  [[nodiscard]] AppType app() const { return app_; }
+
+  /// The session's (possibly perturbed) model — exposed for calibration
+  /// tests.
+  [[nodiscard]] const AppModel& session_model() const { return model_; }
+
+ private:
+  AppType app_;
+  AppModel model_;
+  DirectionalSource down_;
+  DirectionalSource up_;
+  PacketRecord pending_down_;
+  PacketRecord pending_up_;
+};
+
+/// Materialises one session of `duration` into a Trace.
+[[nodiscard]] Trace generate_trace(AppType app, util::Duration duration,
+                                   std::uint64_t seed,
+                                   SessionJitter jitter = {});
+
+/// Materialises only one direction (used by Fig. 1, which plots the
+/// receiver side).
+[[nodiscard]] Trace generate_trace(AppType app, util::Duration duration,
+                                   std::uint64_t seed, mac::Direction dir,
+                                   SessionJitter jitter);
+
+}  // namespace reshape::traffic

@@ -1,0 +1,166 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <queue>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace reshape::traffic {
+
+void Trace::push_back(const PacketRecord& record) {
+  util::require(records_.empty() || records_.back().time <= record.time,
+                "Trace::push_back: records must be time-ordered");
+  records_.push_back(record);
+}
+
+void Trace::append(const Trace& other) {
+  for (const PacketRecord& r : other.records_) {
+    push_back(r);
+  }
+}
+
+util::TimePoint Trace::start_time() const {
+  util::require(!records_.empty(), "Trace::start_time: empty trace");
+  return records_.front().time;
+}
+
+util::TimePoint Trace::end_time() const {
+  util::require(!records_.empty(), "Trace::end_time: empty trace");
+  return records_.back().time;
+}
+
+util::Duration Trace::duration() const {
+  if (records_.size() < 2) {
+    return util::Duration{};
+  }
+  return end_time() - start_time();
+}
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t acc = 0;
+  for (const PacketRecord& r : records_) {
+    acc += r.size_bytes;
+  }
+  return acc;
+}
+
+std::size_t Trace::count(mac::Direction dir) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [dir](const PacketRecord& r) { return r.direction == dir; }));
+}
+
+std::span<const PacketRecord> Trace::slice(util::TimePoint t0,
+                                           util::TimePoint t1) const {
+  const auto lo = std::lower_bound(
+      records_.begin(), records_.end(), t0,
+      [](const PacketRecord& r, util::TimePoint t) { return r.time < t; });
+  const auto hi = std::lower_bound(
+      lo, records_.end(), t1,
+      [](const PacketRecord& r, util::TimePoint t) { return r.time < t; });
+  return {lo, hi};
+}
+
+Trace Trace::filter(mac::Direction dir) const {
+  Trace out{app_};
+  out.reserve(count(dir));
+  for (const PacketRecord& r : records_) {
+    if (r.direction == dir) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Trace::sizes() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const PacketRecord& r : records_) {
+    out.push_back(static_cast<double>(r.size_bytes));
+  }
+  return out;
+}
+
+std::vector<double> Trace::sizes(mac::Direction dir) const {
+  std::vector<double> out;
+  for (const PacketRecord& r : records_) {
+    if (r.direction == dir) {
+      out.push_back(static_cast<double>(r.size_bytes));
+    }
+  }
+  return out;
+}
+
+Trace Trace::merge(std::span<const Trace> traces, AppType app) {
+  struct Cursor {
+    const Trace* trace;
+    std::size_t index;
+  };
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    return (*a.trace)[a.index].time > (*b.trace)[b.index].time;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap{later};
+
+  std::size_t total = 0;
+  for (const Trace& t : traces) {
+    total += t.size();
+    if (!t.empty()) {
+      heap.push(Cursor{&t, 0});
+    }
+  }
+
+  Trace out{app};
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back((*c.trace)[c.index]);
+    if (++c.index < c.trace->size()) {
+      heap.push(c);
+    }
+  }
+  return out;
+}
+
+void Trace::save_csv(std::ostream& os) const {
+  os << "time_us,size_bytes,direction\n";
+  for (const PacketRecord& r : records_) {
+    os << r.time.count_us() << ',' << r.size_bytes << ','
+       << (r.direction == mac::Direction::kDownlink ? "down" : "up") << '\n';
+  }
+}
+
+Trace Trace::load_csv(std::istream& is, AppType app) {
+  Trace out{app};
+  std::string line;
+  std::getline(is, line);  // header
+  util::require(line.rfind("time_us,", 0) == 0,
+                "Trace::load_csv: missing header");
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row{line};
+    std::string time_s;
+    std::string size_s;
+    std::string dir_s;
+    util::require(std::getline(row, time_s, ',') &&
+                      std::getline(row, size_s, ',') &&
+                      std::getline(row, dir_s),
+                  "Trace::load_csv: malformed row");
+    PacketRecord r;
+    r.time = util::TimePoint::from_microseconds(std::stoll(time_s));
+    r.size_bytes = static_cast<std::uint32_t>(std::stoul(size_s));
+    util::require(dir_s == "down" || dir_s == "up",
+                  "Trace::load_csv: bad direction");
+    r.direction =
+        dir_s == "down" ? mac::Direction::kDownlink : mac::Direction::kUplink;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace reshape::traffic

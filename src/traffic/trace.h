@@ -1,0 +1,97 @@
+// Packet traces: the unit of data every experiment consumes.
+//
+// A PacketRecord is the MAC-layer observable of one data frame — the same
+// tuple an eavesdropper extracts from an encrypted 802.11 capture (time,
+// on-air size, direction). A Trace is a time-ordered sequence of records
+// plus the ground-truth application label used for scoring classifiers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mac/frame.h"
+#include "traffic/app_type.h"
+#include "util/time.h"
+
+namespace reshape::traffic {
+
+/// One observed data frame.
+struct PacketRecord {
+  util::TimePoint time;                              // capture timestamp
+  std::uint32_t size_bytes = 0;                      // on-air frame size
+  mac::Direction direction = mac::Direction::kDownlink;
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+/// A time-ordered packet sequence with a ground-truth label.
+///
+/// Invariant: records are non-decreasing in time (push_back enforces it).
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(AppType app) : app_{app} {}
+
+  /// Appends a record; its timestamp must be >= the last record's.
+  void push_back(const PacketRecord& record);
+
+  /// Appends all records of `other` (which must start no earlier than this
+  /// trace ends).
+  void append(const Trace& other);
+
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const PacketRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] std::span<const PacketRecord> records() const {
+    return records_;
+  }
+
+  [[nodiscard]] AppType app() const { return app_; }
+  void set_app(AppType app) { app_ = app; }
+
+  /// Time of the first/last record. Requires !empty().
+  [[nodiscard]] util::TimePoint start_time() const;
+  [[nodiscard]] util::TimePoint end_time() const;
+
+  /// end_time - start_time; zero for traces with < 2 records.
+  [[nodiscard]] util::Duration duration() const;
+
+  /// Total observed bytes.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Number of records in the given direction.
+  [[nodiscard]] std::size_t count(mac::Direction dir) const;
+
+  /// Records with time in [t0, t1), as a view (O(log n)).
+  [[nodiscard]] std::span<const PacketRecord> slice(util::TimePoint t0,
+                                                    util::TimePoint t1) const;
+
+  /// A new trace containing only the given direction.
+  [[nodiscard]] Trace filter(mac::Direction dir) const;
+
+  /// The on-air sizes of all records (optionally one direction only).
+  [[nodiscard]] std::vector<double> sizes() const;
+  [[nodiscard]] std::vector<double> sizes(mac::Direction dir) const;
+
+  void reserve(std::size_t n) { records_.reserve(n); }
+  void clear() { records_.clear(); }
+
+  /// Merges several time-sorted traces into one time-sorted trace labelled
+  /// `app` (k-way merge, O(total log k)).
+  [[nodiscard]] static Trace merge(std::span<const Trace> traces, AppType app);
+
+  /// CSV persistence: "time_us,size_bytes,direction" with a header line.
+  void save_csv(std::ostream& os) const;
+  [[nodiscard]] static Trace load_csv(std::istream& is, AppType app);
+
+ private:
+  AppType app_ = AppType::kBrowsing;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace reshape::traffic

@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant helpers.
+//
+// Core Guidelines I.6/E.12: state preconditions; throw on violated
+// arguments at API boundaries, terminate-worthy logic errors use
+// `internal_check`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace reshape::util {
+
+/// Throws std::invalid_argument when an API precondition does not hold.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::invalid_argument(std::string{message});
+  }
+}
+
+/// Throws std::logic_error for violated internal invariants ("can't
+/// happen" states that indicate a bug in this library, not in the caller).
+inline void internal_check(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::logic_error(std::string{message});
+  }
+}
+
+/// Throws std::out_of_range when an index-style precondition fails.
+inline void require_index(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::out_of_range(std::string{message});
+  }
+}
+
+}  // namespace reshape::util

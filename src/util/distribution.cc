@@ -1,0 +1,69 @@
+#include "util/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::util {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_{std::move(samples)} {
+  require(!samples_.empty(), "EmpiricalDistribution: needs >= 1 sample");
+  std::sort(samples_.begin(), samples_.end());
+  RunningStats stats;
+  for (const double s : samples_) {
+    stats.add(s);
+  }
+  mean_ = stats.mean();
+  stddev_ = stats.stddev();
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "EmpiricalDistribution::quantile: q in [0,1]");
+  if (q >= 1.0) {
+    return samples_.back();
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size()));
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double EmpiricalDistribution::sample(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1));
+  return samples_[idx];
+}
+
+double EmpiricalDistribution::sample_at_least(Rng& rng, double floor) const {
+  const auto first =
+      std::lower_bound(samples_.begin(), samples_.end(), floor);
+  if (first == samples_.end()) {
+    return samples_.back();
+  }
+  const auto lo = static_cast<std::int64_t>(first - samples_.begin());
+  const auto hi = static_cast<std::int64_t>(samples_.size()) - 1;
+  const auto idx = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+  return samples_[idx];
+}
+
+double EmpiricalDistribution::ks_distance(
+    const EmpiricalDistribution& other) const {
+  double worst = 0.0;
+  for (const double x : samples_) {
+    worst = std::max(worst, std::abs(cdf(x) - other.cdf(x)));
+  }
+  for (const double x : other.samples_) {
+    worst = std::max(worst, std::abs(cdf(x) - other.cdf(x)));
+  }
+  return worst;
+}
+
+}  // namespace reshape::util

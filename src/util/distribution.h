@@ -1,0 +1,58 @@
+// Empirical distributions over observed samples.
+//
+// Used for: Figure 1 (packet-size CDFs per application), the traffic
+// morphing baseline (conditional sampling from a target application's size
+// distribution), and distribution-shape assertions in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace reshape::util {
+
+/// An immutable empirical distribution built from a sample set.
+///
+/// Invariant: the sample vector is non-empty and sorted ascending.
+class EmpiricalDistribution {
+ public:
+  /// Requires at least one sample.
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] double min() const { return samples_.front(); }
+  [[nodiscard]] double max() const { return samples_.back(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+  /// P(X <= x) under the empirical measure.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// The q-quantile, q in [0, 1]; nearest-rank on the sorted samples.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Draws a sample uniformly from the underlying sample set.
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Draws a sample conditioned on being >= floor. Falls back to max()
+  /// when no sample meets the floor (the caller pads to the distribution's
+  /// maximum — the behaviour traffic morphing needs when asked to imitate
+  /// a class with strictly smaller packets).
+  [[nodiscard]] double sample_at_least(Rng& rng, double floor) const;
+
+  /// Two-sided Kolmogorov–Smirnov statistic against another distribution:
+  /// sup_x |F1(x) - F2(x)|, evaluated over both sample sets.
+  [[nodiscard]] double ks_distance(const EmpiricalDistribution& other) const;
+
+  /// Read-only view over the sorted samples.
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace reshape::util

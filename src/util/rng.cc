@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  std::uniform_int_distribution<std::int64_t> dist{lo, hi};
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  require(lo < hi, "Rng::uniform_real: lo must be < hi");
+  std::uniform_real_distribution<double> dist{lo, hi};
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist{0.0, 1.0};
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  require(sigma >= 0.0, "Rng::normal: sigma must be >= 0");
+  if (sigma == 0.0) {
+    return mean;
+  }
+  std::normal_distribution<double> dist{mean, sigma};
+  return dist(engine_);
+}
+
+double Rng::exponential(double lambda) {
+  require(lambda > 0.0, "Rng::exponential: lambda must be > 0");
+  std::exponential_distribution<double> dist{lambda};
+  return dist(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  require(sigma >= 0.0, "Rng::lognormal: sigma must be >= 0");
+  std::lognormal_distribution<double> dist{mu, sigma};
+  return dist(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  require(x_m > 0.0, "Rng::pareto: scale must be > 0");
+  require(alpha > 0.0, "Rng::pareto: shape must be > 0");
+  // Inverse-CDF sampling; 1-u in (0,1] avoids a division by zero.
+  const double u = 1.0 - uniform01();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) {
+  require(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p must be in [0,1]");
+  return uniform01() < p;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  require(!weights.empty(), "Rng::discrete: weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "Rng::discrete: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "Rng::discrete: weights must not all be zero");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last bin.
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+Rng Rng::fork() { return Rng{splitmix64(engine_())}; }
+
+}  // namespace reshape::util

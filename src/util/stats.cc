@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reshape::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)} {
+  require(hi > lo, "Histogram: hi must be > lo");
+  require(bins >= 1, "Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  if (x < lo_) {
+    return 0;
+  }
+  if (x >= hi_) {
+    return counts_.size() - 1;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  counts_[bin_index(x)] += n;
+  total_ += n;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  require_index(bin < counts_.size(), "Histogram::count: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  require_index(bin < counts_.size(), "Histogram::bin_lo: bin out of range");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::bin_mid(std::size_t bin) const {
+  return bin_lo(bin) + width_ / 2.0;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  require_index(bin < counts_.size(), "Histogram::fraction: bin out of range");
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) {
+    return out;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out = pmf();
+  double acc = 0.0;
+  for (double& v : out) {
+    acc += v;
+    v = acc;
+  }
+  return out;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  require(p.size() == q.size(), "total_variation: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::abs(p[i] - q[i]);
+  }
+  return acc / 2.0;
+}
+
+double entropy_bits(std::span<const double> p) {
+  double h = 0.0;
+  for (const double v : p) {
+    if (v > 0.0) {
+      h -= v * std::log2(v);
+    }
+  }
+  return h;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace reshape::util

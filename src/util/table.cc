@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace reshape::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_{std::move(header)} {
+  require(!header_.empty(), "TablePrinter: header must be non-empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TablePrinter::add_row: cell count must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace reshape::util

@@ -1,0 +1,40 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reprints a paper table/figure as aligned text rows so
+// the paper-vs-measured comparison in EXPERIMENTS.md can be pasted from
+// the terminal verbatim.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reshape::util {
+
+/// Builds and prints a right-padded ASCII table.
+///
+/// Invariant: every row added has exactly as many cells as the header.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to the given precision.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reshape::util

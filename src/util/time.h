@@ -1,0 +1,110 @@
+// Simulated-time types for the discrete-event WLAN simulator.
+//
+// All simulator clocks are integer microseconds to keep event ordering
+// deterministic and free of floating-point drift (Core Guidelines P.1:
+// express ideas directly in code — a Duration is not a double).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace reshape::util {
+
+/// A span of simulated time with microsecond resolution.
+///
+/// Durations are signed so that differences of TimePoints are well formed;
+/// negative durations only ever appear transiently in arithmetic.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) {
+    return Duration{us};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) {
+    return Duration{ms * 1000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(us_) * 1e-6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us_ + b.us_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us_ - b.us_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.us_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return Duration{a.us_ * k};
+  }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) {
+    return a.us_ / b.us_;
+  }
+  friend constexpr Duration operator%(Duration a, Duration b) {
+    return Duration{a.us_ % b.us_};
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulated clock (microseconds since t=0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_seconds(double s) {
+    return TimePoint{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr TimePoint from_microseconds(std::int64_t us) {
+    return TimePoint{us};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(us_) * 1e-6;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.count_us();
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us_ + d.count_us()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.us_ - d.count_us()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::microseconds(a.us_ - b.us_);
+  }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace reshape::util

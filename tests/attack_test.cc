@@ -1,0 +1,207 @@
+// Unit tests for src/attack: the sniffer's flow isolation, the classifier
+// attack pipeline, and the RSSI linker.
+#include <gtest/gtest.h>
+
+#include "attack/classifier_attack.h"
+#include "attack/rssi_linker.h"
+#include "attack/sniffer.h"
+#include "ml/knn.h"
+#include "traffic/generator.h"
+
+namespace reshape::attack {
+namespace {
+
+using traffic::AppType;
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------------- Sniffer ---
+
+mac::Frame data_frame(const mac::MacAddress& src, const mac::MacAddress& dst,
+                      std::uint32_t size, double t) {
+  mac::Frame f;
+  f.source = src;
+  f.destination = dst;
+  f.size_bytes = size;
+  f.timestamp = TimePoint::from_seconds(t);
+  return f;
+}
+
+TEST(SnifferTest, KeysFlowsByClientSideMac) {
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  const auto sta = mac::MacAddress::parse("02:00:00:00:00:02");
+  Sniffer sniffer{bssid};
+  sniffer.on_frame(data_frame(bssid, sta, 500, 0.0), -50.0);  // downlink
+  sniffer.on_frame(data_frame(sta, bssid, 100, 1.0), -55.0);  // uplink
+  EXPECT_EQ(sniffer.frames_captured(), 2u);
+  ASSERT_EQ(sniffer.observed_stations().size(), 1u);
+  EXPECT_EQ(sniffer.observed_stations()[0], sta);
+
+  const traffic::Trace flow = sniffer.flow_of(sta, AppType::kBrowsing);
+  ASSERT_EQ(flow.size(), 2u);
+  EXPECT_EQ(flow[0].direction, mac::Direction::kDownlink);
+  EXPECT_EQ(flow[1].direction, mac::Direction::kUplink);
+  EXPECT_EQ(flow.app(), AppType::kBrowsing);
+}
+
+TEST(SnifferTest, IgnoresForeignCellsAndManagement) {
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  const auto other_ap = mac::MacAddress::parse("02:00:00:00:00:09");
+  const auto sta = mac::MacAddress::parse("02:00:00:00:00:02");
+  Sniffer sniffer{bssid};
+  sniffer.on_frame(data_frame(other_ap, sta, 500, 0.0), -50.0);
+  mac::Frame mgmt = data_frame(sta, bssid, 120, 1.0);
+  mgmt.type = mac::FrameType::kManagement;
+  sniffer.on_frame(mgmt, -50.0);
+  EXPECT_EQ(sniffer.frames_captured(), 0u);
+}
+
+TEST(SnifferTest, MeanRssiTracksUplinkOnly) {
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  const auto sta = mac::MacAddress::parse("02:00:00:00:00:02");
+  Sniffer sniffer{bssid};
+  sniffer.on_frame(data_frame(sta, bssid, 100, 0.0), -40.0);
+  sniffer.on_frame(data_frame(sta, bssid, 100, 1.0), -60.0);
+  sniffer.on_frame(data_frame(bssid, sta, 100, 2.0), -10.0);  // AP's power
+  const auto rssi = sniffer.mean_rssi();
+  ASSERT_EQ(rssi.size(), 1u);
+  EXPECT_DOUBLE_EQ(rssi.at(sta), -50.0);
+}
+
+TEST(SnifferTest, ClearDropsState) {
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  Sniffer sniffer{bssid};
+  sniffer.on_frame(
+      data_frame(mac::MacAddress::parse("02:00:00:00:00:02"), bssid, 50, 0.0),
+      -50.0);
+  sniffer.clear();
+  EXPECT_EQ(sniffer.frames_captured(), 0u);
+  EXPECT_TRUE(sniffer.observed_stations().empty());
+}
+
+TEST(SnifferTest, RequiresBssid) {
+  EXPECT_THROW(Sniffer{mac::MacAddress{}}, std::invalid_argument);
+}
+
+// --------------------------------------------------- ClassifierAttack ---
+
+TEST(ClassifierAttackTest, TrainsAndSeparatesTwoApps) {
+  // kNN keeps this test fast and deterministic.
+  AttackConfig config;
+  ClassifierAttack attack{config, std::make_unique<ml::KnnClassifier>(3)};
+  std::vector<traffic::Trace> corpus;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    corpus.push_back(traffic::generate_trace(AppType::kChatting,
+                                             Duration::seconds(60), 100 + s));
+    corpus.push_back(traffic::generate_trace(AppType::kDownloading,
+                                             Duration::seconds(60), 200 + s));
+  }
+  attack.train(corpus);
+  EXPECT_TRUE(attack.trained());
+
+  const traffic::Trace probe = traffic::generate_trace(
+      AppType::kDownloading, Duration::seconds(30), 999);
+  const auto votes = attack.classify_flow(probe);
+  ASSERT_FALSE(votes.empty());
+  int correct = 0;
+  for (const int v : votes) {
+    correct += v == static_cast<int>(traffic::app_index(AppType::kDownloading));
+  }
+  EXPECT_GT(correct * 2, static_cast<int>(votes.size()));  // majority
+}
+
+TEST(ClassifierAttackTest, EvaluateBuildsConfusionOverWindows) {
+  AttackConfig config;
+  ClassifierAttack attack{config, std::make_unique<ml::KnnClassifier>(3)};
+  std::vector<traffic::Trace> corpus;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    corpus.push_back(traffic::generate_trace(AppType::kVideo,
+                                             Duration::seconds(40), 300 + s));
+    corpus.push_back(traffic::generate_trace(AppType::kChatting,
+                                             Duration::seconds(40), 400 + s));
+  }
+  attack.train(corpus);
+  std::vector<traffic::Trace> flows{
+      traffic::generate_trace(AppType::kVideo, Duration::seconds(40), 888)};
+  const auto confusion = attack.evaluate(flows);
+  EXPECT_GT(confusion.total(), 0u);
+  EXPECT_GT(confusion.accuracy(
+                static_cast<int>(traffic::app_index(AppType::kVideo))),
+            0.5);
+}
+
+TEST(ClassifierAttackTest, GuardsMisuse) {
+  AttackConfig config;
+  ClassifierAttack attack{config, std::make_unique<ml::KnnClassifier>(3)};
+  EXPECT_THROW(attack.train({}), std::invalid_argument);
+  EXPECT_THROW((void)attack.classify_flow(traffic::Trace{}),
+               std::invalid_argument);
+  EXPECT_THROW(ClassifierAttack(config, nullptr), std::invalid_argument);
+}
+
+TEST(ClassifierAttackTest, EmptyFlowYieldsNoVotes) {
+  AttackConfig config;
+  ClassifierAttack attack{config, std::make_unique<ml::KnnClassifier>(1)};
+  const std::vector<traffic::Trace> corpus{
+      traffic::generate_trace(AppType::kVideo, Duration::seconds(20), 1),
+      traffic::generate_trace(AppType::kChatting, Duration::seconds(20), 2)};
+  attack.train(corpus);
+  EXPECT_TRUE(attack.classify_flow(traffic::Trace{}).empty());
+}
+
+// ----------------------------------------------------------- RssiLinker ---
+
+mac::MacAddress addr(int k) {
+  return mac::MacAddress::from_u64(0x020000000000ULL +
+                                   static_cast<std::uint64_t>(k));
+}
+
+TEST(RssiLinkerTest, LinksCloseAndSeparatesFar) {
+  RssiLinker linker{2.0};
+  std::unordered_map<mac::MacAddress, double> rssi{
+      {addr(1), -50.0}, {addr(2), -50.5}, {addr(3), -51.0},  // one client
+      {addr(4), -70.0},                                      // far station
+  };
+  const auto groups = linker.link(rssi);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(RssiLinker::exactly_linked(groups,
+                                         {addr(1), addr(2), addr(3)}));
+  EXPECT_TRUE(RssiLinker::exactly_linked(groups, {addr(4)}));
+}
+
+TEST(RssiLinkerTest, ChainedLinkageIsTransitive) {
+  // -50, -48.5, -47: neighbours within 2 dB link the whole chain.
+  RssiLinker linker{2.0};
+  std::unordered_map<mac::MacAddress, double> rssi{
+      {addr(1), -50.0}, {addr(2), -48.5}, {addr(3), -47.0}};
+  const auto groups = linker.link(rssi);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(RssiLinkerTest, SpreadMeansBreakLinks) {
+  RssiLinker linker{2.0};
+  std::unordered_map<mac::MacAddress, double> rssi{
+      {addr(1), -40.0}, {addr(2), -50.0}, {addr(3), -60.0}};
+  EXPECT_EQ(linker.link(rssi).size(), 3u);
+}
+
+TEST(RssiLinkerTest, EmptyInputYieldsNoGroups) {
+  RssiLinker linker{2.0};
+  EXPECT_TRUE(linker.link({}).empty());
+}
+
+TEST(RssiLinkerTest, ExactLinkRequiresExactGroup) {
+  const std::vector<LinkedGroup> groups{{addr(1), addr(2)}};
+  EXPECT_TRUE(RssiLinker::exactly_linked(groups, {addr(2), addr(1)}));
+  EXPECT_FALSE(RssiLinker::exactly_linked(groups, {addr(1)}));
+  EXPECT_FALSE(RssiLinker::exactly_linked(groups,
+                                          {addr(1), addr(2), addr(3)}));
+}
+
+TEST(RssiLinkerTest, RejectsNegativeThreshold) {
+  EXPECT_THROW(RssiLinker{-1.0}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reshape::attack

@@ -1,0 +1,271 @@
+// Property-based tests over all reshaping schedulers and defenses
+// (TEST_P sweeps): conservation laws, determinism, orthogonality, and the
+// Eq. (1) optimality claim, checked across applications and seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/defense.h"
+#include "core/frequency_hopping.h"
+#include "core/morphing.h"
+#include "core/padding.h"
+#include "core/scheduler.h"
+#include "core/target_distribution.h"
+#include "traffic/generator.h"
+#include "util/stats.h"
+
+namespace reshape::core {
+namespace {
+
+using traffic::AppType;
+using util::Duration;
+
+struct SchedulerCase {
+  std::string name;
+  SchedulerKind kind;
+};
+
+// ------------------------- scheduler sweep: every kind, every app -------
+
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerCase, AppType>> {};
+
+TEST_P(SchedulerPropertyTest, PartitionConservesPacketsAndBytes) {
+  const auto& [scase, app] = GetParam();
+  const traffic::Trace trace =
+      traffic::generate_trace(app, Duration::seconds(15), 0x9999);
+  ReshapingDefense defense{make_scheduler(scase.kind, 3, 0x1234)};
+  const DefenseResult result = defense.apply(trace);
+
+  EXPECT_EQ(result.streams.size(), 3u);
+  EXPECT_EQ(result.total_packets(), trace.size());
+  std::uint64_t bytes = 0;
+  for (const traffic::Trace& s : result.streams) {
+    bytes += s.total_bytes();
+  }
+  EXPECT_EQ(bytes, trace.total_bytes());
+  EXPECT_EQ(result.added_bytes, 0u);
+  EXPECT_EQ(result.original_bytes, trace.total_bytes());
+}
+
+TEST_P(SchedulerPropertyTest, StreamsAreTimeOrderedSubsequences) {
+  const auto& [scase, app] = GetParam();
+  const traffic::Trace trace =
+      traffic::generate_trace(app, Duration::seconds(10), 0x8888);
+  ReshapingDefense defense{make_scheduler(scase.kind, 3, 0x4321)};
+  const DefenseResult result = defense.apply(trace);
+  for (const traffic::Trace& s : result.streams) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LE(s[i - 1].time, s[i].time);
+    }
+  }
+}
+
+TEST_P(SchedulerPropertyTest, DeterministicForFixedSeed) {
+  const auto& [scase, app] = GetParam();
+  const traffic::Trace trace =
+      traffic::generate_trace(app, Duration::seconds(8), 0x7777);
+  ReshapingDefense a{make_scheduler(scase.kind, 3, 42)};
+  ReshapingDefense b{make_scheduler(scase.kind, 3, 42)};
+  const DefenseResult ra = a.apply(trace);
+  const DefenseResult rb = b.apply(trace);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(ra.streams[i].size(), rb.streams[i].size());
+    for (std::size_t k = 0; k < ra.streams[i].size(); ++k) {
+      EXPECT_EQ(ra.streams[i][k], rb.streams[i][k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulersAllApps, SchedulerPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(SchedulerCase{"RA", SchedulerKind::kRandom},
+                          SchedulerCase{"RR", SchedulerKind::kRoundRobin},
+                          SchedulerCase{"OR", SchedulerKind::kOrthogonal},
+                          SchedulerCase{"ORmod", SchedulerKind::kModulo}),
+        ::testing::ValuesIn(traffic::kAllApps)),
+    [](const auto& info) {
+      return std::get<0>(info.param).name +
+             std::string{"_"} +
+             std::string{traffic::to_string(std::get<1>(info.param))};
+    });
+
+// --------------------- OR optimality / RA-RR non-optimality sweep -------
+
+class OrthogonalityPropertyTest : public ::testing::TestWithParam<AppType> {};
+
+TEST_P(OrthogonalityPropertyTest, OrAttainsZeroObjective) {
+  // Eq. (1): OR's observed per-interface distributions equal the targets
+  // exactly, for every application, with zero knowledge of future traffic.
+  const traffic::Trace trace =
+      traffic::generate_trace(GetParam(), Duration::seconds(20), 0xABC);
+  const SizeRanges ranges = SizeRanges::paper_default();
+  ReshapingDefense defense{std::make_unique<OrthogonalScheduler>(
+      OrthogonalScheduler::identity(ranges))};
+  const DefenseResult result = defense.apply(trace);
+  const auto observed = observed_distributions(result.streams, ranges);
+  // Empty interfaces contribute a zero vector whose distance to its
+  // one-hot target is 1; only count interfaces that saw packets.
+  double objective = 0.0;
+  const auto target = TargetDistribution::orthogonal_identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (result.streams[i].empty()) {
+      continue;
+    }
+    double sq = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double d = target.value(i, j) - observed[i][j];
+      sq += d * d;
+    }
+    objective += std::sqrt(sq);
+  }
+  EXPECT_NEAR(objective, 0.0, 1e-12) << traffic::to_string(GetParam());
+}
+
+TEST_P(OrthogonalityPropertyTest, RandomSplitKeepsOriginalShape) {
+  // RA's per-interface distribution approximates the original's — the
+  // reason the paper finds RA ineffective.
+  const traffic::Trace trace =
+      traffic::generate_trace(GetParam(), Duration::seconds(60), 0xDEF);
+  if (trace.size() < 3000) {
+    GTEST_SKIP() << "not enough packets for a tight distribution check";
+  }
+  const SizeRanges ranges = SizeRanges::paper_default();
+  ReshapingDefense defense{
+      std::make_unique<RandomScheduler>(3, util::Rng{5})};
+  const DefenseResult result = defense.apply(trace);
+  const auto original = ranges.probabilities(trace);
+  for (const traffic::Trace& s : result.streams) {
+    const auto p = ranges.probabilities(s);
+    EXPECT_LT(util::total_variation(original, p), 0.05)
+        << traffic::to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, OrthogonalityPropertyTest,
+                         ::testing::ValuesIn(traffic::kAllApps),
+                         [](const auto& info) {
+                           return std::string{traffic::to_string(info.param)};
+                         });
+
+// ----------------------------- defense sweep: overhead properties -------
+
+class OverheadPropertyTest : public ::testing::TestWithParam<AppType> {};
+
+TEST_P(OverheadPropertyTest, PaddingOverheadIsExactlyComputable) {
+  const traffic::Trace trace =
+      traffic::generate_trace(GetParam(), Duration::seconds(10), 0x55);
+  PaddingDefense defense;
+  const DefenseResult result = defense.apply(trace);
+  std::uint64_t expected = 0;
+  for (const traffic::PacketRecord& r : trace.records()) {
+    expected += mac::kMaxFrameBytes - r.size_bytes;
+  }
+  EXPECT_EQ(result.added_bytes, expected);
+  // Sizes after padding are all maximal.
+  for (const traffic::PacketRecord& r : result.streams[0].records()) {
+    EXPECT_EQ(r.size_bytes, mac::kMaxFrameBytes);
+  }
+}
+
+TEST_P(OverheadPropertyTest, PaddingPreservesTiming) {
+  // The Table VI lesson: padding changes no timestamps, so timing features
+  // are untouched.
+  const traffic::Trace trace =
+      traffic::generate_trace(GetParam(), Duration::seconds(10), 0x56);
+  PaddingDefense defense;
+  const DefenseResult result = defense.apply(trace);
+  ASSERT_EQ(result.streams[0].size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(result.streams[0][i].time, trace[i].time);
+    EXPECT_EQ(result.streams[0][i].direction, trace[i].direction);
+  }
+}
+
+TEST_P(OverheadPropertyTest, FrequencyHoppingNeverAddsBytes) {
+  const traffic::Trace trace =
+      traffic::generate_trace(GetParam(), Duration::seconds(10), 0x57);
+  FrequencyHoppingDefense defense{HoppingConfig{}, 11};
+  const DefenseResult result = defense.apply(trace);
+  EXPECT_EQ(result.added_bytes, 0u);
+  EXPECT_LE(result.streams[0].size(), trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, OverheadPropertyTest,
+                         ::testing::ValuesIn(traffic::kAllApps),
+                         [](const auto& info) {
+                           return std::string{traffic::to_string(info.param)};
+                         });
+
+// -------------------------------- interface-count sweep for OR ----------
+
+class InterfaceCountPropertyTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterfaceCountPropertyTest, IdentityTargetsScale) {
+  const std::size_t n = GetParam();
+  const auto target = TargetDistribution::orthogonal_identity(n);
+  EXPECT_TRUE(target.is_orthogonal());
+  EXPECT_EQ(target.interfaces(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(target.owner_of(j), j);
+  }
+}
+
+TEST_P(InterfaceCountPropertyTest, ModuloCoversAllResidues) {
+  const std::size_t n = GetParam();
+  ModuloScheduler scheduler{n};
+  std::vector<int> seen(n, 0);
+  for (std::uint32_t size = 40; size < 40 + 4 * n; ++size) {
+    traffic::PacketRecord r;
+    r.size_bytes = size;
+    ++seen[scheduler.select_interface(r)];
+  }
+  for (const int count : seen) {
+    EXPECT_EQ(count, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, InterfaceCountPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// ------------------------------------- morphing property sweep ----------
+
+class MorphingPropertyTest : public ::testing::TestWithParam<AppType> {};
+
+TEST_P(MorphingPropertyTest, MorphedFlowMatchesTargetSupport) {
+  const AppType source = GetParam();
+  const auto target_app = paper_morph_target(source);
+  if (!target_app) {
+    GTEST_SKIP() << "paper leaves this app unmorphed";
+  }
+  const traffic::Trace target_trace = traffic::generate_trace(
+      *target_app, Duration::seconds(30), 0x99,
+      traffic::SessionJitter::none());
+  util::EmpiricalDistribution target{target_trace.sizes()};
+  MorphingDefense defense{*target_app, target, util::Rng{3}};
+  const traffic::Trace source_trace = traffic::generate_trace(
+      source, Duration::seconds(10), 0x98, traffic::SessionJitter::none());
+  const DefenseResult result = defense.apply(source_trace);
+  for (std::size_t i = 0; i < source_trace.size(); ++i) {
+    const auto morphed = result.streams[0][i].size_bytes;
+    const auto original = source_trace[i].size_bytes;
+    EXPECT_GE(morphed, original);
+    // Morphed size is in the target support — or kept (never shrunk).
+    if (morphed != original) {
+      EXPECT_GE(static_cast<double>(morphed), target.min());
+      EXPECT_LE(static_cast<double>(morphed), target.max());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, MorphingPropertyTest,
+                         ::testing::ValuesIn(traffic::kAllApps),
+                         [](const auto& info) {
+                           return std::string{traffic::to_string(info.param)};
+                         });
+
+}  // namespace
+}  // namespace reshape::core

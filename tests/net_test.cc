@@ -1,0 +1,392 @@
+// Unit tests for src/net: virtual interfaces, the encrypted configuration
+// handshake (Figure 2), and the live AP/client data path with MAC
+// translation (Figure 3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attack/sniffer.h"
+#include "core/scheduler.h"
+#include "net/access_point.h"
+#include "net/client.h"
+#include "net/config_protocol.h"
+#include "net/virtual_interface.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace reshape::net {
+namespace {
+
+// ---------------------------------------------------- VirtualInterface ---
+
+TEST(VirtualInterfaceTest, Lifecycle) {
+  VirtualInterface vif;
+  EXPECT_EQ(vif.state(), InterfaceState::kDown);
+  const auto addr = mac::MacAddress::parse("02:aa:bb:cc:dd:ee");
+  vif.configure(addr);
+  EXPECT_TRUE(vif.is_up());
+  EXPECT_EQ(vif.address(), addr);
+  vif.release();
+  EXPECT_EQ(vif.state(), InterfaceState::kReleased);
+}
+
+TEST(VirtualInterfaceTest, GuardsMisuse) {
+  VirtualInterface vif;
+  EXPECT_THROW(vif.configure(mac::MacAddress{}), std::invalid_argument);
+  EXPECT_THROW(vif.configure(mac::MacAddress::broadcast()),
+               std::invalid_argument);
+  EXPECT_THROW(vif.release(), std::invalid_argument);
+  vif.configure(mac::MacAddress::parse("02:00:00:00:00:05"));
+  EXPECT_THROW(vif.configure(mac::MacAddress::parse("02:00:00:00:00:06")),
+               std::invalid_argument);
+}
+
+TEST(VirtualInterfaceTest, Counters) {
+  VirtualInterface vif;
+  vif.configure(mac::MacAddress::parse("02:00:00:00:00:07"));
+  vif.record_tx(100);
+  vif.record_tx(200);
+  vif.record_rx(50);
+  EXPECT_EQ(vif.tx_packets(), 2u);
+  EXPECT_EQ(vif.tx_bytes(), 300u);
+  EXPECT_EQ(vif.rx_packets(), 1u);
+  EXPECT_EQ(vif.rx_bytes(), 50u);
+}
+
+// ------------------------------------------------------ config protocol ---
+
+TEST(ConfigProtocolTest, RequestRoundTrip) {
+  const mac::StreamCipher cipher{mac::SymmetricKey{11, 22}};
+  ConfigRequest request;
+  request.physical_address = mac::MacAddress::parse("02:01:02:03:04:05");
+  request.nonce = 0xABCDEF;
+  request.requested_interfaces = 3;
+  const auto payload = encode_request(request, cipher, 777);
+  const auto decoded = decode_request(payload, cipher);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->physical_address, request.physical_address);
+  EXPECT_EQ(decoded->nonce, request.nonce);
+  EXPECT_EQ(decoded->requested_interfaces, 3u);
+}
+
+TEST(ConfigProtocolTest, ResponseRoundTrip) {
+  const mac::StreamCipher cipher{mac::SymmetricKey{33, 44}};
+  ConfigResponse response;
+  response.nonce = 99;
+  util::Rng rng{5};
+  for (int i = 0; i < 3; ++i) {
+    response.virtual_addresses.push_back(mac::MacAddress::random_local(rng));
+  }
+  const auto payload = encode_response(response, cipher, 888);
+  const auto decoded = decode_response(payload, cipher);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->nonce, 99u);
+  EXPECT_EQ(decoded->virtual_addresses, response.virtual_addresses);
+}
+
+TEST(ConfigProtocolTest, EavesdropperCannotDecode) {
+  // The paper's core protocol property: without the key, the mapping
+  // between physical and virtual addresses stays secret.
+  const mac::StreamCipher alice{mac::SymmetricKey{1, 2}};
+  const mac::StreamCipher eve{mac::SymmetricKey{9, 9}};
+  ConfigRequest request;
+  request.physical_address = mac::MacAddress::parse("02:01:02:03:04:05");
+  request.nonce = 1;
+  const auto payload = encode_request(request, alice, 1);
+  EXPECT_FALSE(decode_request(payload, eve).has_value());
+}
+
+TEST(ConfigProtocolTest, CrossTypeDecodingFails) {
+  const mac::StreamCipher cipher{mac::SymmetricKey{1, 2}};
+  ConfigRequest request;
+  request.physical_address = mac::MacAddress::parse("02:01:02:03:04:05");
+  request.nonce = 5;
+  const auto payload = encode_request(request, cipher, 1);
+  EXPECT_FALSE(decode_response(payload, cipher).has_value());
+}
+
+TEST(ConfigProtocolTest, TruncatedPayloadRejected) {
+  const mac::StreamCipher cipher{mac::SymmetricKey{1, 2}};
+  EXPECT_FALSE(decode_request({1, 2, 3}, cipher).has_value());
+  EXPECT_FALSE(decode_response({}, cipher).has_value());
+}
+
+// ----------------------------------------------------- live AP + client ---
+
+struct Cell {
+  sim::Simulator simulator;
+  sim::Medium medium{[] {
+                       sim::PathLossModel m;
+                       m.shadowing_sigma_db = 0.0;
+                       return m;
+                     }(),
+                     util::Rng{1}};
+  mac::MacAddress bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  mac::MacAddress client_mac = mac::MacAddress::parse("02:00:00:00:00:02");
+  mac::SymmetricKey key{42, 43};
+  std::unique_ptr<AccessPoint> ap;
+  std::unique_ptr<WirelessClient> client;
+
+  explicit Cell(std::size_t default_interfaces = 3) {
+    ApConfig config;
+    config.default_interfaces = default_interfaces;
+    ap = std::make_unique<AccessPoint>(
+        simulator, medium, sim::Position{0, 0}, bssid, 1, config,
+        util::Rng{7}, [] {
+          return std::make_unique<core::OrthogonalScheduler>(
+              core::OrthogonalScheduler::identity(
+                  core::SizeRanges::paper_default()));
+        });
+    client = std::make_unique<WirelessClient>(
+        simulator, medium, sim::Position{5, 5}, client_mac, bssid, 1, key,
+        util::Rng{8},
+        std::make_unique<core::OrthogonalScheduler>(
+            core::OrthogonalScheduler::identity(
+                core::SizeRanges::paper_default())));
+    ap->associate(client_mac, key);
+  }
+};
+
+TEST(HandshakeTest, ClientGetsRequestedInterfaces) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  EXPECT_EQ(cell.client->state(), ClientState::kConfigured);
+  EXPECT_EQ(cell.client->interfaces().size(), 3u);
+  EXPECT_EQ(cell.ap->handshakes_completed(), 1u);
+  EXPECT_EQ(cell.ap->virtual_addresses_of(cell.client_mac).size(), 3u);
+  for (const VirtualInterface& vif : cell.client->interfaces()) {
+    EXPECT_TRUE(vif.is_up());
+    EXPECT_TRUE(vif.address().is_locally_administered());
+  }
+}
+
+TEST(HandshakeTest, ApDecidesWhenClientDefers) {
+  Cell cell{/*default_interfaces=*/4};
+  cell.client->request_virtual_interfaces(0);  // let the AP decide
+  cell.simulator.run();
+  EXPECT_EQ(cell.client->interfaces().size(), 4u);
+}
+
+TEST(HandshakeTest, ApCapsAtResourceCeiling) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(100);
+  cell.simulator.run();
+  EXPECT_EQ(cell.client->interfaces().size(), 8u);  // ApConfig::max_interfaces
+}
+
+TEST(HandshakeTest, ReRequestRecyclesOldAddresses) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  const auto first = cell.ap->virtual_addresses_of(cell.client_mac);
+  cell.client->request_virtual_interfaces(2);
+  cell.simulator.run();
+  const auto second = cell.ap->virtual_addresses_of(cell.client_mac);
+  EXPECT_EQ(second.size(), 2u);
+  for (const mac::MacAddress& a : second) {
+    EXPECT_EQ(std::count(first.begin(), first.end(), a), 0)
+        << "recycled address reused immediately";
+  }
+}
+
+TEST(HandshakeTest, UnassociatedClientIgnored) {
+  Cell cell;
+  WirelessClient stranger{
+      cell.simulator, cell.medium, sim::Position{9, 9},
+      mac::MacAddress::parse("02:00:00:00:00:99"), cell.bssid, 1,
+      mac::SymmetricKey{7, 7}, util::Rng{9},
+      std::make_unique<core::RoundRobinScheduler>(1)};
+  stranger.request_virtual_interfaces(3);
+  cell.simulator.run();
+  EXPECT_EQ(stranger.state(), ClientState::kAwaitingResponse);
+  EXPECT_EQ(cell.ap->handshakes_completed(), 0u);
+  EXPECT_GT(cell.ap->rejected_frames(), 0u);
+}
+
+TEST(HandshakeTest, ReplayedRequestIsRejected) {
+  // An attacker who records a valid (encrypted) request and replays it
+  // must not trigger a new assignment round at the AP.
+  Cell cell;
+
+  struct MgmtTap : sim::RadioListener {
+    std::optional<mac::Frame> request;
+    void on_frame(const mac::Frame& frame, double) override {
+      if (frame.type == mac::FrameType::kManagement &&
+          frame.subtype == mac::FrameSubtype::kAssociationRequest) {
+        request = frame;
+      }
+    }
+  } tap;
+  cell.medium.attach(tap, sim::Position{1, 1}, 1);
+
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  ASSERT_TRUE(tap.request.has_value());
+  EXPECT_EQ(cell.ap->handshakes_completed(), 1u);
+  const auto assigned = cell.ap->virtual_addresses_of(cell.client_mac);
+
+  // Replay the captured frame verbatim.
+  cell.medium.transmit(*tap.request, sim::Position{1, 1}, &tap);
+  cell.simulator.run();
+  EXPECT_EQ(cell.ap->handshakes_completed(), 1u);  // not honoured again
+  EXPECT_GT(cell.ap->rejected_frames(), 0u);
+  EXPECT_EQ(cell.ap->virtual_addresses_of(cell.client_mac), assigned);
+  cell.medium.detach(tap);
+}
+
+TEST(HandshakeTest, WrongKeyClientGetsNoInterfaces) {
+  Cell cell;
+  // Associated with one key, but the client encrypts with another.
+  WirelessClient impostor{
+      cell.simulator, cell.medium, sim::Position{3, 3},
+      mac::MacAddress::parse("02:00:00:00:00:55"), cell.bssid, 1,
+      mac::SymmetricKey{1, 1}, util::Rng{10},
+      std::make_unique<core::RoundRobinScheduler>(1)};
+  cell.ap->associate(mac::MacAddress::parse("02:00:00:00:00:55"),
+                     mac::SymmetricKey{2, 2});
+  impostor.request_virtual_interfaces(3);
+  cell.simulator.run();
+  EXPECT_EQ(impostor.state(), ClientState::kAwaitingResponse);
+  EXPECT_GT(cell.ap->rejected_frames(), 0u);
+}
+
+TEST(DataPathTest, UplinkUsesVirtualSourcesAndTranslates) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+
+  std::vector<mac::MacAddress> seen_sources;
+  attack::Sniffer sniffer{cell.bssid};
+  cell.medium.attach(sniffer, sim::Position{2, -2}, 1);
+
+  std::vector<mac::MacAddress> delivered_identities;
+  cell.ap->set_upper_layer_sink(
+      [&](const mac::MacAddress& physical, std::uint32_t) {
+        delivered_identities.push_back(physical);
+      });
+
+  // Sizes spanning all three OR ranges.
+  for (const std::uint32_t payload : {50u, 800u, 1500u, 60u, 900u, 1500u}) {
+    cell.client->send_packet(payload);
+  }
+  cell.simulator.run();
+
+  // Upper layer always sees the physical identity (ARP circumvention).
+  ASSERT_EQ(delivered_identities.size(), 6u);
+  for (const mac::MacAddress& id : delivered_identities) {
+    EXPECT_EQ(id, cell.client_mac);
+  }
+  // On the air, only virtual addresses appear as sources.
+  const auto stations = sniffer.observed_stations();
+  EXPECT_EQ(stations.size(), 3u);
+  const auto virtuals = cell.ap->virtual_addresses_of(cell.client_mac);
+  for (const mac::MacAddress& s : stations) {
+    EXPECT_NE(s, cell.client_mac);
+    EXPECT_NE(std::find(virtuals.begin(), virtuals.end(), s), virtuals.end());
+  }
+  cell.medium.detach(sniffer);
+}
+
+TEST(DataPathTest, DownlinkDispatchesAcrossVirtualMacs) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+
+  std::size_t delivered = 0;
+  cell.client->set_upper_layer_sink([&](std::uint32_t) { ++delivered; });
+
+  attack::Sniffer sniffer{cell.bssid};
+  cell.medium.attach(sniffer, sim::Position{2, -2}, 1);
+
+  for (const std::uint32_t payload : {50u, 800u, 1500u, 50u, 800u, 1500u}) {
+    cell.ap->send_to_client(cell.client_mac, payload);
+  }
+  cell.simulator.run();
+
+  EXPECT_EQ(delivered, 6u);
+  EXPECT_EQ(cell.ap->downlink_packets(), 6u);
+  // All three virtual MACs appear as destinations on the air.
+  EXPECT_EQ(sniffer.observed_stations().size(), 3u);
+  cell.medium.detach(sniffer);
+}
+
+TEST(DataPathTest, WithoutInterfacesPhysicalMacIsUsed) {
+  Cell cell;
+  std::size_t delivered = 0;
+  cell.client->set_upper_layer_sink([&](std::uint32_t) { ++delivered; });
+  cell.ap->send_to_client(cell.client_mac, 500);
+  cell.client->send_packet(300);
+  cell.simulator.run();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(cell.ap->uplink_packets(), 1u);
+}
+
+TEST(DataPathTest, SendToUnknownClientThrows) {
+  Cell cell;
+  EXPECT_THROW(cell.ap->send_to_client(
+                   mac::MacAddress::parse("02:00:00:00:00:77"), 100),
+               std::invalid_argument);
+}
+
+TEST(DataPathTest, RecycleRestoresPhysicalAddressing) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  EXPECT_EQ(cell.ap->recycle(cell.client_mac), 3u);
+  EXPECT_TRUE(cell.ap->virtual_addresses_of(cell.client_mac).empty());
+  // Downlink falls back to the physical MAC.
+  attack::Sniffer sniffer{cell.bssid};
+  cell.medium.attach(sniffer, sim::Position{2, -2}, 1);
+  cell.ap->send_to_client(cell.client_mac, 400);
+  cell.simulator.run();
+  const auto stations = sniffer.observed_stations();
+  ASSERT_EQ(stations.size(), 1u);
+  EXPECT_EQ(stations[0], cell.client_mac);
+  cell.medium.detach(sniffer);
+}
+
+TEST(DataPathTest, PerInterfacePowerControlsApply) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  std::vector<core::TransmitPowerControl> controls{
+      core::TransmitPowerControl::fixed(5.0),
+      core::TransmitPowerControl::fixed(15.0),
+      core::TransmitPowerControl::fixed(25.0)};
+  cell.client->set_interface_power_controls(std::move(controls));
+
+  attack::Sniffer sniffer{cell.bssid};
+  cell.medium.attach(sniffer, sim::Position{2, -2}, 1);
+  for (int k = 0; k < 30; ++k) {
+    cell.client->send_packet(50);    // iface 0
+    cell.client->send_packet(800);   // iface 1
+    cell.client->send_packet(1500);  // iface 2
+  }
+  cell.simulator.run();
+
+  const auto rssi = sniffer.mean_rssi();
+  ASSERT_EQ(rssi.size(), 3u);
+  std::vector<double> values;
+  for (const auto& [addr, v] : rssi) {
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[1] - values[0], 10.0, 0.5);
+  EXPECT_NEAR(values[2] - values[1], 10.0, 0.5);
+  cell.medium.detach(sniffer);
+}
+
+TEST(DataPathTest, PowerControlSizeMismatchThrows) {
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+  std::vector<core::TransmitPowerControl> wrong{
+      core::TransmitPowerControl::fixed(5.0)};
+  EXPECT_THROW(cell.client->set_interface_power_controls(std::move(wrong)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reshape::net

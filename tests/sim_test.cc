@@ -1,0 +1,241 @@
+// Unit tests for src/sim: event ordering, clock semantics, and the
+// broadcast medium with its RSSI model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace reshape::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ---------------------------------------------------------- EventQueue ---
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint::from_seconds(3.0), [&] { order.push_back(3); });
+  q.push(TimePoint::from_seconds(1.0), [&] { order.push_back(1); });
+  q.push(TimePoint::from_seconds(2.0), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop()();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = TimePoint::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    q.push(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop()();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, EmptyQueueThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), std::invalid_argument);
+  EXPECT_THROW((void)q.next_time(), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RejectsNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.push(TimePoint{}, EventQueue::Callback{}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- Simulator ---
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_at(TimePoint::from_seconds(2.5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::from_seconds(2.5));
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] {
+    times.push_back(sim.now().to_seconds());
+    sim.schedule_after(Duration::seconds(0.5),
+                       [&] { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(TimePoint::from_seconds(5.0), [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(2.0));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(TimePoint::from_seconds(2.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::from_seconds(1.0), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, RecursiveSchedulingRunsToCompletion) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) {
+      sim.schedule_after(Duration::milliseconds(10), tick);
+    }
+  };
+  sim.schedule_at(TimePoint{}, tick);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 0.99);
+}
+
+// ------------------------------------------------------------- Medium ---
+
+class RecordingListener : public RadioListener {
+ public:
+  void on_frame(const mac::Frame& frame, double rssi_dbm) override {
+    frames.push_back(frame);
+    rssi.push_back(rssi_dbm);
+  }
+  std::vector<mac::Frame> frames;
+  std::vector<double> rssi;
+};
+
+PathLossModel deterministic_model() {
+  PathLossModel m;
+  m.shadowing_sigma_db = 0.0;
+  return m;
+}
+
+mac::Frame frame_on_channel(int channel) {
+  mac::Frame f;
+  f.channel = channel;
+  f.size_bytes = 500;
+  return f;
+}
+
+TEST(MediumTest, DeliversOnlyOnMatchingChannel) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener on_ch1;
+  RecordingListener on_ch6;
+  medium.attach(on_ch1, Position{1.0, 0.0}, 1);
+  medium.attach(on_ch6, Position{1.0, 0.0}, 6);
+  medium.transmit(frame_on_channel(1), Position{0.0, 0.0});
+  EXPECT_EQ(on_ch1.frames.size(), 1u);
+  EXPECT_TRUE(on_ch6.frames.empty());
+}
+
+TEST(MediumTest, ExcludesTransmitter) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener tx;
+  RecordingListener rx;
+  medium.attach(tx, Position{0.0, 0.0}, 1);
+  medium.attach(rx, Position{1.0, 0.0}, 1);
+  medium.transmit(frame_on_channel(1), Position{0.0, 0.0}, &tx);
+  EXPECT_TRUE(tx.frames.empty());
+  EXPECT_EQ(rx.frames.size(), 1u);
+}
+
+TEST(MediumTest, RssiFallsWithDistance) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener near;
+  RecordingListener far;
+  medium.attach(near, Position{1.0, 0.0}, 1);
+  medium.attach(far, Position{100.0, 0.0}, 1);
+  medium.transmit(frame_on_channel(1), Position{0.0, 0.0});
+  ASSERT_EQ(near.rssi.size(), 1u);
+  ASSERT_EQ(far.rssi.size(), 1u);
+  EXPECT_GT(near.rssi[0], far.rssi[0]);
+  // 15 dBm - 40 dB at 1 m, exponent 3 => -25 dBm at 1 m, -85 dBm at 100 m.
+  EXPECT_NEAR(near.rssi[0], -25.0, 1e-9);
+  EXPECT_NEAR(far.rssi[0], -85.0, 1e-9);
+}
+
+TEST(MediumTest, ShadowingAddsZeroMeanNoise) {
+  PathLossModel m;
+  m.shadowing_sigma_db = 4.0;
+  Medium medium{m, util::Rng{7}};
+  RecordingListener rx;
+  medium.attach(rx, Position{10.0, 0.0}, 1);
+  for (int i = 0; i < 2000; ++i) {
+    medium.transmit(frame_on_channel(1), Position{0.0, 0.0});
+  }
+  util::RunningStats stats;
+  for (const double r : rx.rssi) {
+    stats.add(r);
+  }
+  EXPECT_NEAR(stats.mean(), 15.0 - 40.0 - 30.0, 0.5);  // exponent 3, 10 m
+  EXPECT_NEAR(stats.stddev(), 4.0, 0.5);
+}
+
+TEST(MediumTest, SetChannelRetunes) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener rx;
+  medium.attach(rx, Position{1.0, 0.0}, 1);
+  EXPECT_EQ(medium.channel_of(rx), 1);
+  medium.set_channel(rx, 11);
+  medium.transmit(frame_on_channel(1), Position{0.0, 0.0});
+  EXPECT_TRUE(rx.frames.empty());
+  medium.transmit(frame_on_channel(11), Position{0.0, 0.0});
+  EXPECT_EQ(rx.frames.size(), 1u);
+}
+
+TEST(MediumTest, DetachStopsDelivery) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener rx;
+  medium.attach(rx, Position{1.0, 0.0}, 1);
+  medium.detach(rx);
+  medium.transmit(frame_on_channel(1), Position{0.0, 0.0});
+  EXPECT_TRUE(rx.frames.empty());
+  EXPECT_EQ(medium.listener_count(), 0u);
+}
+
+TEST(MediumTest, DoubleAttachThrows) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener rx;
+  medium.attach(rx, Position{}, 1);
+  EXPECT_THROW(medium.attach(rx, Position{}, 6), std::invalid_argument);
+}
+
+TEST(MediumTest, FrameCounterCounts) {
+  Medium medium{deterministic_model(), util::Rng{1}};
+  medium.transmit(frame_on_channel(1), Position{});
+  medium.transmit(frame_on_channel(6), Position{});
+  EXPECT_EQ(medium.frames_transmitted(), 2u);
+}
+
+TEST(PathLossTest, ClampsBelowReferenceDistance) {
+  PathLossModel m = deterministic_model();
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(m.rssi_dbm(15.0, 0.001, rng), m.rssi_dbm(15.0, 1.0, rng));
+}
+
+}  // namespace
+}  // namespace reshape::sim

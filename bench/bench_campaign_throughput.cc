@@ -1,0 +1,92 @@
+// Campaign-engine throughput microbench.
+//
+// Runs one campaign grid three ways — single worker (the serial
+// eval::Experiment path: identical cell code, one thread), four workers,
+// and every hardware thread — and reports wall-clock speedup. Always
+// asserts the engine's core guarantee (bit-identical reports for every
+// thread count); the >= 2x speedup gate only applies on machines with at
+// least four hardware threads, since a 1-core container cannot speed
+// anything up.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "eval/defense_factory.h"
+#include "runtime/campaign.h"
+
+namespace {
+
+using namespace reshape;
+
+double time_run(runtime::CampaignEngine& engine, std::size_t threads,
+                std::string& json_out) {
+  const auto start = std::chrono::steady_clock::now();
+  json_out = engine.run(threads).to_json();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+int run() {
+  runtime::CampaignSpec spec;
+  spec.seed = 20110620;
+  spec.training.seed = 20110620;
+  spec.training.window = util::Duration::seconds(5.0);
+  spec.training.train_sessions_per_app = 4;
+  spec.training.train_session_duration = util::Duration::seconds(45.0);
+  spec.training.test_sessions_per_app = 2;
+  spec.training.test_session_duration = util::Duration::seconds(45.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"RA", eval::reshaping_factory(core::SchedulerKind::kRandom, 3)});
+  spec.defenses.push_back(
+      {"RR", eval::reshaping_factory(core::SchedulerKind::kRoundRobin, 3)});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(
+      runtime::paper_single_app(2, util::Duration::seconds(60.0)));
+  spec.scenarios.push_back(
+      runtime::dense_wlan(8, util::Duration::seconds(60.0)));
+  spec.shards = 2;
+
+  runtime::CampaignEngine engine{spec};
+  std::cout << "Campaign: " << spec.defenses.size() << " defenses x "
+            << spec.scenarios.size() << " scenarios x " << spec.shards
+            << " shards = " << engine.cell_count() << " cells\n";
+
+  engine.train();  // shared, excluded from the scoring comparison
+
+  std::string json1;
+  std::string json4;
+  std::string json_hw;
+  const double t1 = time_run(engine, 1, json1);
+  const double t4 = time_run(engine, 4, json4);
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  const double thw = time_run(engine, hw, json_hw);
+
+  std::cout << "  1 worker : " << t1 << " s (serial eval path)\n"
+            << "  4 workers: " << t4 << " s (speedup " << (t1 / t4) << "x)\n"
+            << "  " << hw << " workers (hw): " << thw << " s (speedup "
+            << (t1 / thw) << "x)\n";
+
+  bool ok = true;
+  const auto check = [&](const char* what, bool pass) {
+    std::cout << "  [" << (pass ? "PASS" : "FAIL") << "] " << what << "\n";
+    ok &= pass;
+  };
+  check("reports bit-identical across thread counts",
+        json1 == json4 && json1 == json_hw);
+  if (std::thread::hardware_concurrency() >= 4) {
+    check(">= 2x speedup at 4 workers", t1 / t4 >= 2.0);
+  } else {
+    std::cout << "  [SKIP] speedup gate needs >= 4 hardware threads (have "
+              << std::thread::hardware_concurrency() << ")\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

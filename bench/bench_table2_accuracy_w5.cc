@@ -1,6 +1,10 @@
 // Reproduces Table II: classification accuracy per application with a
 // 5-second eavesdropping window, for Original / FH / RA / RR / OR.
 //
+// Runs on the runtime::CampaignEngine — the five defenses are one campaign
+// over the paper's single-app scenario, scored in parallel across every
+// hardware thread (cell results are bit-identical to the serial path).
+//
 // Expected shape (paper): FH, RA and RR barely dent the attacker
 // (~75% vs 83% mean) because per-partition packet-size distributions are
 // unchanged; OR roughly halves mean accuracy, with browsing/video/BT
@@ -9,26 +13,40 @@
 
 #include "bench_util.h"
 #include "eval/defense_factory.h"
+#include "runtime/campaign.h"
 
 namespace {
 
 using namespace reshape;
 
 int run() {
-  eval::ExperimentHarness harness{bench::default_config(5.0)};
-  harness.train();
+  const eval::ExperimentConfig cfg = bench::default_config(5.0);
 
-  const auto original =
-      harness.evaluate(eval::no_defense_factory(), "Original");
-  const auto fh =
-      harness.evaluate(eval::frequency_hopping_factory(1), "FH");
-  const auto ra =
-      harness.evaluate(eval::reshaping_factory(core::SchedulerKind::kRandom, 3),
-                       "RA");
-  const auto rr = harness.evaluate(
-      eval::reshaping_factory(core::SchedulerKind::kRoundRobin, 3), "RR");
-  const auto orr = harness.evaluate(
-      eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3), "OR");
+  runtime::CampaignSpec spec;
+  spec.seed = cfg.seed;
+  spec.training = cfg;
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back({"FH", eval::frequency_hopping_factory(1)});
+  spec.defenses.push_back(
+      {"RA", eval::reshaping_factory(core::SchedulerKind::kRandom, 3)});
+  spec.defenses.push_back(
+      {"RR", eval::reshaping_factory(core::SchedulerKind::kRoundRobin, 3)});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(runtime::paper_single_app(
+      cfg.test_sessions_per_app, cfg.test_session_duration,
+      cfg.session_jitter));
+
+  runtime::CampaignEngine engine{spec};
+  const runtime::CampaignReport report = engine.run();
+  const auto& eval_of = [&](const char* name) -> const eval::DefenseEvaluation& {
+    return report.aggregate(name, "paper-single-app").evaluation;
+  };
+  const eval::DefenseEvaluation& original = eval_of("Original");
+  const eval::DefenseEvaluation& fh = eval_of("FH");
+  const eval::DefenseEvaluation& ra = eval_of("RA");
+  const eval::DefenseEvaluation& rr = eval_of("RR");
+  const eval::DefenseEvaluation& orr = eval_of("OR");
 
   std::cout << "Table II reproduction — accuracy of classification (W = 5 s)\n"
             << "Attacker: strongest of {SVM, MLP} = "

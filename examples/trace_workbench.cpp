@@ -5,6 +5,8 @@
 //   $ ./examples/trace_workbench generate bt 60 /tmp/bt.csv   # make a trace
 //   $ ./examples/trace_workbench inspect /tmp/bt.csv bt       # summarise it
 //   $ ./examples/trace_workbench reshape /tmp/bt.csv bt       # OR preview
+//   $ ./examples/trace_workbench scenarios                    # registry list
+//   $ ./examples/trace_workbench campaign dense-wlan 4        # JSON report
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -12,7 +14,9 @@
 
 #include "core/defense.h"
 #include "core/scheduler.h"
+#include "eval/defense_factory.h"
 #include "features/features.h"
+#include "runtime/campaign.h"
 #include "traffic/generator.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -74,8 +78,41 @@ int usage() {
             << "  trace_workbench generate <app> <seconds> <file.csv>\n"
             << "  trace_workbench inspect <file.csv> <app>\n"
             << "  trace_workbench reshape <file.csv> <app>\n"
+            << "  trace_workbench scenarios\n"
+            << "  trace_workbench campaign <scenario> [threads]\n"
             << "apps: br ch ga do up vo bt\n";
   return 2;
+}
+
+// Evaluates Original vs OR over one registered scenario on the campaign
+// engine and prints the JSON report — the smallest end-to-end campaign.
+int run_campaign(const std::string& scenario_name, std::size_t threads) {
+  const runtime::Scenario* scenario =
+      runtime::ScenarioRegistry::global().find(scenario_name);
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario '" << scenario_name
+              << "'; try `trace_workbench scenarios`\n";
+    return 1;
+  }
+  runtime::CampaignSpec spec;
+  spec.seed = 2011;
+  spec.training.seed = 2011;
+  spec.training.train_sessions_per_app = 4;
+  spec.training.train_session_duration = util::Duration::seconds(45.0);
+  spec.training.test_sessions_per_app = 2;
+  spec.training.test_session_duration = util::Duration::seconds(45.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(*scenario);
+  spec.shards = 2;
+
+  runtime::CampaignEngine engine{spec};
+  std::cerr << "campaign: 2 defenses x 1 scenario x 2 shards on "
+            << (threads == 0 ? std::string{"all"} : std::to_string(threads))
+            << " threads...\n";
+  std::cout << engine.run(threads).to_json() << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -85,6 +122,35 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string mode = argv[1];
+
+  if (mode == "scenarios" && argc == 2) {
+    util::TablePrinter table{{"Scenario", "Description"}};
+    const auto& registry = runtime::ScenarioRegistry::global();
+    for (const std::string& name : registry.names()) {
+      table.add_row({name, registry.at(name).description()});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  if (mode == "campaign" && (argc == 3 || argc == 4)) {
+    std::size_t threads = 0;
+    if (argc == 4) {
+      const std::string arg = argv[3];
+      try {
+        if (arg.empty() ||
+            arg.find_first_not_of("0123456789") != std::string::npos) {
+          throw std::invalid_argument{arg};
+        }
+        threads = static_cast<std::size_t>(std::stoul(arg));
+      } catch (const std::exception&) {  // non-numeric or out of range
+        std::cerr << "threads must be a non-negative integer, got '" << arg
+                  << "'\n";
+        return usage();
+      }
+    }
+    return run_campaign(argv[2], threads);
+  }
 
   if (mode == "generate" && argc == 5) {
     const auto app = parse_app(argv[2]);

@@ -8,6 +8,32 @@
 
 namespace reshape::eval {
 
+namespace {
+
+/// Applies one freshly-built defense to one session, accumulating the
+/// byte account and collecting the non-empty observable flows — the one
+/// code path both the legacy per-app loop and the campaign cell path use.
+void apply_defense_to_session(const DefenseFactory& factory,
+                              const traffic::Trace& session,
+                              std::uint64_t defense_seed,
+                              std::vector<traffic::Trace>& flows,
+                              std::uint64_t& original_bytes,
+                              std::uint64_t& added_bytes) {
+  auto defense = factory(session.app(), defense_seed);
+  util::internal_check(defense != nullptr,
+                       "ExperimentHarness: factory returned null defense");
+  core::DefenseResult result = defense->apply(session);
+  original_bytes += result.original_bytes;
+  added_bytes += result.added_bytes;
+  for (traffic::Trace& stream : result.streams) {
+    if (!stream.empty()) {
+      flows.push_back(std::move(stream));
+    }
+  }
+}
+
+}  // namespace
+
 ExperimentHarness::ExperimentHarness(ExperimentConfig config)
     : config_{config}, profiles_(traffic::kAppCount) {
   util::require(config_.window > util::Duration{},
@@ -95,11 +121,18 @@ void ExperimentHarness::train() {
       best_attack_ = i;
     }
   }
+
+  // Pre-warm every size profile: after train() returns, all scoring-phase
+  // entry points (including morphing factories built over this harness)
+  // only ever read harness state, so cells can score on many threads.
+  for (const traffic::AppType app : traffic::kAllApps) {
+    (void)size_profile(app);
+  }
 }
 
 std::vector<traffic::Trace> ExperimentHarness::test_flows(
     const DefenseFactory& factory, traffic::AppType app,
-    std::array<double, traffic::kAppCount>& overhead_out) {
+    std::array<double, traffic::kAppCount>& overhead_out) const {
   std::vector<traffic::Trace> flows;
   std::uint64_t original_bytes = 0;
   std::uint64_t added_bytes = 0;
@@ -107,17 +140,9 @@ std::vector<traffic::Trace> ExperimentHarness::test_flows(
     const std::uint64_t seed = session_seed(app, s, false);
     const traffic::Trace trace = traffic::generate_trace(
         app, config_.test_session_duration, seed, config_.session_jitter);
-    auto defense = factory(app, util::splitmix64(seed ^ 0xDEFULL));
-    util::internal_check(defense != nullptr,
-                         "ExperimentHarness: factory returned null defense");
-    core::DefenseResult result = defense->apply(trace);
-    original_bytes += result.original_bytes;
-    added_bytes += result.added_bytes;
-    for (traffic::Trace& stream : result.streams) {
-      if (!stream.empty()) {
-        flows.push_back(std::move(stream));
-      }
-    }
+    apply_defense_to_session(factory, trace,
+                             util::splitmix64(seed ^ 0xDEFULL), flows,
+                             original_bytes, added_bytes);
   }
   overhead_out[traffic::app_index(app)] =
       original_bytes == 0
@@ -127,28 +152,14 @@ std::vector<traffic::Trace> ExperimentHarness::test_flows(
   return flows;
 }
 
-DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
-                                              std::string defense_name) {
-  train();
-
+void ExperimentHarness::score_flows(std::span<const traffic::Trace> flows,
+                                    DefenseEvaluation& out) const {
   // The paper reports "the highest classification accuracy" its attack
   // system (SVM + NN) achieves — the defender's worst case. Run every
   // attacker over the defended flows and keep the strongest.
-  DefenseEvaluation out;
-  out.defense_name = defense_name;
-
-  std::vector<std::vector<traffic::Trace>> per_app_flows;
-  per_app_flows.reserve(traffic::kAppCount);
-  for (const traffic::AppType app : traffic::kAllApps) {
-    per_app_flows.push_back(test_flows(factory, app, out.overhead));
-  }
-
   bool first = true;
   for (const NamedAttack& attacker : attacks_) {
-    ml::ConfusionMatrix confusion{static_cast<int>(traffic::kAppCount)};
-    for (const auto& flows : per_app_flows) {
-      confusion.merge(attacker.attack->evaluate(flows));
-    }
+    ml::ConfusionMatrix confusion = attacker.attack->evaluate(flows);
     if (first || confusion.mean_accuracy() >
                      static_cast<double>(out.mean_accuracy) / 100.0) {
       out.classifier_name = attacker.name;
@@ -165,11 +176,70 @@ DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
         100.0 * out.confusion.false_positive(static_cast<int>(i));
   }
   out.mean_false_positive = 100.0 * out.confusion.mean_false_positive();
+}
+
+DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
+                                              std::string defense_name) {
+  train();
+
+  DefenseEvaluation out;
+  out.defense_name = std::move(defense_name);
+
+  std::vector<traffic::Trace> flows;
+  for (const traffic::AppType app : traffic::kAllApps) {
+    std::vector<traffic::Trace> app_flows =
+        test_flows(factory, app, out.overhead);
+    for (traffic::Trace& flow : app_flows) {
+      flows.push_back(std::move(flow));
+    }
+  }
+  score_flows(flows, out);
   double overhead_sum = 0.0;
   for (const double o : out.overhead) {
     overhead_sum += o;
   }
   out.mean_overhead = overhead_sum / static_cast<double>(traffic::kAppCount);
+  return out;
+}
+
+DefenseEvaluation ExperimentHarness::evaluate_sessions(
+    const DefenseFactory& factory, std::string defense_name,
+    std::span<const traffic::Trace> sessions,
+    std::uint64_t defense_seed) const {
+  util::require(trained(),
+                "ExperimentHarness::evaluate_sessions: call train() first");
+
+  DefenseEvaluation out;
+  out.defense_name = std::move(defense_name);
+
+  std::array<std::uint64_t, traffic::kAppCount> original_bytes{};
+  std::array<std::uint64_t, traffic::kAppCount> added_bytes{};
+  std::vector<traffic::Trace> flows;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const traffic::Trace& session = sessions[s];
+    const auto i = traffic::app_index(session.app());
+    apply_defense_to_session(factory, session,
+                             util::splitmix64(defense_seed ^ (0xCE11ULL + s)),
+                             flows, original_bytes[i], added_bytes[i]);
+  }
+  // Mean overhead averages over the apps the workload actually contains —
+  // a chatting+browsing scenario must not be diluted by five absent apps.
+  double overhead_sum = 0.0;
+  std::size_t apps_present = 0;
+  for (std::size_t i = 0; i < traffic::kAppCount; ++i) {
+    out.overhead[i] = original_bytes[i] == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(added_bytes[i]) /
+                                static_cast<double>(original_bytes[i]);
+    if (original_bytes[i] > 0) {
+      overhead_sum += out.overhead[i];
+      ++apps_present;
+    }
+  }
+  score_flows(flows, out);
+  out.mean_overhead =
+      apps_present == 0 ? 0.0
+                        : overhead_sum / static_cast<double>(apps_present);
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,17 +65,35 @@ struct DefenseEvaluation {
 };
 
 /// Trains the attackers once, then evaluates any number of defenses.
+///
+/// The three phases are separable so that a campaign engine can run the
+/// scoring phase for many cells in parallel: `train()` is the only
+/// mutating phase (it also pre-warms the per-app size profiles); after it
+/// returns, `evaluate_sessions()` is const and safe to call concurrently
+/// from multiple threads.
 class ExperimentHarness {
  public:
   explicit ExperimentHarness(ExperimentConfig config);
 
-  /// Generates training sessions and fits SVM + MLP attackers. Idempotent.
+  /// Generates training sessions and fits SVM + MLP attackers, then
+  /// pre-warms every app's size profile so later phases are read-only.
+  /// Idempotent.
   void train();
 
   /// Applies the defense to fresh test sessions of every app and scores
   /// the attacker on the observable flows.
   [[nodiscard]] DefenseEvaluation evaluate(const DefenseFactory& factory,
                                            std::string defense_name);
+
+  /// Scoring phase over an explicit workload: applies the defense to each
+  /// session (ground truth carried in Trace::app()) and scores the trained
+  /// attackers over every observable flow. Per-session defense seeds are
+  /// derived from `defense_seed`, so a cell's result depends only on its
+  /// sessions and seed. Requires trained(); const and thread-safe.
+  [[nodiscard]] DefenseEvaluation evaluate_sessions(
+      const DefenseFactory& factory, std::string defense_name,
+      std::span<const traffic::Trace> sessions,
+      std::uint64_t defense_seed) const;
 
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] bool trained() const { return !attacks_.empty(); }
@@ -97,7 +116,12 @@ class ExperimentHarness {
                                            bool training) const;
   [[nodiscard]] std::vector<traffic::Trace> test_flows(
       const DefenseFactory& factory, traffic::AppType app,
-      std::array<double, traffic::kAppCount>& overhead_out);
+      std::array<double, traffic::kAppCount>& overhead_out) const;
+
+  /// Runs every trained attacker over the flows and fills the confusion /
+  /// accuracy / FP fields of `out` with the strongest one's numbers.
+  void score_flows(std::span<const traffic::Trace> flows,
+                   DefenseEvaluation& out) const;
 
   ExperimentConfig config_;
   std::vector<NamedAttack> attacks_;

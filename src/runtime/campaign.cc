@@ -1,0 +1,261 @@
+#include "runtime/campaign.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace reshape::runtime {
+
+namespace {
+
+// Locale-independent double formatting with round-trip precision; equal
+// doubles always serialize to equal strings.
+std::string json_number(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void append_evaluation_fields(std::ostringstream& os,
+                              const eval::DefenseEvaluation& e) {
+  os << "\"classifier\":\"" << json_escape(e.classifier_name) << "\","
+     << "\"windows\":" << e.confusion.total() << ","
+     << "\"mean_accuracy\":" << json_number(e.mean_accuracy) << ","
+     << "\"mean_false_positive\":" << json_number(e.mean_false_positive)
+     << ",\"mean_overhead\":" << json_number(e.mean_overhead)
+     << ",\"accuracy\":[";
+  for (std::size_t i = 0; i < traffic::kAppCount; ++i) {
+    os << (i == 0 ? "" : ",") << json_number(e.accuracy[i]);
+  }
+  os << "],\"overhead\":[";
+  for (std::size_t i = 0; i < traffic::kAppCount; ++i) {
+    os << (i == 0 ? "" : ",") << json_number(e.overhead[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+const CellAggregate& CampaignReport::aggregate(
+    std::string_view defense, std::string_view scenario) const {
+  for (const CellAggregate& a : aggregates) {
+    if (a.defense == defense && a.scenario == scenario) {
+      return a;
+    }
+  }
+  throw std::out_of_range{"CampaignReport: no aggregate for '" +
+                          std::string{defense} + "' x '" +
+                          std::string{scenario} + "'"};
+}
+
+std::string CampaignReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"shards\":" << shards << ",\"cells\":[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellResult& cell = cells[c];
+    os << (c == 0 ? "" : ",") << "{\"defense\":" << cell.defense_index
+       << ",\"scenario\":" << cell.scenario_index
+       << ",\"shard\":" << cell.shard
+       << ",\"sessions\":" << cell.session_count << ",";
+    append_evaluation_fields(os, cell.evaluation);
+    os << "}";
+  }
+  os << "],\"aggregates\":[";
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    const CellAggregate& agg = aggregates[a];
+    os << (a == 0 ? "" : ",") << "{\"defense\":\""
+       << json_escape(agg.defense) << "\",\"scenario\":\""
+       << json_escape(agg.scenario) << "\",\"shards\":" << agg.shards << ",";
+    append_evaluation_fields(os, agg.evaluation);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+CampaignEngine::CampaignEngine(CampaignSpec spec)
+    : spec_{std::move(spec)}, harness_{spec_.training} {
+  util::require(!spec_.defenses.empty(),
+                "CampaignEngine: need at least one defense");
+  util::require(!spec_.scenarios.empty(),
+                "CampaignEngine: need at least one scenario");
+  util::require(spec_.shards > 0, "CampaignEngine: need at least one shard");
+  for (const DefenseSpec& defense : spec_.defenses) {
+    util::require(!defense.name.empty() && defense.factory != nullptr,
+                  "CampaignEngine: defense needs a name and a factory");
+  }
+}
+
+std::size_t CampaignEngine::cell_count() const {
+  return spec_.defenses.size() * spec_.scenarios.size() * spec_.shards;
+}
+
+void CampaignEngine::train() { harness_.train(); }
+
+CellResult CampaignEngine::run_cell(std::size_t cell_id) const {
+  const std::size_t per_defense = spec_.scenarios.size() * spec_.shards;
+  CellResult result;
+  result.defense_index = cell_id / per_defense;
+  result.scenario_index = (cell_id % per_defense) / spec_.shards;
+  result.shard = cell_id % spec_.shards;
+
+  // Workload streams are keyed by (scenario, shard) ONLY: every defense
+  // scores the exact same sampled sessions, the paired comparison the
+  // paper's tables rely on. Defense streams are keyed by the full cell id.
+  // The two keyspaces are separated by a first-level fork.
+  const util::Rng base{spec_.seed};
+  const std::size_t workload_id =
+      result.scenario_index * spec_.shards + result.shard;
+  util::Rng workload_rng = base.fork(1).fork(workload_id);
+  const std::uint64_t defense_seed = base.fork(2).fork(cell_id).seed();
+
+  const Scenario& scenario = spec_.scenarios[result.scenario_index];
+  const DefenseSpec& defense = spec_.defenses[result.defense_index];
+  const std::vector<traffic::Trace> sessions =
+      scenario.generate(workload_rng);
+  result.session_count = sessions.size();
+  result.evaluation = harness_.evaluate_sessions(
+      defense.factory, defense.name, sessions, defense_seed);
+  return result;
+}
+
+CampaignReport CampaignEngine::run(std::size_t threads) {
+  train();
+
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+
+  const std::size_t cells = cell_count();
+  std::vector<CellResult> results(cells);
+
+  if (threads <= 1 || cells <= 1) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      results[c] = run_cell(c);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= cells || abort.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          results[c] = run_cell(c);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(threads, cells));
+    for (std::size_t t = 0; t < std::min(threads, cells); ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  CampaignReport report;
+  report.seed = spec_.seed;
+  report.shards = spec_.shards;
+  report.cells = std::move(results);
+
+  // Shard-merge each (defense, scenario) in grid order. Aggregation runs
+  // on the main thread over deterministic cell results, so the report is
+  // identical whatever the worker count was.
+  for (std::size_t d = 0; d < spec_.defenses.size(); ++d) {
+    for (std::size_t s = 0; s < spec_.scenarios.size(); ++s) {
+      CellAggregate agg;
+      agg.defense = spec_.defenses[d].name;
+      agg.scenario = spec_.scenarios[s].name();
+      agg.shards = spec_.shards;
+      agg.evaluation.defense_name = agg.defense;
+
+      ml::ConfusionMatrix merged{static_cast<int>(traffic::kAppCount)};
+      std::array<double, traffic::kAppCount> overhead_sum{};
+      double mean_overhead_sum = 0.0;
+      for (std::size_t shard = 0; shard < spec_.shards; ++shard) {
+        const std::size_t cell_id =
+            (d * spec_.scenarios.size() + s) * spec_.shards + shard;
+        const eval::DefenseEvaluation& e = report.cells[cell_id].evaluation;
+        merged.merge(e.confusion);
+        for (std::size_t i = 0; i < traffic::kAppCount; ++i) {
+          overhead_sum[i] += e.overhead[i];
+        }
+        // Per-cell mean_overhead already averages over the apps the
+        // workload contains; averaging those means keeps partial-app
+        // scenarios undiluted by absent apps.
+        mean_overhead_sum += e.mean_overhead;
+        if (shard == 0) {
+          agg.evaluation.classifier_name = e.classifier_name;
+        } else if (agg.evaluation.classifier_name != e.classifier_name) {
+          agg.evaluation.classifier_name = "mixed";
+        }
+      }
+
+      agg.evaluation.confusion = merged;
+      agg.evaluation.mean_accuracy = 100.0 * merged.mean_accuracy();
+      agg.evaluation.mean_false_positive =
+          100.0 * merged.mean_false_positive();
+      for (std::size_t i = 0; i < traffic::kAppCount; ++i) {
+        agg.evaluation.accuracy[i] =
+            100.0 * merged.accuracy(static_cast<int>(i));
+        agg.evaluation.false_positive[i] =
+            100.0 * merged.false_positive(static_cast<int>(i));
+        agg.evaluation.overhead[i] =
+            overhead_sum[i] / static_cast<double>(spec_.shards);
+      }
+      agg.evaluation.mean_overhead =
+          mean_overhead_sum / static_cast<double>(spec_.shards);
+      report.aggregates.push_back(std::move(agg));
+    }
+  }
+  return report;
+}
+
+}  // namespace reshape::runtime

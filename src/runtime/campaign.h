@@ -1,0 +1,115 @@
+// The parallel evaluation campaign engine.
+//
+// A campaign is a grid of independent cells — (defense × scenario × seed
+// shard) — each scored exactly the way eval::ExperimentHarness scores one
+// defense: generate the cell's workload, apply the defense per session,
+// run the trained attackers over every observable flow. The engine trains
+// the attackers once (serially — training is the only mutating phase),
+// then drains the cell grid on a pool of std::threads.
+//
+// Determinism: every cell derives its RNG from the campaign seed and its
+// own cell id via util::Rng::fork(stream_id), a keyed split that never
+// consumes parent state. Cell results therefore depend only on the spec,
+// never on thread count or scheduling order, and reports are bit-identical
+// for any `threads` value — the property bench_campaign_throughput and
+// runtime_test assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/defense_factory.h"
+#include "eval/experiment.h"
+#include "runtime/scenario.h"
+
+namespace reshape::runtime {
+
+/// One defense under evaluation.
+struct DefenseSpec {
+  std::string name;
+  eval::DefenseFactory factory;
+};
+
+/// The campaign grid.
+struct CampaignSpec {
+  /// Master seed; every cell stream is a keyed fork of it.
+  std::uint64_t seed = 2011;
+
+  /// Attacker-training configuration (the adversary profiles clean
+  /// single-app traffic exactly as in the paper, whatever the scenarios).
+  eval::ExperimentConfig training{};
+
+  std::vector<DefenseSpec> defenses;
+  std::vector<Scenario> scenarios;
+
+  /// Independent workload replicas per (defense, scenario); shard s of a
+  /// scenario regenerates the workload from a different substream.
+  std::size_t shards = 1;
+};
+
+/// One scored cell.
+struct CellResult {
+  std::size_t defense_index = 0;
+  std::size_t scenario_index = 0;
+  std::size_t shard = 0;
+  std::size_t session_count = 0;
+  eval::DefenseEvaluation evaluation;
+};
+
+/// Shard-merged numbers for one (defense, scenario): confusion matrices
+/// are summed, per-app accuracy/FP recomputed from the merged matrix, and
+/// overhead averaged across shards.
+struct CellAggregate {
+  std::string defense;
+  std::string scenario;
+  std::size_t shards = 0;
+  eval::DefenseEvaluation evaluation;
+};
+
+/// Everything a campaign produced, in deterministic order.
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  std::vector<CellResult> cells;          // defense-major, then scenario, shard
+  std::vector<CellAggregate> aggregates;  // defense-major, then scenario
+
+  /// The aggregate of one (defense, scenario); throws std::out_of_range
+  /// when the pair was not part of the campaign.
+  [[nodiscard]] const CellAggregate& aggregate(
+      std::string_view defense, std::string_view scenario) const;
+
+  /// Stable JSON export (fixed key order, locale-independent numbers) —
+  /// equal reports serialize to equal strings.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Trains once, then runs campaign cells on a worker pool.
+class CampaignEngine {
+ public:
+  /// Validates the spec (>= 1 defense, >= 1 scenario, >= 1 shard).
+  explicit CampaignEngine(CampaignSpec spec);
+
+  /// Runs the whole grid on `threads` workers (0 = hardware concurrency).
+  /// First call trains the attackers; later calls reuse them. The report
+  /// is bit-identical for every `threads` value.
+  [[nodiscard]] CampaignReport run(std::size_t threads = 0);
+
+  /// The number of cells the grid decomposes into.
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// The shared trained harness (valid after the first run()/train()).
+  [[nodiscard]] eval::ExperimentHarness& harness() { return harness_; }
+
+  /// Trains the attackers without running cells (idempotent).
+  void train();
+
+ private:
+  [[nodiscard]] CellResult run_cell(std::size_t cell_id) const;
+
+  CampaignSpec spec_;
+  eval::ExperimentHarness harness_;
+};
+
+}  // namespace reshape::runtime

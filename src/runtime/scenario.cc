@@ -1,0 +1,213 @@
+#include "runtime/scenario.h"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+#include "traffic/generator.h"
+#include "util/check.h"
+
+namespace reshape::runtime {
+
+Scenario::Scenario(std::string name, std::string description,
+                   Generator generate)
+    : name_{std::move(name)},
+      description_{std::move(description)},
+      generate_{std::move(generate)} {
+  util::require(!name_.empty(), "Scenario: name must be non-empty");
+  util::require(generate_ != nullptr, "Scenario: generator must be non-null");
+}
+
+std::vector<traffic::Trace> Scenario::generate(util::Rng& rng) const {
+  return generate_(rng);
+}
+
+std::vector<traffic::Trace> generate_stations(
+    std::span<const StationSpec> stations, util::Rng& rng) {
+  std::vector<traffic::Trace> sessions;
+  sessions.reserve(stations.size());
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const StationSpec& station = stations[i];
+    // Keyed substream per station: station i's session is identical no
+    // matter how many stations precede it or which thread generates it.
+    util::Rng station_rng = rng.fork(i);
+    sessions.push_back(traffic::generate_trace(
+        station.app, station.duration, station_rng, station.jitter));
+  }
+  return sessions;
+}
+
+Scenario paper_single_app(std::size_t sessions_per_app,
+                          util::Duration session_duration,
+                          traffic::SessionJitter jitter) {
+  util::require(sessions_per_app > 0,
+                "paper_single_app: need at least one session per app");
+  return Scenario{
+      "paper-single-app",
+      "the paper's §IV workload: every application alone on one station",
+      [=](util::Rng& rng) {
+        std::vector<StationSpec> stations;
+        stations.reserve(traffic::kAppCount * sessions_per_app);
+        for (const traffic::AppType app : traffic::kAllApps) {
+          for (std::size_t s = 0; s < sessions_per_app; ++s) {
+            stations.push_back({app, session_duration, jitter});
+          }
+        }
+        return generate_stations(stations, rng);
+      }};
+}
+
+Scenario multi_app_station(std::size_t households, util::Duration duration) {
+  util::require(households > 0, "multi_app_station: need >= 1 household");
+  return Scenario{
+      "multi-app-station",
+      "households running browsing + video + chatting concurrently",
+      [=](util::Rng& rng) {
+        std::vector<StationSpec> stations;
+        stations.reserve(households * 3);
+        for (std::size_t h = 0; h < households; ++h) {
+          stations.push_back({traffic::AppType::kBrowsing, duration, {}});
+          stations.push_back({traffic::AppType::kVideo, duration, {}});
+          stations.push_back({traffic::AppType::kChatting, duration, {}});
+        }
+        return generate_stations(stations, rng);
+      }};
+}
+
+Scenario iot_telemetry(std::size_t devices, util::Duration duration) {
+  util::require(devices > 0, "iot_telemetry: need >= 1 device");
+  return Scenario{
+      "iot-telemetry",
+      "bursty low-rate telemetry devices (small packets, wild rate spread)",
+      [=](util::Rng& rng) {
+        std::vector<StationSpec> stations;
+        stations.reserve(devices);
+        // Telemetry reports look like chatting/gaming on the air: small
+        // frames on a sparse cadence. Device duty cycles differ by orders
+        // of magnitude, hence the large rate sigma.
+        const traffic::SessionJitter bursty{2.0, 0.25};
+        for (std::size_t d = 0; d < devices; ++d) {
+          const traffic::AppType app = (d % 2 == 0)
+                                           ? traffic::AppType::kChatting
+                                           : traffic::AppType::kGaming;
+          stations.push_back({app, duration, bursty});
+        }
+        return generate_stations(stations, rng);
+      }};
+}
+
+Scenario voip_browsing_mix(std::size_t calls, std::size_t browsers,
+                           util::Duration duration) {
+  util::require(calls > 0 && browsers > 0,
+                "voip_browsing_mix: need >= 1 call and >= 1 browser");
+  return Scenario{
+      "voip-browsing-mix",
+      "long-lived steady-cadence calls sharing the air with browsing",
+      [=](util::Rng& rng) {
+        std::vector<StationSpec> stations;
+        stations.reserve(calls + browsers);
+        // A call holds its cadence for the whole session (low rate
+        // jitter); browsing keeps the calibrated heavy-tailed burstiness.
+        const traffic::SessionJitter steady{0.15, 0.05};
+        for (std::size_t c = 0; c < calls; ++c) {
+          stations.push_back({traffic::AppType::kChatting, duration, steady});
+        }
+        for (std::size_t b = 0; b < browsers; ++b) {
+          stations.push_back({traffic::AppType::kBrowsing, duration, {}});
+        }
+        return generate_stations(stations, rng);
+      }};
+}
+
+Scenario dense_wlan(std::size_t stations, util::Duration duration) {
+  util::require(stations > 0, "dense_wlan: need >= 1 station");
+  return Scenario{
+      "dense-wlan",
+      "a crowded cell: each station draws its application at random",
+      [=](util::Rng& rng) {
+        std::vector<StationSpec> specs;
+        specs.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          // App choice comes from a keyed substream so the station list is
+          // independent of how the caller interleaves generate() calls.
+          const auto pick = static_cast<std::size_t>(
+              rng.fork(0xA9900ULL + s).uniform_int(
+                  0, static_cast<std::int64_t>(traffic::kAppCount) - 1));
+          specs.push_back({traffic::app_from_index(pick), duration, {}});
+        }
+        return generate_stations(specs, rng);
+      }};
+}
+
+Scenario bulk_transfer_heavy(std::size_t stations, util::Duration duration) {
+  util::require(stations > 0, "bulk_transfer_heavy: need >= 1 station");
+  return Scenario{
+      "bulk-transfer-heavy",
+      "downloading/uploading/BitTorrent/video stations, wide rate spread",
+      [=](util::Rng& rng) {
+        constexpr std::array<traffic::AppType, 4> kBulk{
+            traffic::AppType::kDownloading, traffic::AppType::kUploading,
+            traffic::AppType::kBitTorrent, traffic::AppType::kVideo};
+        const traffic::SessionJitter wide{1.4, 0.18};
+        std::vector<StationSpec> specs;
+        specs.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          specs.push_back({kBulk[s % kBulk.size()], duration, wide});
+        }
+        return generate_stations(specs, rng);
+      }};
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    const util::Duration minute = util::Duration::seconds(60.0);
+    r.add(paper_single_app(6, util::Duration::seconds(90.0)));
+    r.add(multi_app_station(4, minute));
+    r.add(iot_telemetry(12, minute));
+    r.add(voip_browsing_mix(3, 3, util::Duration::seconds(120.0)));
+    r.add(dense_wlan(10, minute));
+    r.add(bulk_transfer_heavy(8, minute));
+    return r;
+  }();
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  for (Scenario& existing : scenarios_) {
+    if (existing.name() == scenario.name()) {
+      existing = std::move(scenario);
+      return;
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name() == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
+    throw std::out_of_range{"ScenarioRegistry: unknown scenario '" +
+                            std::string{name} + "'"};
+  }
+  return *scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    out.push_back(scenario.name());
+  }
+  return out;
+}
+
+}  // namespace reshape::runtime

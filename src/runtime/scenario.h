@@ -1,0 +1,127 @@
+// Named, parameterized evaluation workloads.
+//
+// The paper evaluates one workload: each of the seven applications running
+// alone on one station. A production defense faces richer traffic —
+// multi-app households, dense cells, IoT telemetry, long-lived VoIP calls
+// next to browsing. A Scenario packages any such workload as a named
+// factory from a per-cell RNG to the labeled sessions a campaign cell
+// evaluates; every scenario is built purely from the existing
+// traffic::AppTrafficSource / SessionJitter machinery, so adding one is a
+// few lines of composition, not a new traffic model.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "traffic/app_model.h"
+#include "traffic/trace.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace reshape::runtime {
+
+/// One station's flow in a scenario: an application session with its own
+/// duration and session-level heterogeneity.
+struct StationSpec {
+  traffic::AppType app = traffic::AppType::kBrowsing;
+  util::Duration duration = util::Duration::seconds(60.0);
+  traffic::SessionJitter jitter{};
+};
+
+/// A named, parameterized workload.
+///
+/// `generate` maps a cell RNG to labeled sessions (ground truth in
+/// Trace::app()). Generators must derive all randomness from the RNG they
+/// are handed — via value draws or `fork(stream_id)` — so a cell's
+/// workload depends only on its cell seed, never on scheduling order.
+class Scenario {
+ public:
+  using Generator = std::function<std::vector<traffic::Trace>(util::Rng&)>;
+
+  Scenario(std::string name, std::string description, Generator generate);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  /// Materializes the workload for one cell.
+  [[nodiscard]] std::vector<traffic::Trace> generate(util::Rng& rng) const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  Generator generate_;
+};
+
+/// Materializes one labeled session per station, each from its own keyed
+/// substream of `rng` (stations are independent and order-stable).
+[[nodiscard]] std::vector<traffic::Trace> generate_stations(
+    std::span<const StationSpec> stations, util::Rng& rng);
+
+// ------------------------------------------------------- built-in builders
+
+/// The paper's workload: `sessions_per_app` independent sessions of every
+/// application (the §IV test corpus, parameterized).
+[[nodiscard]] Scenario paper_single_app(std::size_t sessions_per_app,
+                                        util::Duration session_duration,
+                                        traffic::SessionJitter jitter = {});
+
+/// `households` stations each running browsing + video + chatting
+/// concurrently — the multi-app station the paper's single-app corpus
+/// never exercises.
+[[nodiscard]] Scenario multi_app_station(std::size_t households,
+                                         util::Duration duration);
+
+/// `devices` low-rate telemetry emitters: chatting/gaming-shaped flows
+/// (small packets, human-paced cadence) with heavy per-device rate jitter
+/// — bursty IoT uplink telemetry.
+[[nodiscard]] Scenario iot_telemetry(std::size_t devices,
+                                     util::Duration duration);
+
+/// Long-lived VoIP-like calls (steady small-packet cadence) sharing the
+/// air with bursty browsing stations.
+[[nodiscard]] Scenario voip_browsing_mix(std::size_t calls,
+                                         std::size_t browsers,
+                                         util::Duration duration);
+
+/// A dense cell: `stations` stations, each drawing its application
+/// uniformly at random — the mixed evening-traffic picture of one AP.
+[[nodiscard]] Scenario dense_wlan(std::size_t stations,
+                                  util::Duration duration);
+
+/// Bulk-transfer-heavy traffic: downloading / uploading / BitTorrent /
+/// video stations with exaggerated rate spread between sessions.
+[[nodiscard]] Scenario bulk_transfer_heavy(std::size_t stations,
+                                           util::Duration duration);
+
+// ---------------------------------------------------------------- registry
+
+/// A name -> Scenario table. `global()` comes pre-populated with the
+/// built-ins above at default sizes so tools can look workloads up by
+/// name; campaigns may also carry private Scenario lists and never touch
+/// the registry.
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+
+  /// The process-wide registry with default-sized built-ins.
+  [[nodiscard]] static ScenarioRegistry& global();
+
+  /// Adds a scenario, replacing any existing one with the same name.
+  void add(Scenario scenario);
+
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+
+  /// Like find(), but throws std::out_of_range for unknown names.
+  [[nodiscard]] const Scenario& at(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace reshape::runtime

@@ -114,6 +114,11 @@ Trace generate_trace(AppType app, util::Duration duration, std::uint64_t seed,
   return trace;
 }
 
+Trace generate_trace(AppType app, util::Duration duration, util::Rng& rng,
+                     SessionJitter jitter) {
+  return generate_trace(app, duration, rng.next_u64(), jitter);
+}
+
 Trace generate_trace(AppType app, util::Duration duration, std::uint64_t seed,
                      mac::Direction dir, SessionJitter jitter) {
   return generate_trace(app, duration, seed, jitter).filter(dir);

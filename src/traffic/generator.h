@@ -70,6 +70,12 @@ class AppTrafficSource {
                                    std::uint64_t seed,
                                    SessionJitter jitter = {});
 
+/// Same, seeded from a dedicated RNG substream — the natural call for
+/// sharded workloads that already carved a keyed stream per session with
+/// util::Rng::fork(stream_id).
+[[nodiscard]] Trace generate_trace(AppType app, util::Duration duration,
+                                   util::Rng& rng, SessionJitter jitter = {});
+
 /// Materialises only one direction (used by Fig. 1, which plots the
 /// receiver side).
 [[nodiscard]] Trace generate_trace(AppType app, util::Duration duration,

@@ -86,4 +86,13 @@ std::uint64_t Rng::next_u64() { return engine_(); }
 
 Rng Rng::fork() { return Rng{splitmix64(engine_())}; }
 
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Two SplitMix64 rounds over (seed, stream_id) behave like a keyed hash:
+  // one round alone maps stream_id 0 close to the raw seed mix, two rounds
+  // decorrelate even adjacent stream ids from each other and from the
+  // parent's own draw sequence.
+  return Rng{splitmix64(splitmix64(seed_ ^ 0x5CE4A9B1C0FFEE00ULL) ^
+                        splitmix64(stream_id))};
+}
+
 }  // namespace reshape::util

@@ -61,6 +61,13 @@ class Rng {
   /// draw.
   [[nodiscard]] Rng fork();
 
+  /// Derives the independent substream identified by `stream_id` from the
+  /// *construction seed* alone — the parent's engine state is not consumed,
+  /// so the same (seed, stream_id) pair yields the same stream no matter
+  /// how many draws the parent made or on which thread the call runs. This
+  /// is what makes sharded experiments bit-identical across thread counts.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
   /// In-place Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& values) {

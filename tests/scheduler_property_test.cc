@@ -1,0 +1,132 @@
+// Property tests for the reshaping schedulers: every scheduler keeps its
+// interface indices in range over arbitrary traffic, and OR's per-interface
+// size distributions are disjoint by construction (the orthogonality that
+// gives the defense its power, §III-C Eq. 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "traffic/generator.h"
+
+namespace reshape::core {
+namespace {
+
+// Exhaustive size sweep plus realistic app traffic: the union covers every
+// size bin a capture can produce.
+std::vector<traffic::PacketRecord> probe_packets(std::uint64_t seed) {
+  std::vector<traffic::PacketRecord> packets;
+  for (std::uint32_t size = 1; size <= 1600; ++size) {
+    packets.push_back({util::TimePoint::from_microseconds(size), size,
+                       size % 2 == 0 ? mac::Direction::kDownlink
+                                     : mac::Direction::kUplink});
+  }
+  for (const traffic::AppType app :
+       {traffic::AppType::kBrowsing, traffic::AppType::kBitTorrent,
+        traffic::AppType::kChatting}) {
+    const traffic::Trace trace = traffic::generate_trace(
+        app, util::Duration::seconds(20.0), seed ^ traffic::app_index(app));
+    for (const traffic::PacketRecord& record : trace.records()) {
+      packets.push_back(record);
+    }
+  }
+  return packets;
+}
+
+void expect_indices_in_range(Scheduler& scheduler, std::uint64_t seed) {
+  const std::size_t count = scheduler.interface_count();
+  ASSERT_GT(count, 0u);
+  for (const traffic::PacketRecord& packet : probe_packets(seed)) {
+    const std::size_t i = scheduler.select_interface(packet);
+    ASSERT_LT(i, count) << scheduler.name() << " size=" << packet.size_bytes;
+  }
+}
+
+TEST(SchedulerPropertyTest, RoundRobinStaysInRange) {
+  for (const std::size_t interfaces : {1u, 2u, 3u, 5u, 8u}) {
+    RoundRobinScheduler rr{interfaces};
+    expect_indices_in_range(rr, 11);
+  }
+}
+
+TEST(SchedulerPropertyTest, RoundRobinCyclesSequentially) {
+  RoundRobinScheduler rr{3};
+  const traffic::PacketRecord packet{util::TimePoint{}, 100,
+                                     mac::Direction::kDownlink};
+  for (std::size_t k = 0; k < 30; ++k) {
+    EXPECT_EQ(rr.select_interface(packet), k % 3);
+  }
+  rr.reset();
+  EXPECT_EQ(rr.select_interface(packet), 0u);
+}
+
+TEST(SchedulerPropertyTest, OrthogonalRangeModeStaysInRange) {
+  for (const auto& ranges :
+       {SizeRanges::paper_default(), SizeRanges::paper_l2(),
+        SizeRanges::paper_l5(), SizeRanges::equal_thirds()}) {
+    OrthogonalScheduler scheduler = OrthogonalScheduler::identity(ranges);
+    expect_indices_in_range(scheduler, 13);
+  }
+}
+
+TEST(SchedulerPropertyTest, ModuloModeStaysInRange) {
+  for (const std::size_t interfaces : {1u, 2u, 3u, 5u, 7u}) {
+    ModuloScheduler scheduler{interfaces};
+    expect_indices_in_range(scheduler, 17);
+  }
+}
+
+TEST(SchedulerPropertyTest, ModuloMatchesItsDefinition) {
+  ModuloScheduler scheduler{5};
+  for (const traffic::PacketRecord& packet : probe_packets(19)) {
+    EXPECT_EQ(scheduler.select_interface(packet), packet.size_bytes % 5);
+  }
+}
+
+TEST(SchedulerPropertyTest, OrthogonalInterfacesOwnDisjointSizeRanges) {
+  // Under range-mode OR, the size ranges observed per interface must
+  // partition the size axis: no range index ever lands on two interfaces.
+  const SizeRanges ranges = SizeRanges::paper_default();
+  OrthogonalScheduler scheduler = OrthogonalScheduler::identity(ranges);
+  std::vector<std::set<std::size_t>> ranges_seen(
+      scheduler.interface_count());
+  for (const traffic::PacketRecord& packet : probe_packets(23)) {
+    const std::size_t i = scheduler.select_interface(packet);
+    ranges_seen[i].insert(ranges.range_of(packet.size_bytes));
+  }
+  for (std::size_t a = 0; a < ranges_seen.size(); ++a) {
+    EXPECT_FALSE(ranges_seen[a].empty()) << "interface " << a << " starved";
+    for (std::size_t b = a + 1; b < ranges_seen.size(); ++b) {
+      for (const std::size_t range : ranges_seen[a]) {
+        EXPECT_EQ(ranges_seen[b].count(range), 0u)
+            << "range " << range << " owned by interfaces " << a << " and "
+            << b;
+      }
+    }
+  }
+}
+
+TEST(SchedulerPropertyTest, ModuloInterfacesOwnDisjointSizeClasses) {
+  // Modulo-mode OR is orthogonal in the fine-grained partition where each
+  // distinct size is its own range: a given size always lands on exactly
+  // one interface.
+  ModuloScheduler scheduler{3};
+  std::vector<std::set<std::uint32_t>> sizes_seen(
+      scheduler.interface_count());
+  for (const traffic::PacketRecord& packet : probe_packets(29)) {
+    sizes_seen[scheduler.select_interface(packet)].insert(packet.size_bytes);
+  }
+  for (std::size_t a = 0; a < sizes_seen.size(); ++a) {
+    for (std::size_t b = a + 1; b < sizes_seen.size(); ++b) {
+      for (const std::uint32_t size : sizes_seen[a]) {
+        EXPECT_EQ(sizes_seen[b].count(size), 0u)
+            << "size " << size << " on interfaces " << a << " and " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reshape::core

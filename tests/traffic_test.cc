@@ -296,6 +296,21 @@ TEST(GeneratorTest, UploadingIsUplinkHeavy) {
 
 // ------------------------------------------- Table I calibration sweep ---
 
+TEST(GeneratorTest, RngOverloadMatchesSeedOverload) {
+  // The Rng overload must be exactly "draw one u64, seed with it" so that
+  // keyed substreams and explicit seeds produce interchangeable sessions.
+  util::Rng rng{123};
+  const std::uint64_t seed = util::Rng{123}.next_u64();
+  const Trace via_rng = generate_trace(AppType::kGaming,
+                                       Duration::seconds(10.0), rng);
+  const Trace via_seed =
+      generate_trace(AppType::kGaming, Duration::seconds(10.0), seed);
+  ASSERT_EQ(via_rng.size(), via_seed.size());
+  for (std::size_t i = 0; i < via_rng.size(); ++i) {
+    EXPECT_EQ(via_rng[i], via_seed[i]);
+  }
+}
+
 struct CalibrationCase {
   AppType app;
   double mean_size;   // paper Table I, downlink

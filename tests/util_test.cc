@@ -87,6 +87,52 @@ TEST(RngTest, DifferentSeedsDiffer) {
   EXPECT_LT(same, 2);
 }
 
+TEST(RngTest, KeyedForkIgnoresParentState) {
+  // fork(stream_id) derives from the construction seed only: draining the
+  // parent first must not change any child stream.
+  Rng fresh{42};
+  Rng drained{42};
+  for (int i = 0; i < 1000; ++i) {
+    (void)drained.next_u64();
+  }
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    Rng a = fresh.fork(stream);
+    Rng b = drained.fork(stream);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+  }
+}
+
+TEST(RngTest, KeyedForkStreamsAreDecorrelated) {
+  Rng parent{42};
+  Rng s0 = parent.fork(0);
+  Rng s1 = parent.fork(1);
+  Rng raw{42};
+  int same01 = 0;
+  int same0p = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = s0.next_u64();
+    same01 += (a == s1.next_u64()) ? 1 : 0;
+    same0p += (a == raw.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same01, 2);
+  EXPECT_LT(same0p, 2);
+}
+
+TEST(RngTest, KeyedForkIsShardOrderIndependent) {
+  // A sharded experiment draws cell streams in whatever order threads
+  // reach them; every order must see identical per-cell streams.
+  const Rng parent{2011};
+  std::vector<std::uint64_t> forward;
+  for (std::uint64_t cell = 0; cell < 16; ++cell) {
+    forward.push_back(parent.fork(cell).next_u64());
+  }
+  for (std::uint64_t cell = 16; cell-- > 0;) {
+    EXPECT_EQ(parent.fork(cell).next_u64(), forward[cell]);
+  }
+}
+
 TEST(RngTest, UniformIntStaysInRange) {
   Rng rng{7};
   for (int i = 0; i < 1000; ++i) {

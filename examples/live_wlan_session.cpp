@@ -93,6 +93,21 @@ int main() {
   std::cout << "\nThe sniffer captured " << sniffer.frames_captured()
             << " data frames and sees three unrelated-looking stations.\n";
 
+  // --- What running the defense live cost this session. ---
+  const auto print_cost = [](const char* side,
+                             const core::online::StreamingStats& stats) {
+    std::cout << side << ": " << stats.packets << " packets, mean added "
+              << "latency " << stats.mean_queueing_delay_us() << " us (max "
+              << stats.max_queueing_delay.count_us() << " us), "
+              << stats.deadline_misses << " deadline misses, airtime "
+              << stats.airtime_busy.to_seconds() << " s\n";
+  };
+  std::cout << "\nOnline reshaping cost (queueing behind the shared radio):\n";
+  print_cost("  uplink (client)", client.reshaping_stats());
+  if (const auto* ap_stats = ap.reshaping_stats_of(client_mac)) {
+    print_cost("  downlink (AP)  ", *ap_stats);
+  }
+
   medium.detach(sniffer);
   return 0;
 }

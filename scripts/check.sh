@@ -1,9 +1,28 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
+#
+#   ./scripts/check.sh             # RelWithDebInfo, plain build
+#   ./scripts/check.sh --sanitize  # Debug + ASan/UBSan, separate build dir
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-cd build
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR=build-sanitize
+  CMAKE_ARGS+=(
+    -DCMAKE_BUILD_TYPE=Debug
+    "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+    "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
+  )
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  echo "unknown argument(s): $* (supported: --sanitize)" >&2
+  exit 2
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
 ctest --output-on-failure -j

@@ -4,12 +4,17 @@
 
 namespace reshape::core {
 
-double DefenseResult::overhead_percent() const {
+double byte_overhead_percent(std::uint64_t added_bytes,
+                             std::uint64_t original_bytes) {
   if (original_bytes == 0) {
     return 0.0;
   }
   return 100.0 * static_cast<double>(added_bytes) /
          static_cast<double>(original_bytes);
+}
+
+double DefenseResult::overhead_percent() const {
+  return byte_overhead_percent(added_bytes, original_bytes);
 }
 
 std::size_t DefenseResult::total_packets() const {

@@ -8,6 +8,7 @@
 // through simulations" over captured traces).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -17,6 +18,13 @@
 #include "traffic/trace.h"
 
 namespace reshape::core {
+
+/// added/original bytes as a percentage — the paper's overhead metric
+/// (0 when nothing was observed). Shared by the batch DefenseResult and
+/// the streaming pipeline's StreamingStats so the two paths can never
+/// disagree on the definition.
+[[nodiscard]] double byte_overhead_percent(std::uint64_t added_bytes,
+                                           std::uint64_t original_bytes);
 
 /// The observable output of a defense applied to one trace.
 struct DefenseResult {

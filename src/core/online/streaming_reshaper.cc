@@ -1,0 +1,161 @@
+#include "core/online/streaming_reshaper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mac/frame.h"
+#include "util/check.h"
+
+namespace reshape::core::online {
+
+PaddingShaper::PaddingShaper(std::uint32_t pad_to) : pad_to_{pad_to} {
+  util::require(pad_to > 0, "PaddingShaper: pad target must be > 0");
+}
+
+std::uint32_t PaddingShaper::shape(std::uint32_t size_bytes) {
+  return std::max(size_bytes, pad_to_);
+}
+
+MorphingShaper::MorphingShaper(MorphingDefense morpher)
+    : morpher_{std::move(morpher)} {}
+
+std::uint32_t MorphingShaper::shape(std::uint32_t size_bytes) {
+  return morpher_.morph_size(size_bytes);
+}
+
+StreamingConfig StreamingConfig::accounting_only() const {
+  StreamingConfig config = *this;
+  config.record_streams = false;
+  return config;
+}
+
+double StreamingStats::mean_queueing_delay_us() const {
+  if (packets == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_queueing_delay.count_us()) /
+         static_cast<double>(packets);
+}
+
+double StreamingStats::overhead_percent() const {
+  return byte_overhead_percent(added_bytes, original_bytes);
+}
+
+StreamingReshaper::StreamingReshaper(std::unique_ptr<Scheduler> scheduler,
+                                     std::unique_ptr<PacketShaper> shaper,
+                                     StreamingConfig config)
+    : scheduler_{std::move(scheduler)},
+      shaper_{std::move(shaper)},
+      config_{config} {
+  util::require(config_.bitrate_mbps > 0.0,
+                "StreamingReshaper: bitrate must be positive");
+  util::require(config_.latency_budget >= util::Duration{},
+                "StreamingReshaper: latency budget must be non-negative");
+  if (scheduler_ != nullptr) {
+    util::require(scheduler_->interface_count() >= 1,
+                  "StreamingReshaper: scheduler must expose >= 1 interface");
+  }
+  inflight_.resize(stream_count());
+  if (config_.record_streams) {
+    streams_.resize(stream_count());
+  }
+}
+
+std::size_t StreamingReshaper::stream_count() const {
+  return scheduler_ == nullptr ? 1 : scheduler_->interface_count();
+}
+
+ShapedPacket StreamingReshaper::push(const traffic::PacketRecord& arrival) {
+  util::require(!saw_packet_ || arrival.time >= last_arrival_,
+                "StreamingReshaper::push: arrivals must be time-ordered");
+  last_arrival_ = arrival.time;
+  saw_packet_ = true;
+
+  ShapedPacket out;
+  out.record = arrival;
+  if (shaper_ != nullptr) {
+    out.record.size_bytes = shaper_->shape(arrival.size_bytes);
+    util::internal_check(out.record.size_bytes >= arrival.size_bytes,
+                         "StreamingReshaper: shaper shrank a packet");
+  }
+  if (scheduler_ != nullptr) {
+    // The scheduler sees the shaped record — the size that will actually
+    // be on the air is what determines the size-range dispatch.
+    out.interface_index = scheduler_->select_interface(out.record);
+    util::internal_check(out.interface_index < inflight_.size(),
+                         "StreamingReshaper: scheduler returned bad interface");
+  }
+
+  // Shared-radio timeline: one physical card serves every virtual
+  // interface, FIFO in arrival order.
+  out.tx_start = std::max(arrival.time, radio_free_);
+  const util::Duration on_air =
+      mac::airtime(out.record.size_bytes, config_.bitrate_mbps);
+  radio_free_ = out.tx_start + on_air;
+  out.queueing_delay = out.tx_start - arrival.time;
+  out.deadline_miss = out.queueing_delay > config_.latency_budget;
+
+  // Per-interface queue depth: packets of this interface still waiting or
+  // on the air when this one arrived.
+  std::deque<util::TimePoint>& queue = inflight_[out.interface_index];
+  while (!queue.empty() && queue.front() <= arrival.time) {
+    queue.pop_front();
+  }
+  queue.push_back(radio_free_);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue.size());
+
+  ++stats_.packets;
+  stats_.original_bytes += arrival.size_bytes;
+  stats_.added_bytes += out.record.size_bytes - arrival.size_bytes;
+  stats_.deadline_misses += out.deadline_miss ? 1 : 0;
+  stats_.total_queueing_delay += out.queueing_delay;
+  stats_.max_queueing_delay =
+      std::max(stats_.max_queueing_delay, out.queueing_delay);
+  stats_.airtime_busy += on_air;
+
+  if (config_.record_streams) {
+    streams_[out.interface_index].push_back(out.record);
+  }
+  return out;
+}
+
+DefenseResult StreamingReshaper::result(traffic::AppType app) const {
+  util::require(config_.record_streams,
+                "StreamingReshaper::result: stream recording is off");
+  DefenseResult out;
+  out.streams = streams_;
+  for (traffic::Trace& stream : out.streams) {
+    stream.set_app(app);
+  }
+  out.original_bytes = stats_.original_bytes;
+  out.added_bytes = stats_.added_bytes;
+  return out;
+}
+
+void StreamingReshaper::reset() {
+  if (scheduler_ != nullptr) {
+    scheduler_->reset();
+  }
+  for (std::deque<util::TimePoint>& queue : inflight_) {
+    queue.clear();
+  }
+  streams_.clear();
+  if (config_.record_streams) {
+    streams_.resize(stream_count());
+  }
+  stats_ = StreamingStats{};
+  radio_free_ = util::TimePoint{};
+  last_arrival_ = util::TimePoint{};
+  saw_packet_ = false;
+}
+
+DefenseResult run_streaming(StreamingReshaper& reshaper,
+                            const traffic::Trace& trace) {
+  reshaper.reset();
+  for (const traffic::PacketRecord& record : trace.records()) {
+    (void)reshaper.push(record);
+  }
+  return reshaper.result(trace.app());
+}
+
+}  // namespace reshape::core::online

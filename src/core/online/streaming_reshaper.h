@@ -1,0 +1,192 @@
+// The online (per-packet) reshaping pipeline.
+//
+// The paper's defense runs *live* at the AP and client: each packet is
+// dispatched to a virtual MAC interface the moment it arrives (§III-C,
+// "in real time"). The batch Defense::apply() path rewrites whole traces
+// after the fact and therefore never sees what live operation costs —
+// queueing behind the shared radio, per-packet added latency, airtime.
+// StreamingReshaper is the streaming counterpart: it consumes packets one
+// at a time, drives the existing schedulers (RA/RR/OR/OR-mod) and the
+// per-packet size shapers (padding, morphing) incrementally, and models
+// the single physical radio all virtual interfaces share — packets that
+// arrive while the radio is busy wait in their interface's queue, and the
+// pipeline accounts the resulting queueing delay and airtime against a
+// configurable latency budget.
+//
+// Equivalence contract: the per-interface streams a StreamingReshaper
+// accumulates (original arrival timestamps, shaped sizes) are
+// byte-identical to what the batch defense produces for the same input —
+// the scheduler and shaper see packets in exactly the order and with
+// exactly the state the batch path gives them. tests/online_test.cc
+// asserts this golden parity for every scheduler-based defense across all
+// registry scenarios; the latency/airtime numbers are *additional*
+// observables of the same transformation, not a different one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/defense.h"
+#include "core/morphing.h"
+#include "core/scheduler.h"
+#include "traffic/trace.h"
+#include "util/time.h"
+
+namespace reshape::core::online {
+
+/// A per-packet size transform, applied before scheduling. This is the
+/// incremental form of the size-modifying defenses: padding and morphing
+/// both decide each packet's on-air size from that packet alone.
+class PacketShaper {
+ public:
+  virtual ~PacketShaper() = default;
+
+  /// The shaped on-air size for a packet of `size_bytes` (never smaller).
+  [[nodiscard]] virtual std::uint32_t shape(std::uint32_t size_bytes) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Pad-to-fixed-length, the streaming form of PaddingDefense.
+class PaddingShaper final : public PacketShaper {
+ public:
+  explicit PaddingShaper(std::uint32_t pad_to);
+
+  [[nodiscard]] std::uint32_t shape(std::uint32_t size_bytes) override;
+  [[nodiscard]] std::string_view name() const override { return "Padding"; }
+
+ private:
+  std::uint32_t pad_to_;
+};
+
+/// Morph-toward-target, the streaming form of MorphingDefense. Wraps the
+/// batch defense's own per-packet sampler so the two paths consume the
+/// RNG identically — the parity guarantee depends on it.
+class MorphingShaper final : public PacketShaper {
+ public:
+  explicit MorphingShaper(MorphingDefense morpher);
+
+  [[nodiscard]] std::uint32_t shape(std::uint32_t size_bytes) override;
+  [[nodiscard]] std::string_view name() const override { return "Morphing"; }
+
+ private:
+  MorphingDefense morpher_;
+};
+
+/// Knobs of the online pipeline.
+struct StreamingConfig {
+  /// PHY bitrate the shared radio serializes frames at (Mbit/s).
+  double bitrate_mbps = 54.0;
+
+  /// Per-packet latency budget: a packet whose queueing delay (time spent
+  /// waiting for the radio) exceeds this counts as a deadline miss.
+  util::Duration latency_budget = util::Duration::milliseconds(20);
+
+  /// Accumulate per-interface Trace streams (the batch-parity output).
+  /// Endpoints embedding the reshaper for accounting only (net::Client,
+  /// net::AccessPoint) turn this off to keep memory flat over a session.
+  bool record_streams = true;
+
+  /// A copy with stream recording off — what endpoints that embed the
+  /// reshaper purely for live-cost accounting pass to the constructor.
+  [[nodiscard]] StreamingConfig accounting_only() const;
+};
+
+/// What the pipeline emits for one consumed packet.
+struct ShapedPacket {
+  std::size_t interface_index = 0;
+
+  /// Original arrival time, shaped size — the record the adversary's
+  /// flow-isolation view contains (identical to the batch path's output).
+  traffic::PacketRecord record;
+
+  /// When the shared radio starts transmitting this packet.
+  util::TimePoint tx_start;
+
+  /// tx_start - arrival: the latency the online defense added.
+  util::Duration queueing_delay;
+
+  bool deadline_miss = false;
+};
+
+/// Aggregate accounting over every packet pushed since the last reset().
+struct StreamingStats {
+  std::uint64_t packets = 0;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t added_bytes = 0;  // shaping (padding/morphing) bytes
+  std::uint64_t deadline_misses = 0;
+  util::Duration total_queueing_delay;
+  util::Duration max_queueing_delay;
+  util::Duration airtime_busy;      // radio time spent transmitting
+  std::size_t max_queue_depth = 0;  // deepest any interface queue got
+
+  /// Mean per-packet added latency in microseconds.
+  [[nodiscard]] double mean_queueing_delay_us() const;
+
+  /// added/original bytes as a percentage (the paper's overhead metric).
+  [[nodiscard]] double overhead_percent() const;
+};
+
+/// The streaming per-packet reshaping pipeline.
+///
+/// Feed packets in arrival order via push(); read back the per-interface
+/// streams (batch-parity view) and the StreamingStats (live-cost view).
+class StreamingReshaper {
+ public:
+  /// `scheduler` may be null (single output stream — the padding/morphing
+  /// shape); `shaper` may be null (sizes pass through — the reshaping
+  /// shape). At least one must be set for the pipeline to do anything,
+  /// but both-null is allowed (identity pipeline, still accounts airtime).
+  StreamingReshaper(std::unique_ptr<Scheduler> scheduler,
+                    std::unique_ptr<PacketShaper> shaper,
+                    StreamingConfig config = {});
+
+  /// Consumes one packet. Arrival times must be non-decreasing across
+  /// calls (the simulator clock and Trace invariant both guarantee it).
+  ShapedPacket push(const traffic::PacketRecord& arrival);
+
+  /// Number of observable output flows (scheduler interfaces, or 1).
+  [[nodiscard]] std::size_t stream_count() const;
+
+  /// The accumulated per-interface streams (empty when record_streams is
+  /// off). Indexed by interface.
+  [[nodiscard]] const std::vector<traffic::Trace>& streams() const {
+    return streams_;
+  }
+
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+  [[nodiscard]] const StreamingConfig& config() const { return config_; }
+
+  /// Packages the accumulated streams as a batch-compatible result,
+  /// labeled with the originating application (requires record_streams).
+  [[nodiscard]] DefenseResult result(traffic::AppType app) const;
+
+  /// Clears streams, stats, and the radio timeline; resets the scheduler's
+  /// per-flow counters (RNG phase is not reset, matching Scheduler::reset).
+  void reset();
+
+ private:
+  std::unique_ptr<Scheduler> scheduler_;  // may be null
+  std::unique_ptr<PacketShaper> shaper_;  // may be null
+  StreamingConfig config_;
+  std::vector<traffic::Trace> streams_;
+  StreamingStats stats_;
+  util::TimePoint radio_free_;    // when the shared radio next idles
+  util::TimePoint last_arrival_;  // push-order monotonicity check
+  bool saw_packet_ = false;
+  // Modeled in-flight departures per interface, pruned on every push —
+  // the per-interface queue the paper's live deployment would hold.
+  std::vector<std::deque<util::TimePoint>> inflight_;
+};
+
+/// Feeds a whole trace through the reshaper (after a reset()) and returns
+/// the batch-compatible result, streams labeled with the trace's app —
+/// the adapter the golden-parity tests and campaigns use to compare the
+/// online path against Defense::apply().
+[[nodiscard]] DefenseResult run_streaming(StreamingReshaper& reshaper,
+                                          const traffic::Trace& trace);
+
+}  // namespace reshape::core::online

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -23,7 +25,13 @@ int KnnClassifier::predict(std::span<const double> row) const {
   util::require(row.size() == rows_.front().size(),
                 "KnnClassifier::predict: dimensionality mismatch");
 
-  std::vector<std::pair<double, int>> dists;  // (distance^2, label)
+  // Scratch buffers are thread_local: predict() stays const and safe to
+  // call concurrently (the campaign engine's contract) without paying an
+  // O(n) heap allocation on every call.
+  static thread_local std::vector<std::pair<double, int>> dists;
+  static thread_local std::vector<int> votes;
+  static thread_local std::vector<double> nearest;  // per-label min d^2
+  dists.clear();
   dists.reserve(rows_.size());
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     double d2 = 0.0;
@@ -34,16 +42,30 @@ int KnnClassifier::predict(std::span<const double> row) const {
     dists.emplace_back(d2, labels_[i]);
   }
   const std::size_t k = std::min(k_, dists.size());
-  std::partial_sort(dists.begin(),
-                    dists.begin() + static_cast<std::ptrdiff_t>(k),
-                    dists.end());
+  std::nth_element(dists.begin(),
+                   dists.begin() + static_cast<std::ptrdiff_t>(k) - 1,
+                   dists.end());
 
-  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  votes.assign(static_cast<std::size_t>(num_classes_), 0);
+  nearest.assign(static_cast<std::size_t>(num_classes_),
+                 std::numeric_limits<double>::infinity());
   for (std::size_t i = 0; i < k; ++i) {
-    ++votes[static_cast<std::size_t>(dists[i].second)];
+    const auto label = static_cast<std::size_t>(dists[i].second);
+    ++votes[label];
+    nearest[label] = std::min(nearest[label], dists[i].first);
   }
-  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
-                          votes.begin());
+  // Majority vote; ties go to the label with the closest neighbour among
+  // the k (then to the smaller label — fully deterministic either way).
+  int best = -1;
+  for (int label = 0; label < num_classes_; ++label) {
+    const auto l = static_cast<std::size_t>(label);
+    if (best < 0 || votes[l] > votes[static_cast<std::size_t>(best)] ||
+        (votes[l] == votes[static_cast<std::size_t>(best)] &&
+         nearest[l] < nearest[static_cast<std::size_t>(best)])) {
+      best = label;
+    }
+  }
+  return best;
 }
 
 }  // namespace reshape::ml

@@ -15,7 +15,9 @@
 
 namespace reshape::ml {
 
-/// Euclidean-distance kNN with majority voting (ties -> smaller label).
+/// Euclidean-distance kNN with majority voting. Vote ties are broken by
+/// the tied label whose nearest neighbour (among the k) is closest, then
+/// by the smaller label — deterministic and distance-aware.
 class KnnClassifier final : public Classifier {
  public:
   explicit KnnClassifier(std::size_t k = 5);

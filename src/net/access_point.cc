@@ -37,8 +37,10 @@ void AccessPoint::associate(const mac::MacAddress& client_physical,
   util::require(!clients_.contains(client_physical),
                 "AccessPoint::associate: client already associated");
   pool_.reserve(client_physical);
+  auto reshaper = std::make_unique<core::online::StreamingReshaper>(
+      scheduler_factory_(), nullptr, config_.streaming.accounting_only());
   clients_.emplace(client_physical,
-                   ClientState{key, {}, scheduler_factory_(), {}});
+                   ClientState{key, {}, std::move(reshaper), {}});
 }
 
 void AccessPoint::set_upper_layer_sink(UpperLayerSink sink) {
@@ -168,18 +170,26 @@ void AccessPoint::send_to_client(const mac::MacAddress& client_physical,
   if (client.virtual_addresses.empty()) {
     frame.destination = client_physical;
   } else {
-    // Reshaping algorithm on the AP side (Figure 3): the scheduler sees
-    // the on-air size it is about to produce.
+    // Reshaping algorithm on the AP side (Figure 3): the online pipeline
+    // sees the on-air size it is about to produce, picks the interface,
+    // and accounts the queueing delay behind the shared radio.
     traffic::PacketRecord record;
     record.time = simulator_.now();
     record.size_bytes = frame.size_bytes;
     record.direction = mac::Direction::kDownlink;
-    const std::size_t i = client.scheduler->select_interface(record) %
-                          client.virtual_addresses.size();
+    const core::online::ShapedPacket shaped = client.reshaper->push(record);
+    const std::size_t i =
+        shaped.interface_index % client.virtual_addresses.size();
     frame.destination = client.virtual_addresses[i];
   }
   ++downlink_packets_;
   transmit(std::move(frame));
+}
+
+const core::online::StreamingStats* AccessPoint::reshaping_stats_of(
+    const mac::MacAddress& client_physical) const {
+  const auto it = clients_.find(client_physical);
+  return it == clients_.end() ? nullptr : &it->second.reshaper->stats();
 }
 
 std::vector<mac::MacAddress> AccessPoint::virtual_addresses_of(

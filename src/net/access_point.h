@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/online/streaming_reshaper.h"
 #include "core/scheduler.h"
 #include "core/tpc.h"
 #include "mac/address_pool.h"
@@ -41,6 +42,10 @@ struct ApConfig {
   std::size_t default_interfaces = 3;  // I when the client lets us decide
   std::size_t max_interfaces = 8;      // resource ceiling per client
   double tx_power_dbm = 18.0;
+
+  /// Online-pipeline knobs for per-client downlink reshaping (bitrate of
+  /// the shared radio, per-packet latency budget).
+  core::online::StreamingConfig streaming{};
 };
 
 /// The access point.
@@ -103,11 +108,19 @@ class AccessPoint : public sim::RadioListener {
     return rejected_frames_;
   }
 
+  /// Live-cost accounting of one client's downlink reshaping pipeline
+  /// (queueing delay, airtime, deadline misses); nullptr for clients the
+  /// AP does not know.
+  [[nodiscard]] const core::online::StreamingStats* reshaping_stats_of(
+      const mac::MacAddress& client_physical) const;
+
  private:
   struct ClientState {
     mac::SymmetricKey key;
     std::vector<mac::MacAddress> virtual_addresses;
-    std::unique_ptr<core::Scheduler> scheduler;
+    // Downlink reshaping runs through the online pipeline so the sim
+    // accounts queueing delay and airtime per client.
+    std::unique_ptr<core::online::StreamingReshaper> reshaper;
     // Protocol nonces already honoured for this client. A captured
     // request replayed by an attacker (who cannot forge new ciphertext)
     // must not trigger a fresh assignment round.

@@ -9,7 +9,8 @@ WirelessClient::WirelessClient(
     sim::Simulator& simulator, sim::Medium& medium, sim::Position position,
     mac::MacAddress physical_address, mac::MacAddress bssid, int channel,
     mac::SymmetricKey key, util::Rng rng,
-    std::unique_ptr<core::Scheduler> uplink_scheduler)
+    std::unique_ptr<core::Scheduler> uplink_scheduler,
+    core::online::StreamingConfig streaming)
     : simulator_{simulator},
       medium_{medium},
       position_{position},
@@ -19,15 +20,21 @@ WirelessClient::WirelessClient(
       cipher_{key},
       nonce_gen_{rng.next_u64()},
       tpc_{core::TransmitPowerControl::fixed(15.0)},
-      scheduler_{std::move(uplink_scheduler)} {
-  util::require(scheduler_ != nullptr,
-                "WirelessClient: uplink scheduler must not be null");
+      reshaper_{checked(std::move(uplink_scheduler)), nullptr,
+                streaming.accounting_only()} {
   util::require(!physical_address_.is_null(),
                 "WirelessClient: physical address must be set");
   medium_.attach(*this, position_, channel_);
 }
 
 WirelessClient::~WirelessClient() { medium_.detach(*this); }
+
+std::unique_ptr<core::Scheduler> WirelessClient::checked(
+    std::unique_ptr<core::Scheduler> scheduler) {
+  util::require(scheduler != nullptr,
+                "WirelessClient: uplink scheduler must not be null");
+  return scheduler;
+}
 
 void WirelessClient::set_upper_layer_sink(
     std::function<void(std::uint32_t)> sink) {
@@ -145,8 +152,10 @@ void WirelessClient::send_packet(std::uint32_t payload_bytes) {
     record.time = simulator_.now();
     record.size_bytes = frame.size_bytes;
     record.direction = mac::Direction::kUplink;
-    const std::size_t i =
-        scheduler_->select_interface(record) % interfaces_.size();
+    // The online pipeline picks the interface and accounts the queueing
+    // delay this packet pays behind the shared radio.
+    const core::online::ShapedPacket shaped = reshaper_.push(record);
+    const std::size_t i = shaped.interface_index % interfaces_.size();
     frame.source = interfaces_[i].address();
     interfaces_[i].record_tx(frame.size_bytes);
     iface = i;

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/online/streaming_reshaper.h"
 #include "core/scheduler.h"
 #include "core/tpc.h"
 #include "mac/crypto.h"
@@ -39,12 +40,16 @@ enum class ClientState : std::uint8_t {
 class WirelessClient : public sim::RadioListener {
  public:
   /// Attaches to the medium at `position`, tuned to `channel`, associated
-  /// with the AP identified by `bssid` sharing `key`.
+  /// with the AP identified by `bssid` sharing `key`. The uplink scheduler
+  /// runs inside a core::online::StreamingReshaper, so every reshaped
+  /// transmission is accounted for queueing delay and airtime against
+  /// `streaming` (reshaping_stats() reads the tally back).
   WirelessClient(sim::Simulator& simulator, sim::Medium& medium,
                  sim::Position position, mac::MacAddress physical_address,
                  mac::MacAddress bssid, int channel, mac::SymmetricKey key,
                  util::Rng rng,
-                 std::unique_ptr<core::Scheduler> uplink_scheduler);
+                 std::unique_ptr<core::Scheduler> uplink_scheduler,
+                 core::online::StreamingConfig streaming = {});
 
   ~WirelessClient() override;
   WirelessClient(const WirelessClient&) = delete;
@@ -93,7 +98,19 @@ class WirelessClient : public sim::RadioListener {
     return handshake_failures_;
   }
 
+  /// Live-cost accounting of the uplink reshaping pipeline: per-packet
+  /// queueing delay behind the shared radio, airtime, deadline misses.
+  [[nodiscard]] const core::online::StreamingStats& reshaping_stats() const {
+    return reshaper_.stats();
+  }
+
  private:
+  /// The client requires a scheduler even though StreamingReshaper itself
+  /// accepts null (a null here would silently degrade to a single-stream
+  /// identity pipeline).
+  [[nodiscard]] static std::unique_ptr<core::Scheduler> checked(
+      std::unique_ptr<core::Scheduler> scheduler);
+
   void transmit(mac::Frame frame);
   void handle_config_response(const mac::Frame& frame);
   [[nodiscard]] bool owns_address(const mac::MacAddress& addr) const;
@@ -108,7 +125,7 @@ class WirelessClient : public sim::RadioListener {
   mac::NonceGenerator nonce_gen_;
   core::TransmitPowerControl tpc_;
   std::vector<core::TransmitPowerControl> interface_tpc_;
-  std::unique_ptr<core::Scheduler> scheduler_;
+  core::online::StreamingReshaper reshaper_;
   std::vector<VirtualInterface> interfaces_;
   std::function<void(std::uint32_t)> upper_layer_;
   ClientState state_ = ClientState::kAssociated;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/online/streaming_reshaper.h"
+#include "core/scheduler.h"
 #include "traffic/generator.h"
 #include "util/check.h"
 
@@ -158,6 +160,47 @@ Scenario bulk_transfer_heavy(std::size_t stations, util::Duration duration) {
       }};
 }
 
+Scenario live_reshaping(std::size_t stations, util::Duration duration,
+                        double bitrate_mbps) {
+  util::require(stations > 0, "live_reshaping: need >= 1 station");
+  util::require(bitrate_mbps > 0.0, "live_reshaping: bitrate must be > 0");
+  return Scenario{
+      "live-reshaping",
+      "stations re-timestamped by the online reshaping pipeline (OR behind "
+      "one shared radio) — the air as captured when the defense runs live",
+      [=](util::Rng& rng) {
+        std::vector<traffic::Trace> sessions;
+        sessions.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          util::Rng station_rng = rng.fork(s);
+          const auto pick = static_cast<std::size_t>(
+              station_rng.uniform_int(
+                  0, static_cast<std::int64_t>(traffic::kAppCount) - 1));
+          const traffic::Trace original = traffic::generate_trace(
+              traffic::app_from_index(pick), duration, station_rng);
+
+          core::online::StreamingConfig config;
+          config.bitrate_mbps = bitrate_mbps;
+          config.record_streams = false;
+          core::online::StreamingReshaper pipeline{
+              std::make_unique<core::OrthogonalScheduler>(
+                  core::OrthogonalScheduler::identity(
+                      core::SizeRanges::paper_default())),
+              nullptr, config};
+
+          traffic::Trace live{original.app()};
+          live.reserve(original.size());
+          for (const traffic::PacketRecord& record : original.records()) {
+            core::online::ShapedPacket shaped = pipeline.push(record);
+            shaped.record.time = shaped.tx_start;  // queueing delay applied
+            live.push_back(shaped.record);
+          }
+          sessions.push_back(std::move(live));
+        }
+        return sessions;
+      }};
+}
+
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry = [] {
     ScenarioRegistry r;
@@ -168,6 +211,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(voip_browsing_mix(3, 3, util::Duration::seconds(120.0)));
     r.add(dense_wlan(10, minute));
     r.add(bulk_transfer_heavy(8, minute));
+    r.add(live_reshaping(6, minute));
     return r;
   }();
   return registry;

@@ -96,6 +96,17 @@ class Scenario {
 [[nodiscard]] Scenario bulk_transfer_heavy(std::size_t stations,
                                            util::Duration duration);
 
+/// Live-reshaping workload: every station's traffic is pushed through the
+/// online per-packet pipeline (core::online::StreamingReshaper driving the
+/// paper's OR scheduler behind one shared radio at `bitrate_mbps`), and
+/// each packet is re-timestamped to its modeled transmission start —
+/// queueing delay included. This is the air as an adversary captures it
+/// when the defense runs live; campaigns that sweep this scenario against
+/// the batch-timed ones compare batch vs online operation directly.
+[[nodiscard]] Scenario live_reshaping(std::size_t stations,
+                                      util::Duration duration,
+                                      double bitrate_mbps = 54.0);
+
 // ---------------------------------------------------------------- registry
 
 /// A name -> Scenario table. `global()` comes pre-populated with the

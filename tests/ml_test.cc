@@ -316,6 +316,18 @@ TEST(KnnTest, RejectsZeroK) {
   EXPECT_THROW(KnnClassifier{0}, std::invalid_argument);
 }
 
+TEST(KnnTest, VoteTiesGoToTheNearerNeighbour) {
+  // k = 2 forces a 1-1 vote between the two classes; the winner must be
+  // the class of the *nearer* neighbour, not the lower label index.
+  Dataset data{{{0.0}, {3.0}}, {1, 0}, 2};
+  KnnClassifier knn{2};
+  knn.fit(data);
+  const std::vector<double> near_one{0.5};   // closer to label 1 at 0.0
+  const std::vector<double> near_zero{2.5};  // closer to label 0 at 3.0
+  EXPECT_EQ(knn.predict(near_one), 1);
+  EXPECT_EQ(knn.predict(near_zero), 0);
+}
+
 // ----------------------------------------------------------- GNB ---
 
 TEST(NaiveBayesTest, UsesPriors) {

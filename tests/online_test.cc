@@ -1,0 +1,283 @@
+// The streaming pipeline's golden-parity and live-cost guarantees:
+//   * feeding a whole trace through core::online::StreamingReshaper yields
+//     per-interface streams byte-identical to the batch Defense::apply()
+//     path, for every scheduler-based defense, across every registry
+//     scenario;
+//   * the queueing/airtime accounting obeys the shared-radio model
+//     (monotone timeline, budget-driven deadline misses, clean reset).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/defense.h"
+#include "core/morphing.h"
+#include "core/online/streaming_reshaper.h"
+#include "core/padding.h"
+#include "core/scheduler.h"
+#include "core/target_distribution.h"
+#include "mac/frame.h"
+#include "runtime/scenario.h"
+#include "traffic/generator.h"
+#include "util/distribution.h"
+
+namespace reshape::core::online {
+namespace {
+
+using traffic::AppType;
+using util::Duration;
+
+void expect_same_result(const DefenseResult& batch,
+                        const DefenseResult& streaming,
+                        const std::string& context) {
+  EXPECT_EQ(batch.original_bytes, streaming.original_bytes) << context;
+  EXPECT_EQ(batch.added_bytes, streaming.added_bytes) << context;
+  ASSERT_EQ(batch.streams.size(), streaming.streams.size()) << context;
+  for (std::size_t i = 0; i < batch.streams.size(); ++i) {
+    EXPECT_EQ(batch.streams[i].app(), streaming.streams[i].app()) << context;
+    const auto a = batch.streams[i].records();
+    const auto b = streaming.streams[i].records();
+    ASSERT_EQ(a.size(), b.size()) << context << " stream " << i;
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << context << " stream " << i;
+  }
+}
+
+/// A batch defense and its streaming twin, built from identical state.
+struct ParityCase {
+  std::string name;
+  std::unique_ptr<Defense> batch;
+  std::unique_ptr<StreamingReshaper> streaming;
+};
+
+std::vector<ParityCase> make_parity_cases(std::uint64_t seed) {
+  const auto or_identity = [] {
+    return std::make_unique<OrthogonalScheduler>(
+        OrthogonalScheduler::identity(SizeRanges::paper_default()));
+  };
+  std::vector<ParityCase> cases;
+  cases.push_back({"OR", std::make_unique<ReshapingDefense>(or_identity()),
+                   std::make_unique<StreamingReshaper>(or_identity(),
+                                                       nullptr)});
+  cases.push_back({"OR-mod",
+                   std::make_unique<ReshapingDefense>(
+                       std::make_unique<ModuloScheduler>(3)),
+                   std::make_unique<StreamingReshaper>(
+                       std::make_unique<ModuloScheduler>(3), nullptr)});
+  cases.push_back({"RA",
+                   std::make_unique<ReshapingDefense>(
+                       std::make_unique<RandomScheduler>(3, util::Rng{seed})),
+                   std::make_unique<StreamingReshaper>(
+                       std::make_unique<RandomScheduler>(3, util::Rng{seed}),
+                       nullptr)});
+  cases.push_back({"RR",
+                   std::make_unique<ReshapingDefense>(
+                       std::make_unique<RoundRobinScheduler>(3)),
+                   std::make_unique<StreamingReshaper>(
+                       std::make_unique<RoundRobinScheduler>(3), nullptr)});
+  cases.push_back({"Padding", std::make_unique<PaddingDefense>(),
+                   std::make_unique<StreamingReshaper>(
+                       nullptr,
+                       std::make_unique<PaddingShaper>(mac::kMaxFrameBytes))});
+  return cases;
+}
+
+// --------------------------- golden parity over the scenario registry ---
+
+class StreamingParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StreamingParityTest, StreamingMatchesBatchForEverySession) {
+  const runtime::Scenario& scenario =
+      runtime::ScenarioRegistry::global().at(GetParam());
+  util::Rng rng{0xF00D};
+  const std::vector<traffic::Trace> sessions = scenario.generate(rng);
+  ASSERT_FALSE(sessions.empty());
+  auto cases = make_parity_cases(/*seed=*/0xCAFE);
+  for (ParityCase& pc : cases) {
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      const DefenseResult batch = pc.batch->apply(sessions[s]);
+      const DefenseResult streaming =
+          run_streaming(*pc.streaming, sessions[s]);
+      expect_same_result(batch, streaming,
+                         pc.name + " on " + GetParam() + " session " +
+                             std::to_string(s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, StreamingParityTest,
+    ::testing::ValuesIn(runtime::ScenarioRegistry::global().names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ------------------------------------------- morphing parity, per app ---
+
+TEST(StreamingMorphingParityTest, MatchesBatchForEveryMorphedApp) {
+  for (const AppType app : traffic::kAllApps) {
+    const auto target = paper_morph_target(app);
+    if (!target) {
+      continue;  // paper leaves the app unmorphed
+    }
+    const traffic::Trace target_trace = traffic::generate_trace(
+        *target, Duration::seconds(30), 0x71, traffic::SessionJitter::none());
+    const util::EmpiricalDistribution profile{target_trace.sizes()};
+    MorphingDefense batch{*target, profile, util::Rng{11}};
+    StreamingReshaper streaming{
+        nullptr, std::make_unique<MorphingShaper>(
+                     MorphingDefense{*target, profile, util::Rng{11}})};
+    const traffic::Trace source =
+        traffic::generate_trace(app, Duration::seconds(20), 0x72);
+    expect_same_result(batch.apply(source), run_streaming(streaming, source),
+                       "Morphing " + std::string{traffic::to_string(app)});
+  }
+}
+
+// RA parity holds packet-by-packet only when both paths consume the RNG
+// identically; a second pass through the same reshaper must keep matching
+// a second batch apply (reset() clears counters, not the RNG phase —
+// exactly like Scheduler::reset()).
+TEST(StreamingParityDetailTest, RepeatedRunsTrackBatchRngPhase) {
+  ReshapingDefense batch{std::make_unique<RandomScheduler>(3, util::Rng{9})};
+  StreamingReshaper streaming{std::make_unique<RandomScheduler>(
+                                  3, util::Rng{9}),
+                              nullptr};
+  const traffic::Trace trace =
+      traffic::generate_trace(AppType::kBrowsing, Duration::seconds(5), 0x31);
+  for (int pass = 0; pass < 3; ++pass) {
+    expect_same_result(batch.apply(trace), run_streaming(streaming, trace),
+                       "pass " + std::to_string(pass));
+  }
+}
+
+// --------------------------------------------- shared-radio accounting ---
+
+traffic::PacketRecord packet_at(std::int64_t us, std::uint32_t size) {
+  traffic::PacketRecord r;
+  r.time = util::TimePoint::from_microseconds(us);
+  r.size_bytes = size;
+  return r;
+}
+
+TEST(StreamingStatsTest, BackToBackArrivalsQueueBehindTheRadio) {
+  StreamingConfig config;
+  config.bitrate_mbps = 54.0;
+  StreamingReshaper pipeline{std::make_unique<RoundRobinScheduler>(3),
+                             nullptr, config};
+  const util::Duration on_air = mac::airtime(1500, 54.0);
+  // Three packets arrive at the same instant: the radio serializes them.
+  const auto first = pipeline.push(packet_at(0, 1500));
+  const auto second = pipeline.push(packet_at(0, 1500));
+  const auto third = pipeline.push(packet_at(0, 1500));
+  EXPECT_EQ(first.queueing_delay, util::Duration{});
+  EXPECT_EQ(second.queueing_delay, on_air);
+  EXPECT_EQ(third.queueing_delay, on_air * 2);
+  EXPECT_EQ(pipeline.stats().airtime_busy, on_air * 3);
+  EXPECT_EQ(pipeline.stats().max_queueing_delay, on_air * 2);
+  // RR spread them across three interfaces, one in flight each.
+  EXPECT_EQ(pipeline.stats().max_queue_depth, 1u);
+  // A later packet, after the backlog drained, pays nothing.
+  const auto later =
+      pipeline.push(packet_at(on_air.count_us() * 5, 1500));
+  EXPECT_EQ(later.queueing_delay, util::Duration{});
+}
+
+TEST(StreamingStatsTest, LatencyBudgetDrivesDeadlineMisses) {
+  StreamingConfig tight;
+  tight.latency_budget = util::Duration::microseconds(1);
+  StreamingReshaper pipeline{std::make_unique<RoundRobinScheduler>(1),
+                             nullptr, tight};
+  (void)pipeline.push(packet_at(0, 1500));
+  const auto queued = pipeline.push(packet_at(0, 1500));
+  EXPECT_TRUE(queued.deadline_miss);
+  EXPECT_EQ(pipeline.stats().deadline_misses, 1u);
+  EXPECT_EQ(pipeline.stats().max_queue_depth, 2u);
+}
+
+TEST(StreamingStatsTest, ShapingAccountsAddedBytes) {
+  StreamingReshaper pipeline{nullptr,
+                             std::make_unique<PaddingShaper>(1576)};
+  (void)pipeline.push(packet_at(0, 100));
+  (void)pipeline.push(packet_at(10, 1576));
+  EXPECT_EQ(pipeline.stats().original_bytes, 1676u);
+  EXPECT_EQ(pipeline.stats().added_bytes, 1476u);
+  EXPECT_NEAR(pipeline.stats().overhead_percent(),
+              100.0 * 1476.0 / 1676.0, 1e-9);
+}
+
+TEST(StreamingStatsTest, ResetClearsTimelineAndStreams) {
+  StreamingReshaper pipeline{std::make_unique<RoundRobinScheduler>(2),
+                             nullptr};
+  const traffic::Trace trace =
+      traffic::generate_trace(AppType::kChatting, Duration::seconds(5), 0x41);
+  const DefenseResult first = run_streaming(pipeline, trace);
+  const DefenseResult second = run_streaming(pipeline, trace);
+  expect_same_result(first, second, "reset round-trip");
+  EXPECT_EQ(pipeline.stats().packets, trace.size());
+}
+
+TEST(StreamingStatsTest, RejectsOutOfOrderArrivals) {
+  StreamingReshaper pipeline{std::make_unique<RoundRobinScheduler>(2),
+                             nullptr};
+  (void)pipeline.push(packet_at(100, 400));
+  EXPECT_THROW((void)pipeline.push(packet_at(50, 400)),
+               std::invalid_argument);
+}
+
+TEST(StreamingStatsTest, ValidatesConfig) {
+  StreamingConfig bad_bitrate;
+  bad_bitrate.bitrate_mbps = 0.0;
+  EXPECT_THROW((StreamingReshaper{nullptr, nullptr, bad_bitrate}),
+               std::invalid_argument);
+  StreamingReshaper no_streams{nullptr, nullptr,
+                               StreamingConfig{}.accounting_only()};
+  EXPECT_THROW((void)no_streams.result(AppType::kBrowsing),
+               std::invalid_argument);
+}
+
+// ------------------------------------------- live-reshaping scenario ---
+
+TEST(LiveReshapingScenarioTest, RegisteredAndDeterministic) {
+  const runtime::Scenario* scenario =
+      runtime::ScenarioRegistry::global().find("live-reshaping");
+  ASSERT_NE(scenario, nullptr);
+  util::Rng a{77};
+  util::Rng b{77};
+  const auto sa = scenario->generate(a);
+  const auto sb = scenario->generate(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].size(), sb[i].size());
+    for (std::size_t p = 0; p < sa[i].size(); ++p) {
+      EXPECT_EQ(sa[i][p], sb[i][p]);
+    }
+  }
+}
+
+TEST(LiveReshapingScenarioTest, QueueingOnlyEverDelaysPackets) {
+  // The live pipeline re-timestamps to tx_start >= arrival, so the live
+  // session of a station starts no earlier than the original would and
+  // stays time-ordered (Trace enforces ordering on push_back already).
+  const runtime::Scenario scenario =
+      runtime::live_reshaping(4, Duration::seconds(20));
+  util::Rng rng{123};
+  for (const traffic::Trace& session : scenario.generate(rng)) {
+    ASSERT_FALSE(session.empty());
+    for (std::size_t p = 1; p < session.size(); ++p) {
+      EXPECT_LE(session[p - 1].time, session[p].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reshape::core::online

@@ -40,10 +40,11 @@ CampaignSpec tiny_campaign() {
 
 TEST(ScenarioRegistryTest, BuiltinsArePresent) {
   const ScenarioRegistry& registry = ScenarioRegistry::global();
-  EXPECT_GE(registry.size(), 6u);
+  EXPECT_GE(registry.size(), 7u);
   for (const char* name :
        {"paper-single-app", "multi-app-station", "iot-telemetry",
-        "voip-browsing-mix", "dense-wlan", "bulk-transfer-heavy"}) {
+        "voip-browsing-mix", "dense-wlan", "bulk-transfer-heavy",
+        "live-reshaping"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.find("no-such-workload"), nullptr);
@@ -143,6 +144,20 @@ TEST(CampaignEngineTest, ReportIsBitIdenticalAcrossThreadCounts) {
     hw = 1;
   }
   EXPECT_EQ(serial, engine.run(hw).to_json());
+}
+
+TEST(CampaignEngineTest, LiveReshapingScenarioRunsBitIdentically) {
+  // The batch-vs-online sweep: the same defenses over the batch-timed
+  // workload and the online-pipeline-timed one, in one campaign grid,
+  // still bit-identical for every thread count.
+  CampaignSpec spec = tiny_campaign();
+  spec.scenarios.push_back(live_reshaping(3, util::Duration::seconds(30.0)));
+  CampaignEngine engine{spec};
+  const CampaignReport serial_report = engine.run(1);
+  const std::string serial = serial_report.to_json();
+  EXPECT_EQ(serial, engine.run(4).to_json());
+  EXPECT_EQ(serial_report.aggregate("OR", "live-reshaping").scenario,
+            "live-reshaping");
 }
 
 TEST(CampaignEngineTest, CellsCoverTheGridInOrder) {

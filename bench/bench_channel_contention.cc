@@ -1,0 +1,135 @@
+// Channel-contention benchmark: throughput and access-delay percentiles
+// vs co-channel station count under the simplified DCF arbiter.
+//
+// Each station offers saturating 1500-byte frames at a fixed cadence on a
+// 24 Mbit/s channel; as stations multiply, the arbiter serializes the
+// same offered load through carrier sense, backoff, and collisions. The
+// table shows what the paper's per-flow radio model cannot: channel-wide
+// goodput flattening at the channel capacity while per-frame access
+// delay (p50/p90/p99) and collision counts grow with density.
+//
+//   $ ./bench/bench_channel_contention
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace {
+
+using reshape::util::Duration;
+using reshape::util::TimePoint;
+
+struct Identity final : reshape::sim::RadioListener {
+  void on_frame(const reshape::mac::Frame&, double) override {}
+};
+
+double percentile_us(std::vector<double>& delays_us, double p) {
+  if (delays_us.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(delays_us.size() - 1));
+  std::nth_element(delays_us.begin(),
+                   delays_us.begin() + static_cast<std::ptrdiff_t>(rank),
+                   delays_us.end());
+  return delays_us[rank];
+}
+
+}  // namespace
+
+int main() {
+  using namespace reshape;
+
+  constexpr double kBitrateMbps = 24.0;
+  constexpr double kSessionSeconds = 5.0;
+  constexpr std::uint32_t kFrameBytes = 1500;
+  // Per-station offered load: one frame every 4 ms = 3 Mbit/s, so the
+  // channel saturates around 8 stations.
+  constexpr std::int64_t kCadenceUs = 4000;
+
+  util::TablePrinter table{{"Stations", "Offered (Mb/s)", "Goodput (Mb/s)",
+                            "p50 (us)", "p90 (us)", "p99 (us)", "Collisions",
+                            "Drops", "Util", "Wall (ms)"}};
+
+  for (const std::size_t stations : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    sim::Simulator simulator;
+    sim::Medium medium{sim::PathLossModel{40.0, 1.0, 3.0, 0.0},
+                       util::Rng{1}};
+    sim::channel::DcfParams params;
+    params.bitrate_mbps = kBitrateMbps;
+    sim::channel::ChannelArbiter arbiter{simulator, medium, 1, params,
+                                         util::Rng{2011}};
+
+    std::vector<Identity> identities(stations);
+    std::vector<double> delays_us;
+    std::uint64_t delivered_bytes = 0;
+    TimePoint last_on_air;
+    arbiter.set_on_air_hook([&](const mac::Frame& frame, Duration delay,
+                                const sim::RadioListener*) {
+      delays_us.push_back(static_cast<double>(delay.count_us()));
+      delivered_bytes += frame.size_bytes;
+      last_on_air = frame.timestamp;
+    });
+
+    const auto frames_per_station = static_cast<std::int64_t>(
+        kSessionSeconds * 1e6 / static_cast<double>(kCadenceUs));
+    for (std::size_t s = 0; s < stations; ++s) {
+      for (std::int64_t k = 0; k < frames_per_station; ++k) {
+        simulator.schedule_at(
+            TimePoint::from_microseconds(k * kCadenceUs), [&, s] {
+              mac::Frame frame;
+              frame.size_bytes = kFrameBytes;
+              frame.channel = 1;
+              arbiter.enqueue(std::move(frame), sim::Position{},
+                              &identities[s]);
+            });
+      }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    simulator.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    const sim::channel::ChannelStats totals = arbiter.totals();
+    const double span_s =
+        last_on_air.to_seconds() > 0.0 ? last_on_air.to_seconds()
+                                       : kSessionSeconds;
+    const double offered_mbps = static_cast<double>(stations) *
+                                static_cast<double>(kFrameBytes) * 8.0 /
+                                (static_cast<double>(kCadenceUs) * 1e-6) /
+                                1e6;
+    const double goodput_mbps =
+        static_cast<double>(delivered_bytes) * 8.0 / span_s / 1e6;
+
+    table.add_row({std::to_string(stations),
+                   util::TablePrinter::fmt(offered_mbps),
+                   util::TablePrinter::fmt(goodput_mbps),
+                   util::TablePrinter::fmt(percentile_us(delays_us, 0.50)),
+                   util::TablePrinter::fmt(percentile_us(delays_us, 0.90)),
+                   util::TablePrinter::fmt(percentile_us(delays_us, 0.99)),
+                   std::to_string(totals.collisions),
+                   std::to_string(totals.frames_dropped),
+                   util::TablePrinter::fmt(arbiter.utilization()),
+                   util::TablePrinter::fmt(wall_ms)});
+  }
+
+  std::cout << "== Channel contention: throughput and access delay vs "
+               "station count ==\n"
+            << "(" << kBitrateMbps << " Mbit/s channel, " << kFrameBytes
+            << "-byte frames, one frame per station every " << kCadenceUs
+            << " us, " << kSessionSeconds << " s offered)\n\n";
+  table.print(std::cout);
+  std::cout << "\nGoodput saturates at the channel capacity while access-"
+               "delay percentiles and collisions climb with density — the\n"
+               "contention surface the adaptive attacker (ROADMAP) will "
+               "train on.\n";
+  return 0;
+}

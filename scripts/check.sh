@@ -3,26 +3,40 @@
 #
 #   ./scripts/check.sh             # RelWithDebInfo, plain build
 #   ./scripts/check.sh --sanitize  # Debug + ASan/UBSan, separate build dir
+#   ./scripts/check.sh --quick     # skip ctest-labeled "slow" tests
+#                                  # (contention campaigns); flags combine
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_ARGS=()
-if [[ "${1:-}" == "--sanitize" ]]; then
-  BUILD_DIR=build-sanitize
-  CMAKE_ARGS+=(
-    -DCMAKE_BUILD_TYPE=Debug
-    "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-    "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
-  )
-  shift
-fi
-if [[ $# -gt 0 ]]; then
-  echo "unknown argument(s): $* (supported: --sanitize)" >&2
-  exit 2
-fi
+CTEST_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize)
+      BUILD_DIR=build-sanitize
+      CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=Debug
+        "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+        "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
+      )
+      ;;
+    --quick)
+      CTEST_ARGS+=(-LE slow)
+      ;;
+    *)
+      echo "unknown argument: $arg (supported: --sanitize --quick)" >&2
+      exit 2
+      ;;
+  esac
+done
 
-cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+# The ${VAR[@]+...} form keeps `set -u` happy on bash < 4.4 (macOS
+# default 3.2), where expanding an empty array is an unbound-variable
+# error.
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
-ctest --output-on-failure -j
+# CTEST_ARGS must precede the valueless -j, which greedily consumes a
+# following argument.
+ctest --output-on-failure ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"} -j

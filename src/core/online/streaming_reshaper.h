@@ -21,6 +21,16 @@
 // asserts this golden parity for every scheduler-based defense across all
 // registry scenarios; the latency/airtime numbers are *additional*
 // observables of the same transformation, not a different one.
+//
+// Radio model status: the shared-radio timeline here is a *per-pipeline
+// model* — each reshaper believes it owns the physical card and nothing
+// else contends for air. Since the contention subsystem landed
+// (sim/channel/channel_arbiter.h), endpoints transmit at the release
+// times modeled here and the arbitrated channel decides what the air
+// actually does; wherever both views exist, prefer the observed
+// sim::channel::ChannelStats, and treat StreamingStats as the modeled
+// (deprecated-for-observation) view. Uncontended, the two timelines are
+// identical — the golden-parity property tests/channel_test.cc asserts.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "net/config_protocol.h"
+#include "net/deferred_release.h"
+#include "sim/channel/channel_arbiter.h"
 #include "util/check.h"
 
 namespace reshape::net {
@@ -109,11 +111,16 @@ void AccessPoint::handle_config_request(const mac::Frame& frame) {
 }
 
 void AccessPoint::transmit(mac::Frame frame) {
-  frame.timestamp = simulator_.now();
+  transmit_at(std::move(frame), simulator_.now());
+}
+
+void AccessPoint::transmit_at(mac::Frame frame, util::TimePoint when) {
+  // Power and sequence stamped in send order (deterministic TPC draws).
   frame.channel = channel_;
   frame.tx_power_dbm = tpc_.next_power_dbm();
   frame.sequence = sequence_++;
-  medium_.transmit(frame, position_, this);
+  release_at(simulator_, medium_, position_, this, alive_, std::move(frame),
+             when);
 }
 
 AccessPoint::ClientState* AccessPoint::client_of_virtual(
@@ -169,27 +176,37 @@ void AccessPoint::send_to_client(const mac::MacAddress& client_physical,
 
   if (client.virtual_addresses.empty()) {
     frame.destination = client_physical;
-  } else {
-    // Reshaping algorithm on the AP side (Figure 3): the online pipeline
-    // sees the on-air size it is about to produce, picks the interface,
-    // and accounts the queueing delay behind the shared radio.
-    traffic::PacketRecord record;
-    record.time = simulator_.now();
-    record.size_bytes = frame.size_bytes;
-    record.direction = mac::Direction::kDownlink;
-    const core::online::ShapedPacket shaped = client.reshaper->push(record);
-    const std::size_t i =
-        shaped.interface_index % client.virtual_addresses.size();
-    frame.destination = client.virtual_addresses[i];
+    ++downlink_packets_;
+    transmit(std::move(frame));
+    return;
   }
+  // Reshaping algorithm on the AP side (Figure 3): the online pipeline
+  // sees the on-air size it is about to produce, picks the interface,
+  // and schedules the release behind the shared radio — the frame is
+  // deferred to that release time.
+  traffic::PacketRecord record;
+  record.time = simulator_.now();
+  record.size_bytes = frame.size_bytes;
+  record.direction = mac::Direction::kDownlink;
+  const core::online::ShapedPacket shaped = client.reshaper->push(record);
+  const std::size_t i =
+      shaped.interface_index % client.virtual_addresses.size();
+  frame.destination = client.virtual_addresses[i];
+  frame.size_bytes = shaped.record.size_bytes;
   ++downlink_packets_;
-  transmit(std::move(frame));
+  transmit_at(std::move(frame), shaped.tx_start);
 }
 
-const core::online::StreamingStats* AccessPoint::reshaping_stats_of(
+const core::online::StreamingStats* AccessPoint::modeled_reshaping_stats_of(
     const mac::MacAddress& client_physical) const {
   const auto it = clients_.find(client_physical);
   return it == clients_.end() ? nullptr : &it->second.reshaper->stats();
+}
+
+const sim::channel::ChannelStats* AccessPoint::observed_channel_stats()
+    const {
+  const sim::channel::ChannelArbiter* arbiter = medium_.arbiter_for(channel_);
+  return arbiter == nullptr ? nullptr : arbiter->stats_of(this);
 }
 
 std::vector<mac::MacAddress> AccessPoint::virtual_addresses_of(

@@ -29,6 +29,10 @@
 #include "sim/medium.h"
 #include "sim/simulator.h"
 
+namespace reshape::sim::channel {
+struct ChannelStats;
+}  // namespace reshape::sim::channel
+
 namespace reshape::net {
 
 /// Delivery callback for packets that cleared MAC translation: the upper
@@ -70,7 +74,11 @@ class AccessPoint : public sim::RadioListener {
 
   /// Sends `payload_bytes` of application data to an associated client.
   /// If the client has virtual interfaces the reshaping scheduler picks
-  /// the destination virtual MAC; otherwise the physical MAC is used.
+  /// the destination virtual MAC and the frame leaves at the client
+  /// pipeline's release time (a real deferred transmission); otherwise
+  /// the physical MAC is used and the frame leaves immediately. Deferred
+  /// release events are lifetime-guarded: destroying the AP before the
+  /// simulator drains cancels its not-yet-released frames.
   void send_to_client(const mac::MacAddress& client_physical,
                       std::uint32_t payload_bytes);
 
@@ -108,11 +116,27 @@ class AccessPoint : public sim::RadioListener {
     return rejected_frames_;
   }
 
-  /// Live-cost accounting of one client's downlink reshaping pipeline
-  /// (queueing delay, airtime, deadline misses); nullptr for clients the
-  /// AP does not know.
-  [[nodiscard]] const core::online::StreamingStats* reshaping_stats_of(
+  /// *Modeled* cost of one client's downlink reshaping pipeline (queueing
+  /// delay behind the StreamingReshaper's private radio model, airtime,
+  /// deadline misses); nullptr for clients the AP does not know. Each
+  /// client's pipeline models the radio as its own, so under a
+  /// ChannelArbiter the observed_channel_stats() numbers — one arbitrated
+  /// timeline for the whole AP — supersede these.
+  [[nodiscard]] const core::online::StreamingStats* modeled_reshaping_stats_of(
       const mac::MacAddress& client_physical) const;
+
+  /// Deprecated name for modeled_reshaping_stats_of(); thin wrapper kept
+  /// so existing callers don't break.
+  [[nodiscard]] const core::online::StreamingStats* reshaping_stats_of(
+      const mac::MacAddress& client_physical) const {
+    return modeled_reshaping_stats_of(client_physical);
+  }
+
+  /// *Observed* channel-access cost of the AP station under arbitration;
+  /// nullptr when no ChannelArbiter serves this channel or the AP has not
+  /// transmitted yet.
+  [[nodiscard]] const sim::channel::ChannelStats* observed_channel_stats()
+      const;
 
  private:
   struct ClientState {
@@ -129,6 +153,7 @@ class AccessPoint : public sim::RadioListener {
 
   void handle_config_request(const mac::Frame& frame);
   void transmit(mac::Frame frame);
+  void transmit_at(mac::Frame frame, util::TimePoint when);
   [[nodiscard]] ClientState* client_of_virtual(const mac::MacAddress& addr);
   [[nodiscard]] std::size_t decide_interface_count(
       std::uint32_t requested) const;
@@ -146,6 +171,8 @@ class AccessPoint : public sim::RadioListener {
   std::unordered_map<mac::MacAddress, ClientState> clients_;
   std::unordered_map<mac::MacAddress, mac::MacAddress> virtual_to_physical_;
   UpperLayerSink upper_layer_;
+  // Lifetime token for deferred release events (see WirelessClient).
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   std::uint16_t sequence_ = 0;
   std::uint64_t uplink_packets_ = 0;
   std::uint64_t downlink_packets_ = 0;

@@ -1,6 +1,8 @@
 #include "net/client.h"
 
 #include "net/config_protocol.h"
+#include "net/deferred_release.h"
+#include "sim/channel/channel_arbiter.h"
 #include "util/check.h"
 
 namespace reshape::net {
@@ -10,7 +12,8 @@ WirelessClient::WirelessClient(
     mac::MacAddress physical_address, mac::MacAddress bssid, int channel,
     mac::SymmetricKey key, util::Rng rng,
     std::unique_ptr<core::Scheduler> uplink_scheduler,
-    core::online::StreamingConfig streaming)
+    core::online::StreamingConfig streaming,
+    std::unique_ptr<core::online::PacketShaper> shaper)
     : simulator_{simulator},
       medium_{medium},
       position_{position},
@@ -20,7 +23,7 @@ WirelessClient::WirelessClient(
       cipher_{key},
       nonce_gen_{rng.next_u64()},
       tpc_{core::TransmitPowerControl::fixed(15.0)},
-      reshaper_{checked(std::move(uplink_scheduler)), nullptr,
+      reshaper_{checked(std::move(uplink_scheduler)), std::move(shaper),
                 streaming.accounting_only()} {
   util::require(!physical_address_.is_null(),
                 "WirelessClient: physical address must be set");
@@ -54,12 +57,26 @@ void WirelessClient::set_interface_power_controls(
   interface_tpc_ = std::move(controls);
 }
 
+const sim::channel::ChannelStats* WirelessClient::observed_channel_stats()
+    const {
+  const sim::channel::ChannelArbiter* arbiter = medium_.arbiter_for(channel_);
+  return arbiter == nullptr ? nullptr : arbiter->stats_of(this);
+}
+
 void WirelessClient::transmit(mac::Frame frame) {
-  frame.timestamp = simulator_.now();
+  transmit_at(std::move(frame), tpc_, simulator_.now());
+}
+
+void WirelessClient::transmit_at(mac::Frame frame,
+                                 core::TransmitPowerControl& tpc,
+                                 util::TimePoint when) {
+  // Power and sequence are stamped in send order so TPC draws stay
+  // deterministic regardless of how releases interleave on the clock.
   frame.channel = channel_;
-  frame.tx_power_dbm = tpc_.next_power_dbm();
+  frame.tx_power_dbm = tpc.next_power_dbm();
   frame.sequence = sequence_++;
-  medium_.transmit(frame, position_, this);
+  release_at(simulator_, medium_, position_, this, alive_, std::move(frame),
+             when);
 }
 
 void WirelessClient::request_virtual_interfaces(std::uint32_t count) {
@@ -146,18 +163,21 @@ void WirelessClient::send_packet(std::uint32_t payload_bytes) {
   frame.bssid = bssid_;
   frame.size_bytes = mac::on_air_size(payload_bytes);
 
+  util::TimePoint release = simulator_.now();
   std::optional<std::size_t> iface;
   if (state_ == ClientState::kConfigured && !interfaces_.empty()) {
     traffic::PacketRecord record;
     record.time = simulator_.now();
     record.size_bytes = frame.size_bytes;
     record.direction = mac::Direction::kUplink;
-    // The online pipeline picks the interface and accounts the queueing
-    // delay this packet pays behind the shared radio.
+    // The online pipeline shapes the size, picks the interface, and
+    // schedules the release behind the shared radio.
     const core::online::ShapedPacket shaped = reshaper_.push(record);
     const std::size_t i = shaped.interface_index % interfaces_.size();
     frame.source = interfaces_[i].address();
+    frame.size_bytes = shaped.record.size_bytes;
     interfaces_[i].record_tx(frame.size_bytes);
+    release = shaped.tx_start;
     iface = i;
   } else {
     frame.source = physical_address_;
@@ -168,11 +188,7 @@ void WirelessClient::send_packet(std::uint32_t payload_bytes) {
       (iface.has_value() && *iface < interface_tpc_.size())
           ? interface_tpc_[*iface]
           : tpc_;
-  frame.timestamp = simulator_.now();
-  frame.channel = channel_;
-  frame.tx_power_dbm = tpc.next_power_dbm();
-  frame.sequence = sequence_++;
-  medium_.transmit(frame, position_, this);
+  transmit_at(std::move(frame), tpc, release);
 }
 
 }  // namespace reshape::net

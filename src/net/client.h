@@ -9,6 +9,14 @@
 //     virtual MACs (or the physical one), translate back to the physical
 //     address, and hand the payload to upper layers, keeping the whole
 //     mechanism transparent above the MAC layer.
+//
+// Transmission timing: the uplink StreamingReshaper's scheduled release
+// times are *real* — a packet whose release time is in the future is
+// deferred through the simulator and only then handed to the medium, so
+// the sniffer observes defended timing (and, with a ChannelArbiter
+// installed, arbitrated timing on top). Deferred release events are
+// lifetime-guarded: destroying the client before the simulator drains
+// simply cancels its not-yet-released frames.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,10 @@
 #include "sim/medium.h"
 #include "sim/simulator.h"
 
+namespace reshape::sim::channel {
+struct ChannelStats;
+}  // namespace reshape::sim::channel
+
 namespace reshape::net {
 
 /// Handshake progress of the client.
@@ -41,15 +53,16 @@ class WirelessClient : public sim::RadioListener {
  public:
   /// Attaches to the medium at `position`, tuned to `channel`, associated
   /// with the AP identified by `bssid` sharing `key`. The uplink scheduler
-  /// runs inside a core::online::StreamingReshaper, so every reshaped
-  /// transmission is accounted for queueing delay and airtime against
-  /// `streaming` (reshaping_stats() reads the tally back).
+  /// runs inside a core::online::StreamingReshaper whose release times
+  /// become actual deferred transmissions; `shaper` optionally adds a
+  /// per-packet size transform (live padding/morphing) before scheduling.
   WirelessClient(sim::Simulator& simulator, sim::Medium& medium,
                  sim::Position position, mac::MacAddress physical_address,
                  mac::MacAddress bssid, int channel, mac::SymmetricKey key,
                  util::Rng rng,
                  std::unique_ptr<core::Scheduler> uplink_scheduler,
-                 core::online::StreamingConfig streaming = {});
+                 core::online::StreamingConfig streaming = {},
+                 std::unique_ptr<core::online::PacketShaper> shaper = nullptr);
 
   ~WirelessClient() override;
   WirelessClient(const WirelessClient&) = delete;
@@ -61,7 +74,7 @@ class WirelessClient : public sim::RadioListener {
 
   /// Sends `payload_bytes` of application data to the AP. With virtual
   /// interfaces configured, the reshaping scheduler chooses which virtual
-  /// MAC transmits.
+  /// MAC transmits and the frame leaves at the reshaper's release time.
   void send_packet(std::uint32_t payload_bytes);
 
   /// Upper-layer delivery hook for downlink traffic (receives the
@@ -98,11 +111,30 @@ class WirelessClient : public sim::RadioListener {
     return handshake_failures_;
   }
 
-  /// Live-cost accounting of the uplink reshaping pipeline: per-packet
-  /// queueing delay behind the shared radio, airtime, deadline misses.
-  [[nodiscard]] const core::online::StreamingStats& reshaping_stats() const {
+  /// *Modeled* cost of the uplink reshaping pipeline: per-packet queueing
+  /// delay behind the StreamingReshaper's private radio model, airtime,
+  /// deadline misses. When a ChannelArbiter serves this channel, prefer
+  /// observed_channel_stats() — the arbitrated numbers the air actually
+  /// exhibits.
+  [[nodiscard]] const core::online::StreamingStats& modeled_reshaping_stats()
+      const {
     return reshaper_.stats();
   }
+
+  /// Deprecated name for modeled_reshaping_stats(); thin wrapper kept so
+  /// existing callers don't break. The per-interface radio model it reads
+  /// is superseded by sim::channel::ChannelStats wherever an arbiter is
+  /// installed.
+  [[nodiscard]] const core::online::StreamingStats& reshaping_stats() const {
+    return modeled_reshaping_stats();
+  }
+
+  /// *Observed* channel-access cost of this station under arbitration:
+  /// what the frames actually paid on the air (access delay, collisions,
+  /// retries). nullptr when no ChannelArbiter serves this channel or the
+  /// client has not transmitted yet.
+  [[nodiscard]] const sim::channel::ChannelStats* observed_channel_stats()
+      const;
 
  private:
   /// The client requires a scheduler even though StreamingReshaper itself
@@ -112,6 +144,8 @@ class WirelessClient : public sim::RadioListener {
       std::unique_ptr<core::Scheduler> scheduler);
 
   void transmit(mac::Frame frame);
+  void transmit_at(mac::Frame frame, core::TransmitPowerControl& tpc,
+                   util::TimePoint when);
   void handle_config_response(const mac::Frame& frame);
   [[nodiscard]] bool owns_address(const mac::MacAddress& addr) const;
 
@@ -130,6 +164,9 @@ class WirelessClient : public sim::RadioListener {
   std::function<void(std::uint32_t)> upper_layer_;
   ClientState state_ = ClientState::kAssociated;
   std::optional<std::uint64_t> pending_nonce_;
+  // Lifetime token for deferred release events: lambdas hold a weak_ptr
+  // and no-op once the client is gone.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   std::uint16_t sequence_ = 0;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;

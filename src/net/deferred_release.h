@@ -1,0 +1,46 @@
+// Deferred frame release, shared by WirelessClient and AccessPoint.
+//
+// The streaming pipeline's scheduled release times become real
+// transmissions here: a frame due now goes straight to the medium, a
+// future release is parked in the simulator. The weak lifetime token
+// cancels pending releases when the owning endpoint is destroyed before
+// the simulator drains — the event fires, sees the token expired, and
+// no-ops instead of touching a dead object.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mac/frame.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace reshape::net {
+
+/// Releases `frame` from `station` at `when` (which may be in the past:
+/// immediate transmission). The medium and simulator must outlive the
+/// simulation, as everywhere else; `alive` is the endpoint's lifetime
+/// token. frame.timestamp is stamped at the actual release instant.
+inline void release_at(sim::Simulator& simulator, sim::Medium& medium,
+                       sim::Position position, sim::RadioListener* station,
+                       const std::shared_ptr<char>& alive, mac::Frame frame,
+                       util::TimePoint when) {
+  if (when <= simulator.now()) {
+    frame.timestamp = simulator.now();
+    medium.transmit(frame, position, station);
+    return;
+  }
+  simulator.schedule_at(
+      when, [&simulator, &medium, position, station,
+             token = std::weak_ptr<char>{alive},
+             f = std::move(frame)]() mutable {
+        if (token.expired()) {
+          return;  // endpoint destroyed; cancel the release
+        }
+        f.timestamp = simulator.now();
+        medium.transmit(f, position, station);
+      });
+}
+
+}  // namespace reshape::net

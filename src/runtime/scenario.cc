@@ -1,15 +1,150 @@
 #include "runtime/scenario.h"
 
+#include <algorithm>
 #include <array>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
 #include "core/online/streaming_reshaper.h"
 #include "core/scheduler.h"
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
 #include "traffic/generator.h"
 #include "util/check.h"
 
 namespace reshape::runtime {
+
+namespace {
+
+/// Inert transmitter identity for driving a ChannelArbiter directly —
+/// contention scenarios need station identities, not full protocol stacks.
+struct StationIdentity final : sim::RadioListener {
+  void on_frame(const mac::Frame&, double) override {}
+};
+
+sim::PathLossModel quiet_path_loss() {
+  sim::PathLossModel model;
+  model.shadowing_sigma_db = 0.0;
+  return model;
+}
+
+/// Shared scaffolding of the arbitrated-channel scenarios: owns the
+/// simulator/medium/arbiter stack, registers transmitter identities,
+/// schedules per-record enqueues at their original times, mirrors the
+/// arbiter's per-station FIFO against the on-air and drop hooks, and
+/// collects the observed (restamped) records per output stream.
+class ArbitratedAir {
+ public:
+  ArbitratedAir(double bitrate_mbps, util::Rng medium_rng,
+                util::Rng arbiter_rng, std::size_t output_streams)
+      : medium_{quiet_path_loss(), medium_rng},
+        arbiter_{simulator_, medium_, kChannel,
+                 contended_params(bitrate_mbps), arbiter_rng},
+        collected_(output_streams) {
+    // Per-station FIFO order is preserved by the arbiter, so the k-th
+    // on-air (or dropped) frame of a transmitter is its k-th scheduled
+    // record.
+    arbiter_.set_on_air_hook([this](const mac::Frame& frame, util::Duration,
+                                    const sim::RadioListener* tx) {
+      Transmitter& t = transmitter_of(tx);
+      const auto [stream, original] = t.fifo.front();
+      t.fifo.pop_front();
+      collected_[stream].push_back(
+          {frame.timestamp, frame.size_bytes, original->direction});
+    });
+    arbiter_.set_drop_hook(
+        [this](const mac::Frame&, const sim::RadioListener* tx) {
+          transmitter_of(tx).fifo.pop_front();  // never reached the air
+        });
+  }
+
+  /// Registers a transmitter at `position`; returns its handle.
+  std::size_t add_transmitter(sim::Position position) {
+    transmitters_.push_back(Transmitter{{}, position, {}});
+    return transmitters_.size() - 1;
+  }
+
+  /// Schedules `record` (which must outlive run()) for transmission by
+  /// `transmitter` at its original timestamp, observed into `stream`.
+  void schedule(std::size_t transmitter, std::size_t stream,
+                const traffic::PacketRecord& record) {
+    simulator_.schedule_at(
+        record.time, [this, transmitter, stream, r = &record] {
+          Transmitter& t = transmitters_[transmitter];
+          t.fifo.emplace_back(stream, r);
+          mac::Frame frame;
+          frame.size_bytes = r->size_bytes;
+          frame.channel = kChannel;
+          arbiter_.enqueue(std::move(frame), t.position, &t.identity);
+        });
+  }
+
+  /// Drains the simulator and returns each stream's observed records,
+  /// time-sorted (streams fed by several transmitters interleave).
+  std::vector<std::vector<traffic::PacketRecord>> run() {
+    simulator_.run();
+    for (std::vector<traffic::PacketRecord>& stream : collected_) {
+      std::stable_sort(stream.begin(), stream.end(),
+                       [](const traffic::PacketRecord& a,
+                          const traffic::PacketRecord& b) {
+                         return a.time < b.time;
+                       });
+    }
+    return std::move(collected_);
+  }
+
+ private:
+  struct Transmitter {
+    StationIdentity identity;
+    sim::Position position;
+    std::deque<std::pair<std::size_t, const traffic::PacketRecord*>> fifo;
+  };
+
+  [[nodiscard]] Transmitter& transmitter_of(const sim::RadioListener* id) {
+    for (Transmitter& t : transmitters_) {
+      if (&t.identity == id) {
+        return t;
+      }
+    }
+    throw std::logic_error{"ArbitratedAir: unknown transmitter identity"};
+  }
+
+  [[nodiscard]] static sim::channel::DcfParams contended_params(
+      double bitrate_mbps) {
+    sim::channel::DcfParams params;
+    params.bitrate_mbps = bitrate_mbps;
+    return params;
+  }
+
+  static constexpr int kChannel = 1;
+  sim::Simulator simulator_;
+  sim::Medium medium_;
+  sim::channel::ChannelArbiter arbiter_;
+  std::deque<Transmitter> transmitters_;  // deque: stable identity addresses
+  std::vector<std::vector<traffic::PacketRecord>> collected_;
+};
+
+/// Packages observed per-stream records as traces labeled like
+/// `originals` (index-aligned).
+std::vector<traffic::Trace> label_streams(
+    std::vector<std::vector<traffic::PacketRecord>> collected,
+    const std::vector<traffic::Trace>& originals) {
+  std::vector<traffic::Trace> observed;
+  observed.reserve(collected.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    traffic::Trace flow{originals[i].app()};
+    flow.reserve(collected[i].size());
+    for (const traffic::PacketRecord& r : collected[i]) {
+      flow.push_back(r);
+    }
+    observed.push_back(std::move(flow));
+  }
+  return observed;
+}
+
+}  // namespace
 
 Scenario::Scenario(std::string name, std::string description,
                    Generator generate)
@@ -201,6 +336,80 @@ Scenario live_reshaping(std::size_t stations, util::Duration duration,
       }};
 }
 
+Scenario contended_cell(std::size_t stations, util::Duration duration,
+                        double bitrate_mbps) {
+  util::require(stations > 0, "contended_cell: need >= 1 station");
+  util::require(bitrate_mbps > 0.0, "contended_cell: bitrate must be > 0");
+  return Scenario{
+      "contended-cell",
+      "co-channel stations under DCF arbitration: on-air timestamps after "
+      "carrier sense, backoff, and collision retries",
+      [=](util::Rng& rng) {
+        // Per-station source traces from keyed substreams (dense_wlan
+        // style: independent of station count and call interleaving).
+        std::vector<traffic::Trace> originals;
+        originals.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          util::Rng station_rng = rng.fork(s);
+          const auto pick = static_cast<std::size_t>(
+              station_rng.uniform_int(
+                  0, static_cast<std::int64_t>(traffic::kAppCount) - 1));
+          originals.push_back(traffic::generate_trace(
+              traffic::app_from_index(pick), duration, station_rng));
+        }
+
+        ArbitratedAir air{bitrate_mbps, rng.fork(0xA12B17E5ULL),
+                          rng.fork(0xDCFDCFULL), stations};
+        for (std::size_t s = 0; s < stations; ++s) {
+          const std::size_t tx =
+              air.add_transmitter(sim::Position{static_cast<double>(s), 0.0});
+          for (const traffic::PacketRecord& r : originals[s].records()) {
+            air.schedule(tx, s, r);
+          }
+        }
+        return label_streams(air.run(), originals);
+      }};
+}
+
+Scenario saturated_ap_downlink(std::size_t clients, util::Duration duration,
+                               double bitrate_mbps) {
+  util::require(clients > 0, "saturated_ap_downlink: need >= 1 client");
+  util::require(bitrate_mbps > 0.0,
+                "saturated_ap_downlink: bitrate must be > 0");
+  return Scenario{
+      "saturated-ap-downlink",
+      "one AP serializes every bulk downlink flow on the arbitrated "
+      "channel while clients contend for their uplink",
+      [=](util::Rng& rng) {
+        constexpr std::array<traffic::AppType, 4> kBulk{
+            traffic::AppType::kDownloading, traffic::AppType::kVideo,
+            traffic::AppType::kBitTorrent, traffic::AppType::kBrowsing};
+        std::vector<traffic::Trace> originals;
+        originals.reserve(clients);
+        for (std::size_t c = 0; c < clients; ++c) {
+          util::Rng client_rng = rng.fork(c);
+          originals.push_back(traffic::generate_trace(
+              kBulk[c % kBulk.size()], duration, client_rng));
+        }
+
+        // One AP transmitter serializes every downlink record; each
+        // client contends for its own uplink. Both halves of a client's
+        // flow observe into the same stream.
+        ArbitratedAir air{bitrate_mbps, rng.fork(0x5A7DBEEFULL),
+                          rng.fork(0xA9D1ULL), clients};
+        const std::size_t ap = air.add_transmitter(sim::Position{0.0, 0.0});
+        for (std::size_t c = 0; c < clients; ++c) {
+          const std::size_t uplink = air.add_transmitter(
+              sim::Position{static_cast<double>(c + 1), 0.0});
+          for (const traffic::PacketRecord& r : originals[c].records()) {
+            air.schedule(
+                r.direction == mac::Direction::kDownlink ? ap : uplink, c, r);
+          }
+        }
+        return label_streams(air.run(), originals);
+      }};
+}
+
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry = [] {
     ScenarioRegistry r;
@@ -212,6 +421,8 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(dense_wlan(10, minute));
     r.add(bulk_transfer_heavy(8, minute));
     r.add(live_reshaping(6, minute));
+    r.add(contended_cell(8, minute));
+    r.add(saturated_ap_downlink(5, minute));
     return r;
   }();
   return registry;

@@ -107,6 +107,25 @@ class Scenario {
                                       util::Duration duration,
                                       double bitrate_mbps = 54.0);
 
+/// Dense co-channel contention: `stations` stations (random apps) share
+/// one arbitrated channel under the simplified DCF
+/// (sim::channel::ChannelArbiter) at `bitrate_mbps`, and every packet is
+/// re-timestamped to its *arbitrated on-air* instant — carrier sense,
+/// backoff, and collision retries included. The air as captured in a
+/// crowded cell; frames dropped at the retry limit never appear.
+[[nodiscard]] Scenario contended_cell(std::size_t stations,
+                                      util::Duration duration,
+                                      double bitrate_mbps = 12.0);
+
+/// Saturated AP downlink: one AP station serializes `clients` bulk-heavy
+/// downlink flows through the arbitrated channel while every client
+/// contends for its own uplink. Each observable flow mixes the AP's
+/// head-of-line queueing (downlink) with contention delay (uplink) — the
+/// workload the paper's per-flow radio model cannot express.
+[[nodiscard]] Scenario saturated_ap_downlink(std::size_t clients,
+                                             util::Duration duration,
+                                             double bitrate_mbps = 12.0);
+
 // ---------------------------------------------------------------- registry
 
 /// A name -> Scenario table. `global()` comes pre-populated with the

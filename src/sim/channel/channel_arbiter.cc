@@ -1,0 +1,287 @@
+#include "sim/channel/channel_arbiter.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace reshape::sim::channel {
+
+double ChannelStats::mean_access_delay_us() const {
+  if (frames_sent == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_access_delay.count_us()) /
+         static_cast<double>(frames_sent);
+}
+
+void ChannelStats::merge(const ChannelStats& other) {
+  frames_sent += other.frames_sent;
+  frames_dropped += other.frames_dropped;
+  collisions += other.collisions;
+  retries += other.retries;
+  total_access_delay += other.total_access_delay;
+  max_access_delay = std::max(max_access_delay, other.max_access_delay);
+  airtime += other.airtime;
+  max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+}
+
+DcfParams DcfParams::uncontended(double bitrate_mbps) {
+  DcfParams params;
+  params.slot = util::Duration{};
+  params.difs = util::Duration{};
+  params.sifs = util::Duration{};
+  params.cw_min = 0;
+  params.cw_max = 0;
+  params.bitrate_mbps = bitrate_mbps;
+  return params;
+}
+
+ChannelArbiter::ChannelArbiter(Simulator& simulator, Medium& medium,
+                               int channel, DcfParams params, util::Rng rng)
+    : simulator_{simulator},
+      medium_{medium},
+      channel_{channel},
+      params_{params},
+      rng_{rng} {
+  util::require(params_.bitrate_mbps > 0.0,
+                "ChannelArbiter: bitrate must be positive");
+  util::require(params_.cw_min <= params_.cw_max,
+                "ChannelArbiter: cw_min must be <= cw_max");
+  util::require(params_.slot >= util::Duration{} &&
+                    params_.difs >= util::Duration{} &&
+                    params_.sifs >= util::Duration{},
+                "ChannelArbiter: negative DCF timing");
+  medium_.install_arbiter(*this);
+}
+
+ChannelArbiter::~ChannelArbiter() { medium_.uninstall_arbiter(*this); }
+
+ChannelArbiter::Station& ChannelArbiter::station_of(const RadioListener* id) {
+  for (Station& station : stations_) {
+    if (station.id == id) {
+      return station;
+    }
+  }
+  // Keyed substream per registration index: the station's backoff draws
+  // depend only on the arbiter seed and its first-transmission order,
+  // never on how other stations interleave.
+  stations_.push_back(Station{id, {}, -1, params_.cw_min, 0,
+                              rng_.fork(stations_.size()), {}});
+  return stations_.back();
+}
+
+util::Duration ChannelArbiter::occupancy_of(const mac::Frame& frame) const {
+  return mac::airtime(frame.size_bytes, params_.bitrate_mbps);
+}
+
+void ChannelArbiter::enqueue(mac::Frame frame, Position tx_position,
+                             const RadioListener* transmitter) {
+  util::require(frame.channel == channel_,
+                "ChannelArbiter::enqueue: frame tuned to another channel");
+  util::require(transmitter != nullptr,
+                "ChannelArbiter::enqueue: transmitter identity required "
+                "(anonymous frames cannot contend)");
+  const util::TimePoint now = simulator_.now();
+  if (!saw_activity_) {
+    first_activity_ = now;
+    saw_activity_ = true;
+  }
+  Station& station = station_of(transmitter);
+  station.queue.push_back(Pending{std::move(frame), tx_position, now});
+  station.stats.max_queue_depth =
+      std::max(station.stats.max_queue_depth, station.queue.size());
+  schedule_decision();
+}
+
+void ChannelArbiter::schedule_decision() {
+  ++generation_;  // supersede any outstanding decision event
+  const util::TimePoint now = simulator_.now();
+  util::TimePoint start = std::max(now, busy_until_ + params_.difs);
+  if (counting_) {
+    // An idle countdown is being interrupted (new enqueue). Credit the
+    // fully elapsed slots to every station that was already counting and
+    // resume from the start of the partially elapsed slot: DCF does not
+    // restart peers' backoff on a foreign arrival, so countdown progress
+    // — including the sub-slot fraction — must survive interruptions
+    // (arrivals spaced closer than one slot would otherwise freeze every
+    // peer's countdown and starve the channel).
+    util::TimePoint resume = countdown_origin_;
+    if (params_.slot > util::Duration{} && now > countdown_origin_) {
+      const std::int64_t elapsed = (now - countdown_origin_) / params_.slot;
+      for (Station& station : stations_) {
+        if (!station.queue.empty() && station.backoff_slots > 0) {
+          station.backoff_slots =
+              std::max<std::int64_t>(0, station.backoff_slots - elapsed);
+        }
+      }
+      resume = countdown_origin_ + params_.slot * elapsed;
+    }
+    start = std::max(resume, busy_until_ + params_.difs);
+  }
+  counting_ = false;
+
+  std::int64_t min_slots = std::numeric_limits<std::int64_t>::max();
+  for (Station& station : stations_) {
+    if (station.queue.empty()) {
+      continue;
+    }
+    if (station.backoff_slots < 0) {
+      station.backoff_slots = station.rng.uniform_int(0, station.cw);
+    }
+    min_slots = std::min(min_slots, station.backoff_slots);
+  }
+  if (min_slots == std::numeric_limits<std::int64_t>::max()) {
+    return;  // nothing pending
+  }
+
+  countdown_origin_ = start;
+  counting_ = true;
+  const std::uint64_t generation = generation_;
+  // The resumed origin may sit up to one slot in the past; a station
+  // whose countdown already expired (or a zero-backoff newcomer on an
+  // idle channel) transmits now, never in the simulated past.
+  simulator_.schedule_at(std::max(start + params_.slot * min_slots, now),
+                         [this, generation] { decide(generation); });
+}
+
+void ChannelArbiter::decide(std::uint64_t generation) {
+  if (generation != generation_) {
+    return;  // state changed since this decision was scheduled
+  }
+  counting_ = false;
+
+  std::int64_t min_slots = std::numeric_limits<std::int64_t>::max();
+  for (const Station& station : stations_) {
+    if (!station.queue.empty()) {
+      min_slots = std::min(min_slots, station.backoff_slots);
+    }
+  }
+  util::internal_check(min_slots != std::numeric_limits<std::int64_t>::max() &&
+                           min_slots >= 0,
+                       "ChannelArbiter::decide: no pending station");
+
+  std::vector<std::size_t> winners;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    Station& station = stations_[i];
+    if (station.queue.empty()) {
+      continue;
+    }
+    station.backoff_slots -= min_slots;  // losers keep the remainder frozen
+    if (station.backoff_slots == 0) {
+      winners.push_back(i);
+    }
+  }
+  util::internal_check(!winners.empty(),
+                       "ChannelArbiter::decide: countdown without winner");
+
+  if (winners.size() == 1) {
+    transmit_head(winners.front());
+    return;
+  }
+
+  // Collision: the channel is wasted for the longest colliding frame, all
+  // colliders double their window and redraw; a frame past the retry
+  // limit is dropped.
+  const util::TimePoint now = simulator_.now();
+  util::Duration occupancy;
+  for (const std::size_t i : winners) {
+    occupancy = std::max(occupancy, occupancy_of(stations_[i].queue.front().frame));
+  }
+  busy_until_ = now + occupancy + params_.sifs;
+  busy_accum_ += occupancy;
+
+  std::vector<std::pair<mac::Frame, const RadioListener*>> dropped;
+  for (const std::size_t i : winners) {
+    Station& station = stations_[i];
+    ++station.stats.collisions;
+    ++station.retries;
+    station.backoff_slots = -1;  // redraw at the next countdown
+    if (station.retries > params_.retry_limit) {
+      ++station.stats.frames_dropped;
+      dropped.emplace_back(std::move(station.queue.front().frame), station.id);
+      station.queue.pop_front();
+      station.retries = 0;
+      station.cw = params_.cw_min;
+    } else {
+      ++station.stats.retries;
+      station.cw = std::min(2 * station.cw + 1, params_.cw_max);
+    }
+  }
+  if (drop_hook_) {
+    for (const auto& [frame, id] : dropped) {
+      drop_hook_(frame, id);
+    }
+  }
+  schedule_decision();
+}
+
+void ChannelArbiter::transmit_head(std::size_t station_index) {
+  Station& station = stations_[station_index];
+  Pending pending = std::move(station.queue.front());
+  station.queue.pop_front();
+  station.backoff_slots = -1;
+  station.retries = 0;
+  station.cw = params_.cw_min;
+
+  const util::TimePoint now = simulator_.now();
+  const util::Duration on_air = occupancy_of(pending.frame);
+  pending.frame.timestamp = now;  // the instant the sniffer observes
+  busy_until_ = now + on_air;
+  busy_accum_ += on_air;
+  ++frames_on_air_;
+
+  const util::Duration delay = now - pending.enqueued;
+  ++station.stats.frames_sent;
+  station.stats.airtime += on_air;
+  station.stats.total_access_delay += delay;
+  station.stats.max_access_delay =
+      std::max(station.stats.max_access_delay, delay);
+  const RadioListener* id = station.id;
+
+  // Listeners may transmit from on_frame (handshake replies), which
+  // re-enters enqueue() and can grow stations_ — no Station references
+  // may be held across these calls.
+  if (on_air_hook_) {
+    on_air_hook_(pending.frame, delay, id);
+  }
+  medium_.broadcast(pending.frame, pending.position, id);
+  schedule_decision();
+}
+
+const ChannelStats* ChannelArbiter::stats_of(
+    const RadioListener* transmitter) const {
+  for (const Station& station : stations_) {
+    if (station.id == transmitter) {
+      return &station.stats;
+    }
+  }
+  return nullptr;
+}
+
+ChannelStats ChannelArbiter::totals() const {
+  ChannelStats totals;
+  for (const Station& station : stations_) {
+    totals.merge(station.stats);
+  }
+  return totals;
+}
+
+std::size_t ChannelArbiter::pending() const {
+  std::size_t count = 0;
+  for (const Station& station : stations_) {
+    count += station.queue.size();
+  }
+  return count;
+}
+
+double ChannelArbiter::utilization() const {
+  if (!saw_activity_ || busy_until_ <= first_activity_) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_accum_.count_us()) /
+         static_cast<double>((busy_until_ - first_activity_).count_us());
+}
+
+}  // namespace reshape::sim::channel

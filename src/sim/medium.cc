@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/channel/channel_arbiter.h"
 #include "util/check.h"
 
 namespace reshape::sim {
@@ -28,7 +29,7 @@ Medium::Medium(PathLossModel model, util::Rng rng) : model_{model}, rng_{rng} {}
 
 void Medium::attach(RadioListener& listener, Position position, int channel) {
   util::require(find(listener) == nullptr, "Medium::attach: already attached");
-  entries_.push_back(Entry{&listener, position, channel});
+  entries_.push_back(Entry{&listener, position, channel, next_attachment_id_++});
 }
 
 void Medium::detach(RadioListener& listener) {
@@ -69,16 +70,84 @@ int Medium::channel_of(const RadioListener& listener) const {
   return entry->channel;
 }
 
+void Medium::install_arbiter(channel::ChannelArbiter& arbiter) {
+  util::require(arbiter_for(arbiter.channel()) == nullptr,
+                "Medium::install_arbiter: channel already arbitrated");
+  arbiters_.emplace_back(arbiter.channel(), &arbiter);
+}
+
+void Medium::uninstall_arbiter(const channel::ChannelArbiter& arbiter) {
+  const auto it = std::find_if(
+      arbiters_.begin(), arbiters_.end(),
+      [&](const auto& entry) { return entry.second == &arbiter; });
+  util::require(it != arbiters_.end(),
+                "Medium::uninstall_arbiter: not installed");
+  arbiters_.erase(it);
+}
+
+channel::ChannelArbiter* Medium::arbiter_for(int chan) const {
+  for (const auto& [arbitrated_channel, arbiter] : arbiters_) {
+    if (arbitrated_channel == chan) {
+      return arbiter;
+    }
+  }
+  return nullptr;
+}
+
 void Medium::transmit(const mac::Frame& frame, Position tx_position,
                       const RadioListener* exclude) {
+  if (channel::ChannelArbiter* arbiter = arbiter_for(frame.channel)) {
+    arbiter->enqueue(frame, tx_position, exclude);
+    return;
+  }
+  broadcast(frame, tx_position, exclude);
+}
+
+void Medium::broadcast(const mac::Frame& frame, Position tx_position,
+                       const RadioListener* exclude) {
   ++frames_transmitted_;
+  // Resolve the exclusion to an attachment id up front; an unattached
+  // transmitter simply excludes nobody.
+  std::uint64_t exclude_id = 0;
+  if (exclude != nullptr) {
+    if (const Entry* e = find(*exclude)) {
+      exclude_id = e->id;
+    }
+  }
+  // Snapshot the co-channel attachment ids, then re-validate each before
+  // delivery: an on_frame() callback may detach/retune listeners (or
+  // attach new ones), so walking entries_ directly would invalidate the
+  // iteration. The member scratch buffer keeps the hot path alloc-free;
+  // nested broadcasts (a listener transmitting from on_frame on an
+  // unarbitrated channel) fall back to a local buffer.
+  std::vector<std::uint64_t> nested;
+  std::vector<std::uint64_t>& targets =
+      broadcast_depth_ == 0 ? scratch_targets_ : nested;
+  targets.clear();
+  targets.reserve(entries_.size());
   for (const Entry& e : entries_) {
-    if (e.listener == exclude || e.channel != frame.channel) {
-      continue;
+    if (e.channel == frame.channel && e.id != exclude_id) {
+      targets.push_back(e.id);
+    }
+  }
+  ++broadcast_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } guard{broadcast_depth_};
+  for (const std::uint64_t id : targets) {
+    // entries_ stays sorted by attachment id (attach appends increasing
+    // ids, erase preserves order), so revalidation is a binary search.
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const Entry& e, std::uint64_t target) { return e.id < target; });
+    if (it == entries_.end() || it->id != id ||
+        it->channel != frame.channel) {
+      continue;  // detached or retuned during this delivery
     }
     const double rssi = model_.rssi_dbm(
-        frame.tx_power_dbm, distance(tx_position, e.position), rng_);
-    e.listener->on_frame(frame, rssi);
+        frame.tx_power_dbm, distance(tx_position, it->position), rng_);
+    it->listener->on_frame(frame, rssi);
   }
 }
 

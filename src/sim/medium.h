@@ -2,20 +2,32 @@
 //
 // The paper's threat model rests on the broadcast nature of 802.11: every
 // frame on a channel is observable by any radio tuned to that channel.
-// Medium models exactly that — transmit() delivers a frame to every
+// Medium models exactly that — broadcast() delivers a frame to every
 // attached listener whose radio is on the frame's channel, along with the
 // received signal strength (RSSI) from a log-distance path-loss model
 // (used by the §V-A power-analysis experiments; the paper's own traces
 // were captured around -50 dBm).
+//
+// Channel access is arbitrated: when a channel::ChannelArbiter is
+// installed for a channel, transmit() is an *enqueue* — the frame goes on
+// the air (and reaches listeners) only at the instant the DCF arbitration
+// grants, with frame.timestamp restamped to that instant. Without an
+// arbiter, transmit() degenerates to the historical instantaneous
+// broadcast.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mac/frame.h"
 #include "util/rng.h"
 
 namespace reshape::sim {
+
+namespace channel {
+class ChannelArbiter;
+}  // namespace channel
 
 /// 2-D position in metres (the RSSI model only needs distance).
 struct Position {
@@ -63,7 +75,9 @@ class Medium {
   /// must outlive the medium or detach first.
   void attach(RadioListener& listener, Position position, int channel);
 
-  /// Detaches a previously attached listener.
+  /// Detaches a previously attached listener. Safe to call from inside
+  /// the listener's own on_frame() (delivery of the in-flight frame to
+  /// the remaining listeners continues).
   void detach(RadioListener& listener);
 
   /// Retunes a listener's radio to a different channel (frequency hopping).
@@ -72,11 +86,35 @@ class Medium {
   /// Current channel of an attached listener.
   [[nodiscard]] int channel_of(const RadioListener& listener) const;
 
-  /// Broadcasts a frame transmitted from `tx_position` on frame.channel.
-  /// Every listener on that channel receives it with a modelled RSSI.
-  /// The transmitter itself is skipped when `exclude` points to it.
+  /// Transmits a frame from `tx_position` on frame.channel. With a
+  /// ChannelArbiter installed for that channel this enqueues the frame
+  /// for arbitration (delivery happens at the arbitrated on-air instant,
+  /// and `exclude` doubles as the station identity the arbiter keys its
+  /// per-station queue and ChannelStats on — it must be non-null on an
+  /// arbitrated channel); otherwise it broadcasts immediately.
   void transmit(const mac::Frame& frame, Position tx_position,
                 const RadioListener* exclude = nullptr);
+
+  /// Immediate on-air delivery to every listener on the frame's channel
+  /// with a modelled RSSI — the primitive arbiters invoke at the
+  /// arbitrated instant. Exclusion is by *attachment identity*: `exclude`
+  /// is resolved against the current attachments once, so a recycled
+  /// pointer can never silence an unrelated listener, and listeners that
+  /// detach (or retune) from inside an earlier on_frame() callback are
+  /// skipped rather than invalidating the walk. Listeners attached
+  /// mid-delivery do not receive the in-flight frame.
+  void broadcast(const mac::Frame& frame, Position tx_position,
+                 const RadioListener* exclude = nullptr);
+
+  /// Installs `arbiter` for its channel; at most one arbiter per channel.
+  /// Called by ChannelArbiter's constructor — not directly by users.
+  void install_arbiter(channel::ChannelArbiter& arbiter);
+
+  /// Removes a previously installed arbiter (ChannelArbiter destructor).
+  void uninstall_arbiter(const channel::ChannelArbiter& arbiter);
+
+  /// The arbiter serving `chan`, or nullptr for unarbitrated channels.
+  [[nodiscard]] channel::ChannelArbiter* arbiter_for(int chan) const;
 
   [[nodiscard]] std::size_t listener_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t frames_transmitted() const {
@@ -88,6 +126,7 @@ class Medium {
     RadioListener* listener;
     Position position;
     int channel;
+    std::uint64_t id;  // attachment identity (unique per attach())
   };
 
   [[nodiscard]] Entry* find(const RadioListener& listener);
@@ -95,7 +134,11 @@ class Medium {
 
   PathLossModel model_;
   util::Rng rng_;
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;  // sorted by attachment id (append-only ids)
+  std::vector<std::pair<int, channel::ChannelArbiter*>> arbiters_;
+  std::vector<std::uint64_t> scratch_targets_;  // broadcast() reuse buffer
+  int broadcast_depth_ = 0;
+  std::uint64_t next_attachment_id_ = 1;
   std::uint64_t frames_transmitted_ = 0;
 };
 

@@ -1,0 +1,144 @@
+// Slow contention tests (ctest label: slow — skipped by
+// `scripts/check.sh --quick`, exercised in the ASan/UBSan CI job):
+// campaign-level determinism of the arbitrated-channel scenarios across
+// thread counts and repeated runs, and saturation-level sanity of a
+// dense contending cell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/defense_factory.h"
+#include "runtime/campaign.h"
+#include "runtime/scenario.h"
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace reshape::runtime {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+eval::ExperimentConfig tiny_training() {
+  eval::ExperimentConfig cfg;
+  cfg.seed = 777;
+  cfg.window = Duration::seconds(5.0);
+  cfg.train_sessions_per_app = 2;
+  cfg.train_session_duration = Duration::seconds(30.0);
+  cfg.test_sessions_per_app = 1;
+  cfg.test_session_duration = Duration::seconds(30.0);
+  return cfg;
+}
+
+CampaignSpec contention_campaign() {
+  CampaignSpec spec;
+  spec.seed = 0xDCF;
+  spec.training = tiny_training();
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(contended_cell(4, Duration::seconds(20.0)));
+  spec.scenarios.push_back(saturated_ap_downlink(3, Duration::seconds(20.0)));
+  spec.shards = 2;
+  return spec;
+}
+
+TEST(ContentionCampaignTest, BitIdenticalAcrossThreadCounts) {
+  // Satellite acceptance: a contention-scenario campaign is bit-identical
+  // across 1/2/8 threads. Cell workloads replay the whole arbitrated
+  // channel (backoff draws included) from keyed RNG forks, so thread
+  // scheduling must never leak into the report.
+  CampaignEngine engine{contention_campaign()};
+  const std::string one = engine.run(1).to_json();
+  EXPECT_EQ(one, engine.run(2).to_json());
+  EXPECT_EQ(one, engine.run(8).to_json());
+}
+
+TEST(ContentionCampaignTest, BitIdenticalAcrossRepeatedRunsWithSameSeed) {
+  CampaignEngine first{contention_campaign()};
+  CampaignEngine second{contention_campaign()};
+  EXPECT_EQ(first.run(4).to_json(), second.run(4).to_json());
+}
+
+TEST(ContentionScenarioTest, GenerationIsSeedDeterministic) {
+  for (const Scenario& scenario :
+       {contended_cell(6, Duration::seconds(15.0)),
+        saturated_ap_downlink(4, Duration::seconds(15.0))}) {
+    util::Rng a{0xABBA};
+    util::Rng b{0xABBA};
+    const auto sa = scenario.generate(a);
+    const auto sb = scenario.generate(b);
+    ASSERT_EQ(sa.size(), sb.size()) << scenario.name();
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa[i].size(), sb[i].size()) << scenario.name();
+      for (std::size_t p = 0; p < sa[i].size(); ++p) {
+        ASSERT_EQ(sa[i][p], sb[i][p]) << scenario.name();
+      }
+    }
+  }
+}
+
+TEST(ContentionScenarioTest, ArbitrationOnlyEverDelaysPackets) {
+  // The arbitrated timeline is the original workload pushed later —
+  // never earlier, never reordered within a station.
+  const Scenario scenario = contended_cell(6, Duration::seconds(15.0));
+  util::Rng rng{2026};
+  const std::vector<traffic::Trace> sessions = scenario.generate(rng);
+  ASSERT_EQ(sessions.size(), 6u);
+  std::size_t total = 0;
+  for (const traffic::Trace& session : sessions) {
+    total += session.size();
+    for (std::size_t p = 1; p < session.size(); ++p) {
+      EXPECT_GE(session[p].time, session[p - 1].time);
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(DenseContentionTest, SaturatedCellAccountsEveryFrame) {
+  // 16 stations all offering 1500-byte frames on a 6 Mbit/s channel:
+  // heavy contention and a saturated queue. Every enqueued frame must be
+  // accounted as either sent or dropped, the serialized airtime must fit
+  // the busy span, and utilization must stay a probability.
+  sim::Simulator simulator;
+  sim::Medium medium{sim::PathLossModel{40.0, 1.0, 3.0, 0.0}, util::Rng{1}};
+  sim::channel::DcfParams params;
+  params.bitrate_mbps = 6.0;
+  sim::channel::ChannelArbiter arbiter{simulator, medium, 1, params,
+                                       util::Rng{77}};
+
+  struct Identity final : sim::RadioListener {
+    void on_frame(const mac::Frame&, double) override {}
+  };
+  constexpr std::size_t kStations = 16;
+  constexpr int kFramesPerStation = 40;
+  std::vector<Identity> stations(kStations);
+  for (std::size_t s = 0; s < kStations; ++s) {
+    for (int k = 0; k < kFramesPerStation; ++k) {
+      simulator.schedule_at(
+          TimePoint::from_microseconds(k * 500), [&, s] {
+            mac::Frame frame;
+            frame.size_bytes = 1500;
+            frame.channel = 1;
+            arbiter.enqueue(std::move(frame), sim::Position{}, &stations[s]);
+          });
+    }
+  }
+  simulator.run();
+
+  const sim::channel::ChannelStats totals = arbiter.totals();
+  EXPECT_EQ(totals.frames_sent + totals.frames_dropped,
+            kStations * kFramesPerStation);
+  EXPECT_EQ(totals.frames_sent, arbiter.frames_on_air());
+  EXPECT_GT(totals.collisions, 0u);
+  EXPECT_GT(totals.total_access_delay.count_us(), 0);
+  EXPECT_GE(totals.max_access_delay, util::Duration{});
+  EXPECT_GT(arbiter.utilization(), 0.5);  // saturated channel
+  EXPECT_LE(arbiter.utilization(), 1.0);
+  EXPECT_EQ(arbiter.pending(), 0u);
+  EXPECT_EQ(arbiter.station_count(), kStations);
+}
+
+}  // namespace
+}  // namespace reshape::runtime

@@ -1,0 +1,492 @@
+// Unit tests for src/sim/channel: the DCF arbiter's golden parity with
+// the StreamingReshaper radio model (uncontended), deterministic
+// collision resolution, non-overlapping serialization under contention,
+// and the observed-vs-modeled stats accessors on client and AP.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "attack/sniffer.h"
+#include "core/online/streaming_reshaper.h"
+#include "core/scheduler.h"
+#include "net/access_point.h"
+#include "net/client.h"
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+
+namespace reshape::sim::channel {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+std::unique_ptr<core::Scheduler> make_or() {
+  return std::make_unique<core::OrthogonalScheduler>(
+      core::OrthogonalScheduler::identity(core::SizeRanges::paper_default()));
+}
+
+PathLossModel quiet_model() {
+  PathLossModel m;
+  m.shadowing_sigma_db = 0.0;
+  return m;
+}
+
+struct Identity final : RadioListener {
+  void on_frame(const mac::Frame&, double) override {}
+};
+
+mac::Frame data_frame(std::uint32_t size_bytes, int channel = 1) {
+  mac::Frame f;
+  f.type = mac::FrameType::kData;
+  f.subtype = mac::FrameSubtype::kQosData;
+  f.size_bytes = size_bytes;
+  f.channel = channel;
+  return f;
+}
+
+/// An arbitrated AP + reshaping-client cell; the streaming pipeline and
+/// the arbiter run at the same (configurable) bitrate so the modeled and
+/// arbitrated radio timelines are directly comparable.
+struct ArbitratedCell {
+  sim::Simulator simulator;
+  sim::Medium medium{quiet_model(), util::Rng{1}};
+  ChannelArbiter arbiter;
+  mac::MacAddress bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  mac::MacAddress client_mac = mac::MacAddress::parse("02:00:00:00:00:02");
+  mac::SymmetricKey key{42, 43};
+  std::unique_ptr<net::AccessPoint> ap;
+  std::unique_ptr<net::WirelessClient> client;
+  attack::Sniffer sniffer{bssid};
+
+  explicit ArbitratedCell(
+      DcfParams params,
+      std::unique_ptr<core::online::PacketShaper> shaper = nullptr)
+      : arbiter{simulator, medium, 1, params, util::Rng{5}} {
+    const double bitrate_mbps = params.bitrate_mbps;
+    net::ApConfig config;
+    config.streaming.bitrate_mbps = bitrate_mbps;
+    ap = std::make_unique<net::AccessPoint>(
+        simulator, medium, Position{0, 0}, bssid, 1, config, util::Rng{7},
+        [] { return make_or(); });
+    core::online::StreamingConfig streaming;
+    streaming.bitrate_mbps = bitrate_mbps;
+    client = std::make_unique<net::WirelessClient>(
+        simulator, medium, Position{5, 5}, client_mac, bssid, 1, key,
+        util::Rng{8}, make_or(), streaming, std::move(shaper));
+    ap->associate(client_mac, key);
+    medium.attach(sniffer, Position{2, -2}, 1);
+  }
+  ~ArbitratedCell() { medium.detach(sniffer); }
+
+  void configure_interfaces() {
+    client->request_virtual_interfaces(3);
+    simulator.run();
+    ASSERT_EQ(client->state(), net::ClientState::kConfigured);
+    sniffer.clear();  // drop handshake-era frames
+  }
+
+  /// Schedules the uplink half of a trace through the client, offset so
+  /// the channel is idle when data begins.
+  void drive_uplink(const traffic::Trace& trace, Duration offset) {
+    for (const traffic::PacketRecord& r : trace.records()) {
+      if (r.direction != mac::Direction::kUplink) {
+        continue;
+      }
+      simulator.schedule_at(r.time + offset, [this, size = r.size_bytes] {
+        client->send_packet(mac::payload_of(size));
+      });
+    }
+    simulator.run();
+  }
+
+  /// On-air timestamps of every captured uplink data frame, in air order.
+  [[nodiscard]] std::vector<TimePoint> observed_uplink_times() const {
+    std::vector<TimePoint> times;
+    for (const attack::CapturedFrame& c : sniffer.captures()) {
+      if (c.frame.destination == bssid) {
+        times.push_back(c.frame.timestamp);
+      }
+    }
+    return times;
+  }
+};
+
+// -------------------------------------------------------------- DcfParams ---
+
+TEST(DcfParamsTest, ValidationGuards) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  DcfParams bad;
+  bad.bitrate_mbps = 0.0;
+  EXPECT_THROW(
+      (ChannelArbiter{simulator, medium, 1, bad, util::Rng{1}}),
+      std::invalid_argument);
+  DcfParams inverted;
+  inverted.cw_min = 8;
+  inverted.cw_max = 3;
+  EXPECT_THROW(
+      (ChannelArbiter{simulator, medium, 1, inverted, util::Rng{1}}),
+      std::invalid_argument);
+}
+
+TEST(ChannelArbiterTest, OneArbiterPerChannel) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  ChannelArbiter first{simulator, medium, 1, DcfParams{}, util::Rng{1}};
+  EXPECT_THROW(
+      (ChannelArbiter{simulator, medium, 1, DcfParams{}, util::Rng{2}}),
+      std::invalid_argument);
+  // A different channel coexists.
+  ChannelArbiter other{simulator, medium, 6, DcfParams{}, util::Rng{3}};
+  EXPECT_EQ(medium.arbiter_for(1), &first);
+  EXPECT_EQ(medium.arbiter_for(6), &other);
+  EXPECT_EQ(medium.arbiter_for(11), nullptr);
+}
+
+TEST(ChannelArbiterTest, UnarbitratedChannelStaysInstant) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  ChannelArbiter arbiter{simulator, medium, 1, DcfParams{}, util::Rng{1}};
+
+  struct Recorder final : RadioListener {
+    std::vector<TimePoint> times;
+    void on_frame(const mac::Frame& f, double) override {
+      times.push_back(f.timestamp);
+    }
+  } rx;
+  medium.attach(rx, Position{1, 0}, 6);
+  // Channel 6 has no arbiter: delivery happens inside transmit().
+  medium.transmit(data_frame(500, 6), Position{});
+  EXPECT_EQ(rx.times.size(), 1u);
+  medium.detach(rx);
+}
+
+TEST(ChannelArbiterTest, RejectsFrameOnWrongChannel) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  ChannelArbiter arbiter{simulator, medium, 1, DcfParams{}, util::Rng{1}};
+  Identity station;
+  EXPECT_THROW(arbiter.enqueue(data_frame(500, 6), Position{}, &station),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- uncontended baseline ---
+
+TEST(ChannelArbiterTest, UncontendedSingleStationTransmitsAtEnqueueTime) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  ChannelArbiter arbiter{simulator, medium, 1, DcfParams::uncontended(54.0),
+                         util::Rng{1}};
+  Identity station;
+  std::vector<TimePoint> on_air;
+  arbiter.set_on_air_hook([&](const mac::Frame& f, Duration delay,
+                              const RadioListener* tx) {
+    EXPECT_EQ(tx, &station);
+    EXPECT_EQ(f.timestamp, simulator.now());
+    on_air.push_back(f.timestamp);
+    (void)delay;
+  });
+
+  // Idle channel: the frame goes on the air at its enqueue instant.
+  simulator.schedule_at(TimePoint::from_seconds(1.0), [&] {
+    arbiter.enqueue(data_frame(1500), Position{}, &station);
+  });
+  // Busy channel: the next frame waits exactly until the radio idles —
+  // the StreamingReshaper's max(arrival, radio_free) rule.
+  const Duration airtime_1500 = mac::airtime(1500, 54.0);
+  simulator.schedule_at(TimePoint::from_seconds(1.0) +
+                            Duration::microseconds(10),
+                        [&] {
+                          arbiter.enqueue(data_frame(500), Position{},
+                                          &station);
+                        });
+  simulator.run();
+
+  ASSERT_EQ(on_air.size(), 2u);
+  EXPECT_EQ(on_air[0], TimePoint::from_seconds(1.0));
+  EXPECT_EQ(on_air[1], TimePoint::from_seconds(1.0) + airtime_1500);
+
+  const ChannelStats* stats = arbiter.stats_of(&station);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->frames_sent, 2u);
+  EXPECT_EQ(stats->collisions, 0u);
+  EXPECT_EQ(stats->frames_dropped, 0u);
+  EXPECT_EQ(stats->max_access_delay,
+            airtime_1500 - Duration::microseconds(10));
+  EXPECT_EQ(arbiter.busy_time(), airtime_1500 + mac::airtime(500, 54.0));
+}
+
+// --------------------------------------------------- golden parity (§V) ---
+
+TEST(GoldenParityTest, OnAirTimestampsEqualReshaperReleaseTimesExactly) {
+  // Acceptance criterion: contention disabled (single transmitting
+  // station, zero backoff) => the sniffer's captured on-air timestamps
+  // equal the StreamingReshaper's scheduled release times bit-exactly.
+  // 2 Mbit/s makes the radio a real bottleneck so the release times are
+  // genuinely deferred, not just the arrival times echoed back.
+  constexpr double kBitrate = 2.0;
+  ArbitratedCell cell{DcfParams::uncontended(kBitrate)};
+  cell.configure_interfaces();
+
+  const traffic::Trace trace = traffic::generate_trace(
+      traffic::AppType::kBrowsing, Duration::seconds(10.0), 0xBEEF,
+      traffic::SessionJitter::none());
+  const Duration offset = Duration::milliseconds(50);
+  cell.drive_uplink(trace, offset);
+
+  // Shadow pipeline: identical scheduler, identical config, identical
+  // arrival stream — its tx_start values are the expected release times.
+  core::online::StreamingConfig config;
+  config.bitrate_mbps = kBitrate;
+  config.record_streams = false;
+  core::online::StreamingReshaper shadow{make_or(), nullptr, config};
+  std::vector<TimePoint> expected;
+  for (const traffic::PacketRecord& r : trace.records()) {
+    if (r.direction != mac::Direction::kUplink) {
+      continue;
+    }
+    traffic::PacketRecord arrival;
+    arrival.time = r.time + offset;
+    arrival.size_bytes = mac::on_air_size(mac::payload_of(r.size_bytes));
+    arrival.direction = mac::Direction::kUplink;
+    expected.push_back(shadow.push(arrival).tx_start);
+  }
+
+  const std::vector<TimePoint> observed = cell.observed_uplink_times();
+  ASSERT_EQ(observed.size(), expected.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_EQ(observed[i], expected[i]) << "frame " << i;
+  }
+  // The parity is only meaningful if the defense actually delayed
+  // something: the modeled pipeline must have queued...
+  EXPECT_GT(cell.client->modeled_reshaping_stats()
+                .total_queueing_delay.count_us(),
+            0);
+  // ...and the air must show it: observed timestamps differ from the
+  // arrival schedule for the queued packets.
+  std::size_t delayed = 0;
+  std::size_t i = 0;
+  for (const traffic::PacketRecord& r : trace.records()) {
+    if (r.direction != mac::Direction::kUplink) {
+      continue;
+    }
+    if (observed[i++] != r.time + offset) {
+      ++delayed;
+    }
+  }
+  EXPECT_GT(delayed, 0u);
+}
+
+TEST(GoldenParityTest, SnifferSeesDefendedNotUndefendedTiming) {
+  // Acceptance criterion: with an active size-shaping defense (live
+  // padding through the streaming pipeline), the inter-arrival times the
+  // sniffer observes differ from the undefended run of the *same*
+  // arrival schedule — the air now shows defended, arbitrated timing.
+  constexpr double kBitrate = 1.0;
+  const traffic::Trace trace = traffic::generate_trace(
+      traffic::AppType::kBrowsing, Duration::seconds(10.0), 0xFEED,
+      traffic::SessionJitter::none());
+  const Duration offset = Duration::milliseconds(50);
+
+  const auto observed_times = [&](bool defended) {
+    std::unique_ptr<core::online::PacketShaper> shaper;
+    if (defended) {
+      shaper =
+          std::make_unique<core::online::PaddingShaper>(mac::kMaxFrameBytes);
+    }
+    ArbitratedCell cell{DcfParams::uncontended(kBitrate), std::move(shaper)};
+    cell.configure_interfaces();
+    cell.drive_uplink(trace, offset);
+    return cell.observed_uplink_times();
+  };
+  const std::vector<TimePoint> defended = observed_times(true);
+  const std::vector<TimePoint> undefended = observed_times(false);
+
+  ASSERT_EQ(defended.size(), undefended.size());
+  ASSERT_GE(defended.size(), 2u);
+  std::size_t differing_gaps = 0;
+  for (std::size_t i = 1; i < defended.size(); ++i) {
+    if (defended[i] - defended[i - 1] !=
+        undefended[i] - undefended[i - 1]) {
+      ++differing_gaps;
+    }
+  }
+  // Padding to 1576 bytes at 1 Mbit/s stretches every queued burst;
+  // a meaningful share of the observed gaps must shift, and the padded
+  // session must end strictly later.
+  EXPECT_GT(differing_gaps, defended.size() / 10);
+  EXPECT_GT(defended.back(), undefended.back());
+}
+
+// ------------------------------------------------------------ contention ---
+
+TEST(ContentionTest, DeterministicCollisionRetryAndDrop) {
+  // cw_min == cw_max == 0 forces both stations to draw zero backoff every
+  // round: a guaranteed collision chain ending in a drop on both sides.
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  DcfParams params;
+  params.cw_min = 0;
+  params.cw_max = 0;
+  ChannelArbiter arbiter{simulator, medium, 1, params, util::Rng{9}};
+  Identity a;
+  Identity b;
+  std::size_t drops_seen = 0;
+  arbiter.set_drop_hook(
+      [&](const mac::Frame&, const RadioListener*) { ++drops_seen; });
+
+  simulator.schedule_at(TimePoint{}, [&] {
+    arbiter.enqueue(data_frame(1000), Position{}, &a);
+    arbiter.enqueue(data_frame(1000), Position{}, &b);
+  });
+  simulator.run();
+
+  for (const Identity* station : {&a, &b}) {
+    const ChannelStats* stats = arbiter.stats_of(station);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->frames_sent, 0u);
+    EXPECT_EQ(stats->frames_dropped, 1u);
+    EXPECT_EQ(stats->collisions, params.retry_limit + 1);
+    EXPECT_EQ(stats->retries, params.retry_limit);
+  }
+  EXPECT_EQ(drops_seen, 2u);
+  EXPECT_EQ(arbiter.frames_on_air(), 0u);
+  EXPECT_EQ(medium.frames_transmitted(), 0u);
+  EXPECT_EQ(arbiter.pending(), 0u);
+}
+
+TEST(ContentionTest, ContendingStationsSerializeWithoutOverlap) {
+  const auto run_timeline = [](std::uint64_t seed) {
+    Simulator simulator;
+    Medium medium{quiet_model(), util::Rng{1}};
+    DcfParams params;  // contended defaults
+    ChannelArbiter arbiter{simulator, medium, 1, params, util::Rng{seed}};
+    Identity a;
+    Identity b;
+    std::vector<std::pair<TimePoint, Duration>> on_air;
+    arbiter.set_on_air_hook([&](const mac::Frame& f, Duration,
+                                const RadioListener*) {
+      on_air.emplace_back(f.timestamp,
+                          mac::airtime(f.size_bytes, params.bitrate_mbps));
+    });
+    // Both stations offer a frame at the same instants — contention on
+    // every access.
+    for (int k = 0; k < 50; ++k) {
+      const TimePoint t = TimePoint::from_microseconds(k * 100);
+      simulator.schedule_at(t, [&arbiter, &a] {
+        arbiter.enqueue(data_frame(1200), Position{}, &a);
+      });
+      simulator.schedule_at(t, [&arbiter, &b] {
+        arbiter.enqueue(data_frame(800), Position{}, &b);
+      });
+    }
+    simulator.run();
+    const ChannelStats totals = arbiter.totals();
+    EXPECT_EQ(totals.frames_sent + totals.frames_dropped, 100u);
+    EXPECT_GT(arbiter.stats_of(&a)->frames_sent, 0u);
+    EXPECT_GT(arbiter.stats_of(&b)->frames_sent, 0u);
+    EXPECT_GT(totals.total_access_delay.count_us(), 0);
+    EXPECT_GT(arbiter.utilization(), 0.0);
+    EXPECT_LE(arbiter.utilization(), 1.0);
+    return on_air;
+  };
+
+  const auto timeline = run_timeline(2024);
+  ASSERT_GE(timeline.size(), 2u);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].first, timeline[i - 1].first + timeline[i - 1].second)
+        << "on-air frames " << i - 1 << " and " << i << " overlap";
+  }
+  // Same seed => bit-identical timeline; different seed => different
+  // backoff draws somewhere in 100 contended accesses.
+  EXPECT_EQ(timeline, run_timeline(2024));
+  EXPECT_NE(timeline, run_timeline(2025));
+}
+
+TEST(ContentionTest, SubSlotArrivalsDoNotStarveTheCountdown) {
+  // Regression: interrupting enqueues used to restart the countdown
+  // origin at `now`, so arrivals spaced closer than one backoff slot
+  // froze every peer's countdown for as long as the arrivals continued.
+  // The countdown must keep its progress across interruptions: frames go
+  // on air *during* the dense arrival window, not only after it ends.
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  DcfParams params;
+  params.cw_min = 63;
+  params.cw_max = 63;  // backoff <= 63 slots = 567 us
+  ChannelArbiter arbiter{simulator, medium, 1, params, util::Rng{11}};
+  Identity a;
+  Identity b;
+  std::vector<TimePoint> on_air;
+  arbiter.set_on_air_hook(
+      [&](const mac::Frame& f, Duration, const RadioListener*) {
+        on_air.push_back(f.timestamp);
+      });
+
+  simulator.schedule_at(TimePoint{}, [&] {
+    arbiter.enqueue(data_frame(400), Position{}, &a);
+  });
+  // 1250 arrivals spaced 4 us apart (under the 9 us slot) — a 5 ms
+  // window of continuous countdown interruptions.
+  for (int k = 0; k < 1250; ++k) {
+    simulator.schedule_at(TimePoint::from_microseconds(1 + k * 4), [&] {
+      arbiter.enqueue(data_frame(400), Position{}, &b);
+    });
+  }
+  simulator.run();
+
+  ASSERT_FALSE(on_air.empty());
+  EXPECT_LT(on_air.front(), TimePoint::from_microseconds(2000))
+      << "countdown made no progress during the dense arrival window";
+  EXPECT_EQ(arbiter.totals().frames_sent + arbiter.totals().frames_dropped,
+            1251u);
+  EXPECT_EQ(arbiter.pending(), 0u);
+}
+
+// ----------------------------------------- observed vs modeled accessors ---
+
+TEST(ObservedStatsTest, ClientAndApExposeChannelStatsUnderArbitration) {
+  ArbitratedCell cell{DcfParams{}};  // contended defaults at 54 Mbit/s
+  cell.configure_interfaces();
+  for (const std::uint32_t payload : {50u, 800u, 1500u}) {
+    cell.client->send_packet(payload);
+    cell.ap->send_to_client(cell.client_mac, payload);
+  }
+  cell.simulator.run();
+
+  const ChannelStats* client_stats = cell.client->observed_channel_stats();
+  ASSERT_NE(client_stats, nullptr);
+  EXPECT_EQ(client_stats, cell.arbiter.stats_of(cell.client.get()));
+  // Handshake request + 3 data frames.
+  EXPECT_EQ(client_stats->frames_sent, 4u);
+
+  const ChannelStats* ap_stats = cell.ap->observed_channel_stats();
+  ASSERT_NE(ap_stats, nullptr);
+  EXPECT_EQ(ap_stats->frames_sent, 4u);  // handshake response + 3 data
+
+  // The deprecated accessors are thin wrappers over the modeled view.
+  EXPECT_EQ(&cell.client->reshaping_stats(),
+            &cell.client->modeled_reshaping_stats());
+  EXPECT_EQ(cell.ap->reshaping_stats_of(cell.client_mac),
+            cell.ap->modeled_reshaping_stats_of(cell.client_mac));
+}
+
+TEST(ObservedStatsTest, NullWithoutArbiterOrTraffic) {
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{1}};
+  net::AccessPoint ap{simulator, medium, Position{0, 0},
+                      mac::MacAddress::parse("02:00:00:00:00:01"), 1,
+                      net::ApConfig{}, util::Rng{7},
+                      [] { return make_or(); }};
+  EXPECT_EQ(ap.observed_channel_stats(), nullptr);  // no arbiter installed
+
+  ChannelArbiter arbiter{simulator, medium, 1, DcfParams{}, util::Rng{2}};
+  EXPECT_EQ(ap.observed_channel_stats(), nullptr);  // no traffic yet
+}
+
+}  // namespace
+}  // namespace reshape::sim::channel

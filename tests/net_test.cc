@@ -347,6 +347,32 @@ TEST(DataPathTest, RecycleRestoresPhysicalAddressing) {
   cell.medium.detach(sniffer);
 }
 
+TEST(DataPathTest, DestroyingEndpointCancelsDeferredReleases) {
+  // Releases scheduled by the streaming pipeline are lifetime-guarded:
+  // tearing the client (or AP) down before the simulator drains must
+  // cancel its pending frames, not dereference a dead object.
+  Cell cell;
+  cell.client->request_virtual_interfaces(3);
+  cell.simulator.run();
+
+  // Burst at one instant: the first frame releases immediately, the rest
+  // queue behind the modeled radio and defer.
+  for (int k = 0; k < 5; ++k) {
+    cell.client->send_packet(1400);
+  }
+  const std::uint64_t delivered_before = cell.ap->uplink_packets();
+  cell.client.reset();  // deferred release events still sit in the queue
+  cell.simulator.run();
+  EXPECT_EQ(cell.ap->uplink_packets(), delivered_before);
+
+  // Same guard on the AP's downlink pipeline.
+  for (int k = 0; k < 5; ++k) {
+    cell.ap->send_to_client(cell.client_mac, 1400);
+  }
+  cell.ap.reset();
+  cell.simulator.run();  // must not crash
+}
+
 TEST(DataPathTest, PerInterfacePowerControlsApply) {
   Cell cell;
   cell.client->request_virtual_interfaces(3);

@@ -40,11 +40,11 @@ CampaignSpec tiny_campaign() {
 
 TEST(ScenarioRegistryTest, BuiltinsArePresent) {
   const ScenarioRegistry& registry = ScenarioRegistry::global();
-  EXPECT_GE(registry.size(), 7u);
+  EXPECT_GE(registry.size(), 9u);
   for (const char* name :
        {"paper-single-app", "multi-app-station", "iot-telemetry",
         "voip-browsing-mix", "dense-wlan", "bulk-transfer-heavy",
-        "live-reshaping"}) {
+        "live-reshaping", "contended-cell", "saturated-ap-downlink"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.find("no-such-workload"), nullptr);

@@ -217,6 +217,82 @@ TEST(MediumTest, DetachStopsDelivery) {
   EXPECT_EQ(medium.listener_count(), 0u);
 }
 
+TEST(MediumTest, ListenerMayDetachFromInsideOnFrame) {
+  // Regression: Medium used to iterate entries_ directly while
+  // delivering, so a listener detaching from inside on_frame()
+  // invalidated the iterator mid-walk.
+  Medium medium{deterministic_model(), util::Rng{1}};
+
+  struct SelfDetacher : RadioListener {
+    Medium* medium = nullptr;
+    int frames = 0;
+    void on_frame(const mac::Frame&, double) override {
+      ++frames;
+      medium->detach(*this);
+    }
+  };
+  RecordingListener before;
+  SelfDetacher detacher;
+  detacher.medium = &medium;
+  RecordingListener after;
+  medium.attach(before, Position{1.0, 0.0}, 1);
+  medium.attach(detacher, Position{2.0, 0.0}, 1);
+  medium.attach(after, Position{3.0, 0.0}, 1);
+
+  medium.transmit(frame_on_channel(1), Position{});
+  // Everyone attached at transmit time got the frame; the walk survived
+  // the mid-delivery detach.
+  EXPECT_EQ(before.frames.size(), 1u);
+  EXPECT_EQ(detacher.frames, 1);
+  EXPECT_EQ(after.frames.size(), 1u);
+  EXPECT_EQ(medium.listener_count(), 2u);
+
+  medium.transmit(frame_on_channel(1), Position{});
+  EXPECT_EQ(detacher.frames, 1);  // no longer attached
+  EXPECT_EQ(before.frames.size(), 2u);
+  EXPECT_EQ(after.frames.size(), 2u);
+}
+
+TEST(MediumTest, ListenerMayDetachAPeerFromInsideOnFrame) {
+  // The detaching listener and the detached one need not be the same:
+  // delivery is re-validated per target by attachment identity.
+  Medium medium{deterministic_model(), util::Rng{1}};
+
+  struct PeerDetacher : RadioListener {
+    Medium* medium = nullptr;
+    RadioListener* victim = nullptr;
+    void on_frame(const mac::Frame&, double) override {
+      if (victim != nullptr) {
+        medium->detach(*victim);
+        victim = nullptr;
+      }
+    }
+  };
+  PeerDetacher detacher;
+  RecordingListener victim;
+  detacher.medium = &medium;
+  detacher.victim = &victim;
+  medium.attach(detacher, Position{1.0, 0.0}, 1);
+  medium.attach(victim, Position{2.0, 0.0}, 1);
+
+  medium.transmit(frame_on_channel(1), Position{});
+  // The victim was detached before its delivery slot: it never hears the
+  // in-flight frame.
+  EXPECT_TRUE(victim.frames.empty());
+  EXPECT_EQ(medium.listener_count(), 1u);
+}
+
+TEST(MediumTest, ExcludeOfUnattachedTransmitterExcludesNobody) {
+  // Exclusion resolves against attachment identity: a pointer that is
+  // not attached (e.g. a raw scenario identity) silences no one.
+  Medium medium{deterministic_model(), util::Rng{1}};
+  RecordingListener rx;
+  RecordingListener unattached;
+  medium.attach(rx, Position{1.0, 0.0}, 1);
+  medium.transmit(frame_on_channel(1), Position{}, &unattached);
+  EXPECT_EQ(rx.frames.size(), 1u);
+}
+
 TEST(MediumTest, DoubleAttachThrows) {
   Medium medium{deterministic_model(), util::Rng{1}};
   RecordingListener rx;

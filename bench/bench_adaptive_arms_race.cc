@@ -1,0 +1,159 @@
+// The adaptive arms race: how long does each defense survive an attacker
+// that re-trains on the defended air mid-session?
+//
+// Sweeps defenses x re-training cadence over the adaptive-contended-cell
+// workload and prints one accuracy-over-time curve per (defense, cadence):
+// the adaptive attacker's per-epoch mean accuracy next to the frozen
+// static baseline on the same windows. A static-adversary evaluation
+// reports one number per defense; the curve shows the number that
+// matters under adaptation — how many epochs until the attacker claws
+// accuracy back, and how much re-training cadence buys it.
+//
+//   $ ./bench/bench_adaptive_arms_race            # full sweep (minutes)
+//   $ ./bench/bench_adaptive_arms_race --smoke    # CI smoke: tiny grid,
+//                                                 # exits non-zero on any
+//                                                 # invariant violation
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/defense_factory.h"
+#include "runtime/adaptive_campaign.h"
+#include "runtime/scenario.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace reshape;
+using util::Duration;
+
+eval::ExperimentConfig bootstrap_config(bool smoke) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = 20110620;
+  cfg.train_sessions_per_app = smoke ? 2 : 6;
+  cfg.train_session_duration = Duration::seconds(smoke ? 30.0 : 60.0);
+  return cfg;
+}
+
+runtime::AdaptiveCampaignSpec sweep_spec(double cadence_seconds, bool smoke,
+                                         eval::ExperimentHarness& profiles) {
+  runtime::AdaptiveCampaignSpec spec;
+  spec.seed = 0xADA97;
+  spec.bootstrap = bootstrap_config(smoke);
+  spec.attacker.cadence = Duration::seconds(cadence_seconds);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  if (!smoke) {
+    spec.defenses.push_back(
+        {"RA", eval::reshaping_factory(core::SchedulerKind::kRandom, 3)});
+    spec.defenses.push_back({"Padding", eval::padding_factory()});
+    spec.defenses.push_back(
+        {"OR+Morphing", eval::combined_factory(profiles)});
+  }
+  spec.scenarios.push_back(smoke
+                               ? runtime::adaptive_contended_cell(
+                                     3, Duration::seconds(40.0))
+                               : runtime::adaptive_contended_cell(
+                                     5, Duration::seconds(120.0)));
+  spec.shards = smoke ? 1 : 2;
+  return spec;
+}
+
+void print_curves(const runtime::AdaptiveCampaignReport& report,
+                  double cadence_seconds) {
+  std::cout << "\n== Re-training cadence " << cadence_seconds << " s ==\n";
+  for (const runtime::AdaptiveAggregate& agg : report.aggregates) {
+    util::TablePrinter table{{"Epoch", "Windows", "Static (%)",
+                              "Adaptive (%)", "Labels OK"}};
+    for (std::size_t e = 0; e < agg.epochs.size(); ++e) {
+      const runtime::EpochAggregate& epoch = agg.epochs[e];
+      table.add_row(
+          {std::to_string(e), std::to_string(epoch.windows),
+           util::TablePrinter::fmt(epoch.static_accuracy_percent()),
+           util::TablePrinter::fmt(epoch.accuracy_percent()),
+           std::to_string(epoch.labels_correct) + "/" +
+               std::to_string(epoch.labels_assigned)});
+    }
+    std::cout << "\n-- " << agg.defense << " on " << agg.scenario << " --\n";
+    table.print(std::cout);
+  }
+}
+
+/// Smoke checks: curve exists, epoch accounting is sane, and the run is
+/// bit-identical across thread counts. Returns the number of violations.
+int smoke_check(runtime::AdaptiveCampaignEngine& engine) {
+  int failures = 0;
+  const auto fail = [&failures](const std::string& what) {
+    std::cerr << "SMOKE FAIL: " << what << "\n";
+    ++failures;
+  };
+
+  const runtime::AdaptiveCampaignReport one = engine.run(1);
+  if (one.to_json() != engine.run(2).to_json()) {
+    fail("report differs between 1 and 2 threads");
+  }
+
+  for (const runtime::AdaptiveAggregate& agg : one.aggregates) {
+    if (agg.epochs.size() < 2) {
+      fail(agg.defense + ": fewer than 2 epochs");
+      continue;
+    }
+    std::size_t windows = 0;
+    for (const runtime::EpochAggregate& epoch : agg.epochs) {
+      windows += epoch.windows;
+      if (epoch.labels_correct > epoch.labels_assigned) {
+        fail(agg.defense + ": labels_correct > labels_assigned");
+      }
+    }
+    if (windows == 0) {
+      fail(agg.defense + ": no scored windows in any epoch");
+    }
+  }
+
+  // The arms-race signal itself: on the undefended cell the adaptive
+  // model must roughly match its own static baseline by the last epoch
+  // (extra same-distribution rows must not wreck the model).
+  const runtime::AdaptiveAggregate& original =
+      one.aggregate("Original", "adaptive-contended-cell");
+  const runtime::EpochAggregate& last = original.epochs.back();
+  if (last.accuracy_percent() < last.static_accuracy_percent() - 10.0) {
+    fail("adaptive collapsed below static on undefended traffic");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  // Morphing targets come from the defender-measurement profiles; warm
+  // them before the cell pool starts (factories run on worker threads).
+  eval::ExperimentHarness profiles{bootstrap_config(smoke)};
+  for (const traffic::AppType app : traffic::kAllApps) {
+    (void)profiles.size_profile(app);
+  }
+
+  if (smoke) {
+    runtime::AdaptiveCampaignSpec spec = sweep_spec(10.0, true, profiles);
+    runtime::AdaptiveCampaignEngine engine{std::move(spec)};
+    const int failures = smoke_check(engine);
+    std::cout << (failures == 0 ? "bench_adaptive_arms_race --smoke: OK\n"
+                                : "bench_adaptive_arms_race --smoke: FAILED\n");
+    return failures == 0 ? 0 : 1;
+  }
+
+  for (const double cadence_seconds : {10.0, 20.0, 40.0}) {
+    runtime::AdaptiveCampaignSpec spec =
+        sweep_spec(cadence_seconds, false, profiles);
+    runtime::AdaptiveCampaignEngine engine{std::move(spec)};
+    print_curves(engine.run(/*threads=*/0), cadence_seconds);
+  }
+  std::cout << "\nReading the curves: 'Static' is the paper's §IV adversary "
+               "frozen at its clean profile; 'Adaptive' re-fits every epoch\n"
+               "on self-labeled defended windows. The gap at late epochs is "
+               "the accuracy a defense only appears to remove when the\n"
+               "adversary is assumed static.\n";
+  return 0;
+}

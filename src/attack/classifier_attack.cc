@@ -16,18 +16,23 @@ ClassifierAttack::ClassifierAttack(AttackConfig config,
                 "ClassifierAttack: window must be positive");
 }
 
-std::vector<std::vector<double>> ClassifierAttack::feature_rows(
-    const traffic::Trace& trace) const {
+std::vector<std::vector<double>> feature_rows_of(const traffic::Trace& flow,
+                                                 const AttackConfig& config) {
   const auto windows = features::extract_all_windows(
-      trace, config_.window, config_.min_packets_per_window);
+      flow, config.window, config.min_packets_per_window);
   std::vector<std::vector<double>> rows;
   rows.reserve(windows.size());
   for (const features::WindowFeatures& w : windows) {
-    rows.push_back(features::project(
-        config_.log_compress ? features::log_compress(w) : w,
-        config_.feature_set));
+    rows.push_back(
+        features::project(config.log_compress ? features::log_compress(w) : w,
+                          config.feature_set));
   }
   return rows;
+}
+
+std::vector<std::vector<double>> ClassifierAttack::feature_rows(
+    const traffic::Trace& trace) const {
+  return feature_rows_of(trace, config_);
 }
 
 namespace {

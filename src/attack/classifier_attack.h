@@ -42,6 +42,13 @@ struct AttackConfig {
   bool log_compress = true;
 };
 
+/// The per-window feature rows of one flow under the configured
+/// processing: W-windowing, optional log compression, feature-set
+/// projection. Shared by the static ClassifierAttack and the adaptive
+/// attacker so both adversaries see byte-identical inputs.
+[[nodiscard]] std::vector<std::vector<double>> feature_rows_of(
+    const traffic::Trace& flow, const AttackConfig& config);
+
 /// A trained attacker: scaler + classifier behind one interface.
 class ClassifierAttack {
  public:

@@ -11,7 +11,7 @@ RssiLinker::RssiLinker(double threshold_db) : threshold_db_{threshold_db} {
 }
 
 std::vector<LinkedGroup> RssiLinker::link(
-    const std::unordered_map<mac::MacAddress, double>& mean_rssi) const {
+    std::span<const std::pair<mac::MacAddress, double>> mean_rssi) const {
   // Sort by RSSI; single-linkage on a line reduces to splitting whenever
   // the gap between neighbours exceeds the threshold.
   std::vector<std::pair<double, mac::MacAddress>> points;
@@ -19,6 +19,8 @@ std::vector<LinkedGroup> RssiLinker::link(
   for (const auto& [addr, rssi] : mean_rssi) {
     points.emplace_back(rssi, addr);
   }
+  // Input order is irrelevant: points are re-sorted by (RSSI, address), so
+  // callers may pass map-extracted pairs in any order.
   std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) {
       return a.first < b.first;

@@ -10,7 +10,8 @@
 // means spread out and the clusters break.
 #pragma once
 
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "mac/mac_address.h"
@@ -29,9 +30,10 @@ class RssiLinker {
 
   /// Returns groups (each sorted by address) covering every input MAC;
   /// singletons are groups of one. Deterministic: groups ordered by their
-  /// lowest address.
+  /// lowest address. Input is (MAC, mean RSSI) pairs in any order —
+  /// Sniffer::mean_rssi() hands them over sorted by address.
   [[nodiscard]] std::vector<LinkedGroup> link(
-      const std::unordered_map<mac::MacAddress, double>& mean_rssi) const;
+      std::span<const std::pair<mac::MacAddress, double>> mean_rssi) const;
 
   /// True when every address in `expected` landed in one group together
   /// and nothing else joined them — i.e. the attack de-anonymised the

@@ -34,11 +34,10 @@ void Sniffer::on_frame(const mac::Frame& frame, double rssi_dbm) {
 std::vector<mac::MacAddress> Sniffer::observed_stations() const {
   std::vector<mac::MacAddress> out;
   for (const CapturedFrame& c : captures_) {
-    const mac::MacAddress key = station_key(c.frame);
-    if (std::find(out.begin(), out.end(), key) == out.end()) {
-      out.push_back(key);
-    }
+    out.push_back(station_key(c.frame));
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -59,18 +58,29 @@ traffic::Trace Sniffer::flow_of(const mac::MacAddress& station,
   return flow;
 }
 
-std::unordered_map<mac::MacAddress, double> Sniffer::mean_rssi() const {
-  std::unordered_map<mac::MacAddress, util::RunningStats> stats;
+std::vector<std::pair<mac::MacAddress, double>> Sniffer::mean_rssi() const {
+  std::vector<std::pair<mac::MacAddress, util::RunningStats>> stats;
   for (const CapturedFrame& c : captures_) {
     // RSSI identifies the *transmitter*; downlink frames all come from the
     // AP, so only uplink frames reveal a station's power signature.
-    if (c.frame.destination == bssid_) {
-      stats[c.frame.source].add(c.rssi_dbm);
+    if (c.frame.destination != bssid_) {
+      continue;
     }
+    auto it = std::find_if(stats.begin(), stats.end(), [&](const auto& entry) {
+      return entry.first == c.frame.source;
+    });
+    if (it == stats.end()) {
+      it = stats.emplace(stats.end(), c.frame.source, util::RunningStats{});
+    }
+    it->second.add(c.rssi_dbm);
   }
-  std::unordered_map<mac::MacAddress, double> out;
+  std::sort(stats.begin(), stats.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  std::vector<std::pair<mac::MacAddress, double>> out;
+  out.reserve(stats.size());
   for (const auto& [addr, s] : stats) {
-    out.emplace(addr, s.mean());
+    out.emplace_back(addr, s.mean());
   }
   return out;
 }

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mac/frame.h"
@@ -41,7 +41,8 @@ class Sniffer : public sim::RadioListener {
     return captures_;
   }
 
-  /// The distinct client-side MAC addresses observed.
+  /// The distinct client-side MAC addresses observed, sorted by address —
+  /// report order is byte-stable across standard-library implementations.
   [[nodiscard]] std::vector<mac::MacAddress> observed_stations() const;
 
   /// The flow of one client-side MAC as a Trace (direction assigned from
@@ -49,8 +50,10 @@ class Sniffer : public sim::RadioListener {
   [[nodiscard]] traffic::Trace flow_of(const mac::MacAddress& station,
                                        traffic::AppType label) const;
 
-  /// Mean RSSI per observed station (power analysis input).
-  [[nodiscard]] std::unordered_map<mac::MacAddress, double> mean_rssi() const;
+  /// Mean RSSI per observed station (power analysis input), sorted by
+  /// address so downstream reports and epoch logs are byte-stable.
+  [[nodiscard]] std::vector<std::pair<mac::MacAddress, double>> mean_rssi()
+      const;
 
   void clear();
 

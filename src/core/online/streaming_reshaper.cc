@@ -61,6 +61,18 @@ StreamingReshaper::StreamingReshaper(std::unique_ptr<Scheduler> scheduler,
   }
 }
 
+StreamingReshaper::StreamingReshaper(
+    std::unique_ptr<Scheduler> scheduler,
+    std::vector<std::unique_ptr<PacketShaper>> interface_shapers,
+    StreamingConfig config)
+    : StreamingReshaper{std::move(scheduler), nullptr, config} {
+  util::require(scheduler_ != nullptr,
+                "StreamingReshaper: per-interface shapers need a scheduler");
+  util::require(interface_shapers.size() <= stream_count(),
+                "StreamingReshaper: more interface shapers than interfaces");
+  interface_shapers_ = std::move(interface_shapers);
+}
+
 std::size_t StreamingReshaper::stream_count() const {
   return scheduler_ == nullptr ? 1 : scheduler_->interface_count();
 }
@@ -84,6 +96,16 @@ ShapedPacket StreamingReshaper::push(const traffic::PacketRecord& arrival) {
     out.interface_index = scheduler_->select_interface(out.record);
     util::internal_check(out.interface_index < inflight_.size(),
                          "StreamingReshaper: scheduler returned bad interface");
+  }
+  if (out.interface_index < interface_shapers_.size() &&
+      interface_shapers_[out.interface_index] != nullptr) {
+    // §V-C composition: the interface's own shaper morphs the packet
+    // *after* dispatch — matching the batch CombinedDefense, which
+    // reshapes on original sizes and then morphs per-interface streams.
+    out.record.size_bytes =
+        interface_shapers_[out.interface_index]->shape(out.record.size_bytes);
+    util::internal_check(out.record.size_bytes >= arrival.size_bytes,
+                         "StreamingReshaper: interface shaper shrank a packet");
   }
 
   // Shared-radio timeline: one physical card serves every virtual

@@ -154,6 +154,19 @@ class StreamingReshaper {
                     std::unique_ptr<PacketShaper> shaper,
                     StreamingConfig config = {});
 
+  /// The §V-C composition: schedule first (on the *original* size), then
+  /// shape each virtual interface's stream with its own shaper.
+  /// `interface_shapers[i]` (nullable entries allowed; the vector may be
+  /// shorter than the interface count) morphs interface i's packets after
+  /// dispatch — the streaming twin of core::CombinedDefense, golden-parity
+  /// asserted in tests/online_test.cc. Requires a non-null scheduler; the
+  /// pre-scheduling `shaper` slot stays empty so the scheduler sees the
+  /// sizes the batch path dispatches on.
+  StreamingReshaper(
+      std::unique_ptr<Scheduler> scheduler,
+      std::vector<std::unique_ptr<PacketShaper>> interface_shapers,
+      StreamingConfig config = {});
+
   /// Consumes one packet. Arrival times must be non-decreasing across
   /// calls (the simulator clock and Trace invariant both guarantee it).
   ShapedPacket push(const traffic::PacketRecord& arrival);
@@ -181,6 +194,9 @@ class StreamingReshaper {
  private:
   std::unique_ptr<Scheduler> scheduler_;  // may be null
   std::unique_ptr<PacketShaper> shaper_;  // may be null
+  // Post-scheduling shapers, indexed by interface (entries may be null);
+  // empty when the pipeline has no per-interface composition.
+  std::vector<std::unique_ptr<PacketShaper>> interface_shapers_;
   StreamingConfig config_;
   std::vector<traffic::Trace> streams_;
   StreamingStats stats_;

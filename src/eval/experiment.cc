@@ -46,16 +46,22 @@ ExperimentHarness::ExperimentHarness(ExperimentConfig config)
                 "ExperimentHarness: sessions must cover >= one window");
 }
 
-std::uint64_t ExperimentHarness::session_seed(traffic::AppType app,
-                                              std::size_t session,
-                                              bool training) const {
+std::uint64_t ExperimentHarness::session_stream_seed(
+    std::uint64_t experiment_seed, traffic::AppType app, std::size_t session,
+    bool training) {
   // Stable, collision-free derivation: independent streams per
   // (experiment, app, session, role).
-  std::uint64_t x = config_.seed;
+  std::uint64_t x = experiment_seed;
   x = util::splitmix64(x ^ (0x9E37ULL + traffic::app_index(app)));
   x = util::splitmix64(x ^ (training ? 0x7261696E00ULL + session
                                      : 0x7465737400ULL + session));
   return x;
+}
+
+std::uint64_t ExperimentHarness::session_seed(traffic::AppType app,
+                                              std::size_t session,
+                                              bool training) const {
+  return session_stream_seed(config_.seed, app, session, training);
 }
 
 void ExperimentHarness::train() {

@@ -98,6 +98,14 @@ class ExperimentHarness {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] bool trained() const { return !attacks_.empty(); }
 
+  /// The stable per-(experiment seed, app, session, role) stream seed the
+  /// harness derives its corpus from. Public and static so other corpus
+  /// builders (the adaptive campaign's bootstrap profiling) can generate
+  /// byte-identical training sessions without duplicating the derivation.
+  [[nodiscard]] static std::uint64_t session_stream_seed(
+      std::uint64_t experiment_seed, traffic::AppType app,
+      std::size_t session, bool training);
+
   /// The empirical on-air size distribution of an application (pooled
   /// directions), generated from a profile session — what a defender
   /// deploying morphing would measure. Cached per app.

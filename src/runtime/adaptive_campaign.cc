@@ -1,0 +1,287 @@
+#include "runtime/adaptive_campaign.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/report_json.h"
+#include "traffic/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace reshape::runtime {
+
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+constexpr int kClasses = static_cast<int>(traffic::kAppCount);
+
+}  // namespace
+
+EpochAggregate::EpochAggregate()
+    : confusion{kClasses}, static_confusion{kClasses} {}
+
+double EpochAggregate::accuracy_percent() const {
+  return 100.0 * confusion.mean_accuracy();
+}
+
+double EpochAggregate::static_accuracy_percent() const {
+  return 100.0 * static_confusion.mean_accuracy();
+}
+
+const AdaptiveAggregate& AdaptiveCampaignReport::aggregate(
+    std::string_view defense, std::string_view scenario) const {
+  for (const AdaptiveAggregate& a : aggregates) {
+    if (a.defense == defense && a.scenario == scenario) {
+      return a;
+    }
+  }
+  throw std::out_of_range{"AdaptiveCampaignReport: no aggregate for '" +
+                          std::string{defense} + "' x '" +
+                          std::string{scenario} + "'"};
+}
+
+std::string AdaptiveCampaignReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"shards\":" << shards << ",\"cells\":[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const AdaptiveCellResult& cell = cells[c];
+    os << (c == 0 ? "" : ",") << "{\"defense\":" << cell.defense_index
+       << ",\"scenario\":" << cell.scenario_index
+       << ",\"shard\":" << cell.shard
+       << ",\"sessions\":" << cell.session_count
+       << ",\"flows\":" << cell.flow_count << ",\"epochs\":[";
+    for (std::size_t e = 0; e < cell.epochs.size(); ++e) {
+      const attack::adaptive::EpochScore& epoch = cell.epochs[e];
+      os << (e == 0 ? "" : ",") << "{\"windows\":" << epoch.windows
+         << ",\"accuracy\":" << json_number(epoch.accuracy_percent())
+         << ",\"static_accuracy\":"
+         << json_number(epoch.static_accuracy_percent())
+         << ",\"labels_correct\":" << epoch.labels_correct
+         << ",\"labels_assigned\":" << epoch.labels_assigned
+         << ",\"training_rows\":" << epoch.training_rows
+         << ",\"refitted\":" << (epoch.refitted ? 1 : 0) << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"aggregates\":[";
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    const AdaptiveAggregate& agg = aggregates[a];
+    os << (a == 0 ? "" : ",") << "{\"defense\":\"" << json_escape(agg.defense)
+       << "\",\"scenario\":\"" << json_escape(agg.scenario)
+       << "\",\"shards\":" << agg.shards << ",\"epochs\":[";
+    for (std::size_t e = 0; e < agg.epochs.size(); ++e) {
+      const EpochAggregate& epoch = agg.epochs[e];
+      os << (e == 0 ? "" : ",") << "{\"windows\":" << epoch.windows
+         << ",\"accuracy\":" << json_number(epoch.accuracy_percent())
+         << ",\"static_accuracy\":"
+         << json_number(epoch.static_accuracy_percent())
+         << ",\"labels_correct\":" << epoch.labels_correct
+         << ",\"labels_assigned\":" << epoch.labels_assigned << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+AdaptiveCampaignEngine::AdaptiveCampaignEngine(AdaptiveCampaignSpec spec)
+    : spec_{std::move(spec)} {
+  util::require(!spec_.defenses.empty(),
+                "AdaptiveCampaignEngine: need at least one defense");
+  util::require(!spec_.scenarios.empty(),
+                "AdaptiveCampaignEngine: need at least one scenario");
+  util::require(spec_.shards > 0,
+                "AdaptiveCampaignEngine: need at least one shard");
+  util::require(spec_.rssi_min_dbm <= spec_.rssi_max_dbm,
+                "AdaptiveCampaignEngine: bad RSSI range");
+  for (const DefenseSpec& defense : spec_.defenses) {
+    util::require(!defense.name.empty() && defense.factory != nullptr,
+                  "AdaptiveCampaignEngine: defense needs a name and factory");
+  }
+}
+
+std::size_t AdaptiveCampaignEngine::cell_count() const {
+  return spec_.defenses.size() * spec_.scenarios.size() * spec_.shards;
+}
+
+void AdaptiveCampaignEngine::train() {
+  if (trained_) {
+    return;
+  }
+  // Clean bootstrap corpus, derived exactly like the static harness
+  // (same stream seeds — an AdaptiveAttacker and an ExperimentHarness on
+  // the same bootstrap config profile identical sessions).
+  std::vector<traffic::Trace> corpus;
+  corpus.reserve(traffic::kAppCount * spec_.bootstrap.train_sessions_per_app);
+  for (const traffic::AppType app : traffic::kAllApps) {
+    for (std::size_t s = 0; s < spec_.bootstrap.train_sessions_per_app; ++s) {
+      corpus.push_back(traffic::generate_trace(
+          app, spec_.bootstrap.train_session_duration,
+          eval::ExperimentHarness::session_stream_seed(spec_.bootstrap.seed,
+                                                       app, s,
+                                                       /*training=*/true),
+          spec_.bootstrap.session_jitter));
+    }
+  }
+  base_ = attack::adaptive::AdaptiveAttacker::profile(corpus, spec_.attacker);
+  trained_ = true;
+}
+
+AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
+    std::size_t cell_id) const {
+  const std::size_t per_defense = spec_.scenarios.size() * spec_.shards;
+  AdaptiveCellResult result;
+  result.defense_index = cell_id / per_defense;
+  result.scenario_index = (cell_id % per_defense) / spec_.shards;
+  result.shard = cell_id % spec_.shards;
+
+  // Stream keying mirrors CampaignEngine: workloads by (scenario, shard)
+  // so every defense faces the same sessions; defense and RSSI draws by
+  // the full cell id (flow counts differ per defense).
+  const util::Rng base{spec_.seed};
+  const std::size_t workload_id =
+      result.scenario_index * spec_.shards + result.shard;
+  util::Rng workload_rng = base.fork(1).fork(workload_id);
+  const std::uint64_t defense_seed = base.fork(2).fork(cell_id).seed();
+  util::Rng rssi_rng = base.fork(3).fork(cell_id);
+
+  const Scenario& scenario = spec_.scenarios[result.scenario_index];
+  const DefenseSpec& defense = spec_.defenses[result.defense_index];
+  const std::vector<traffic::Trace> sessions = scenario.generate(workload_rng);
+  result.session_count = sessions.size();
+
+  // Apply the defense per session and package every observable flow with
+  // its synthetic power signature: the session's physical station sits at
+  // one mean RSSI, each virtual MAC observes it +- jitter.
+  std::vector<attack::adaptive::ObservedFlow> flows;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    auto instance = defense.factory(
+        sessions[s].app(), util::splitmix64(defense_seed ^ (0xCE11ULL + s)));
+    util::internal_check(instance != nullptr,
+                         "AdaptiveCampaignEngine: factory returned null");
+    core::DefenseResult applied = instance->apply(sessions[s]);
+    util::Rng session_rssi = rssi_rng.fork(s);
+    const double station_mean =
+        spec_.rssi_min_dbm == spec_.rssi_max_dbm
+            ? spec_.rssi_min_dbm
+            : session_rssi.uniform_real(spec_.rssi_min_dbm,
+                                        spec_.rssi_max_dbm);
+    for (traffic::Trace& stream : applied.streams) {
+      if (stream.empty()) {
+        continue;
+      }
+      attack::adaptive::ObservedFlow flow;
+      // Synthetic locally-administered MAC, unique per flow in the cell.
+      flow.address = mac::MacAddress::from_u64(0x020000000000ULL +
+                                               flows.size() + 1);
+      flow.mean_rssi =
+          station_mean + session_rssi.normal(0.0, spec_.rssi_flow_jitter_db);
+      flow.flow = std::move(stream);
+      flows.push_back(std::move(flow));
+    }
+  }
+  result.flow_count = flows.size();
+
+  attack::adaptive::AdaptiveAttacker attacker{spec_.attacker,
+                                              spec_.make_classifier};
+  attacker.bootstrap(base_);  // copies the shared raw rows
+  result.epochs = attacker.run_session(flows);
+  return result;
+}
+
+AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
+  train();
+
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+
+  const std::size_t cells = cell_count();
+  std::vector<AdaptiveCellResult> results(cells);
+
+  if (threads <= 1 || cells <= 1) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      results[c] = run_cell(c);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= cells || abort.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          results[c] = run_cell(c);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(threads, cells));
+    for (std::size_t t = 0; t < std::min(threads, cells); ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  AdaptiveCampaignReport report;
+  report.seed = spec_.seed;
+  report.shards = spec_.shards;
+  report.cells = std::move(results);
+
+  // Merge shards per (defense, scenario, epoch) in grid order; epoch
+  // counts can differ across shards (sessions end at different instants),
+  // so the merged curve spans the longest shard.
+  for (std::size_t d = 0; d < spec_.defenses.size(); ++d) {
+    for (std::size_t s = 0; s < spec_.scenarios.size(); ++s) {
+      AdaptiveAggregate agg;
+      agg.defense = spec_.defenses[d].name;
+      agg.scenario = spec_.scenarios[s].name();
+      agg.shards = spec_.shards;
+      for (std::size_t shard = 0; shard < spec_.shards; ++shard) {
+        const std::size_t cell_id =
+            (d * spec_.scenarios.size() + s) * spec_.shards + shard;
+        const AdaptiveCellResult& cell = report.cells[cell_id];
+        if (cell.epochs.size() > agg.epochs.size()) {
+          agg.epochs.resize(cell.epochs.size());
+        }
+        for (std::size_t e = 0; e < cell.epochs.size(); ++e) {
+          const attack::adaptive::EpochScore& epoch = cell.epochs[e];
+          agg.epochs[e].windows += epoch.windows;
+          agg.epochs[e].confusion.merge(epoch.confusion);
+          agg.epochs[e].static_confusion.merge(epoch.static_confusion);
+          agg.epochs[e].labels_correct += epoch.labels_correct;
+          agg.epochs[e].labels_assigned += epoch.labels_assigned;
+        }
+      }
+      report.aggregates.push_back(std::move(agg));
+    }
+  }
+  return report;
+}
+
+}  // namespace reshape::runtime

@@ -1,7 +1,6 @@
 #include "runtime/campaign.h"
 
 #include <atomic>
-#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <sstream>
@@ -9,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/report_json.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -16,34 +16,8 @@ namespace reshape::runtime {
 
 namespace {
 
-// Locale-independent double formatting with round-trip precision; equal
-// doubles always serialize to equal strings.
-std::string json_number(double v) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-  return buffer;
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
+using detail::json_escape;
+using detail::json_number;
 
 void append_evaluation_fields(std::ostringstream& os,
                               const eval::DefenseEvaluation& e) {

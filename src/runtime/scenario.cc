@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -336,6 +337,45 @@ Scenario live_reshaping(std::size_t stations, util::Duration duration,
       }};
 }
 
+namespace {
+
+/// Per-station source traces from keyed substreams, each with a uniformly
+/// random application (dense_wlan style: independent of station count and
+/// call interleaving).
+std::vector<traffic::Trace> random_app_sessions(std::size_t stations,
+                                                util::Duration duration,
+                                                util::Rng& rng) {
+  std::vector<traffic::Trace> originals;
+  originals.reserve(stations);
+  for (std::size_t s = 0; s < stations; ++s) {
+    util::Rng station_rng = rng.fork(s);
+    const auto pick = static_cast<std::size_t>(station_rng.uniform_int(
+        0, static_cast<std::int64_t>(traffic::kAppCount) - 1));
+    originals.push_back(traffic::generate_trace(traffic::app_from_index(pick),
+                                                duration, station_rng));
+  }
+  return originals;
+}
+
+/// Pushes every session through one arbitrated cell (one transmitter per
+/// station) and returns the on-air-restamped flows.
+std::vector<traffic::Trace> arbitrate_one_cell(
+    const std::vector<traffic::Trace>& originals, double bitrate_mbps,
+    util::Rng& rng) {
+  ArbitratedAir air{bitrate_mbps, rng.fork(0xA12B17E5ULL),
+                    rng.fork(0xDCFDCFULL), originals.size()};
+  for (std::size_t s = 0; s < originals.size(); ++s) {
+    const std::size_t tx =
+        air.add_transmitter(sim::Position{static_cast<double>(s), 0.0});
+    for (const traffic::PacketRecord& r : originals[s].records()) {
+      air.schedule(tx, s, r);
+    }
+  }
+  return label_streams(air.run(), originals);
+}
+
+}  // namespace
+
 Scenario contended_cell(std::size_t stations, util::Duration duration,
                         double bitrate_mbps) {
   util::require(stations > 0, "contended_cell: need >= 1 station");
@@ -345,29 +385,95 @@ Scenario contended_cell(std::size_t stations, util::Duration duration,
       "co-channel stations under DCF arbitration: on-air timestamps after "
       "carrier sense, backoff, and collision retries",
       [=](util::Rng& rng) {
-        // Per-station source traces from keyed substreams (dense_wlan
-        // style: independent of station count and call interleaving).
-        std::vector<traffic::Trace> originals;
-        originals.reserve(stations);
+        const std::vector<traffic::Trace> originals =
+            random_app_sessions(stations, duration, rng);
+        return arbitrate_one_cell(originals, bitrate_mbps, rng);
+      }};
+}
+
+Scenario adaptive_contended_cell(std::size_t stations, util::Duration duration,
+                                 double bitrate_mbps) {
+  util::require(stations > 0, "adaptive_contended_cell: need >= 1 station");
+  util::require(bitrate_mbps > 0.0,
+                "adaptive_contended_cell: bitrate must be > 0");
+  return Scenario{
+      "adaptive-contended-cell",
+      "a contended cell held long enough for an adversary that re-trains "
+      "mid-session: DCF-arbitrated on-air flows, multi-epoch sessions",
+      [=](util::Rng& rng) {
+        const std::vector<traffic::Trace> originals =
+            random_app_sessions(stations, duration, rng);
+        return arbitrate_one_cell(originals, bitrate_mbps, rng);
+      }};
+}
+
+Scenario adaptive_roaming_retrain(std::size_t stations,
+                                  util::Duration duration,
+                                  double bitrate_mbps) {
+  util::require(stations > 0, "adaptive_roaming_retrain: need >= 1 station");
+  util::require(bitrate_mbps > 0.0,
+                "adaptive_roaming_retrain: bitrate must be > 0");
+  return Scenario{
+      "adaptive-roaming-retrain",
+      "stations roam between two arbitrated cells mid-session; each flow's "
+      "contention regime shifts when the cell populations swap",
+      [=](util::Rng& rng) {
+        const std::vector<traffic::Trace> originals =
+            random_app_sessions(stations, duration, rng);
+
+        // Each station roams from its home cell (even index -> A, odd ->
+        // B) at an instant drawn from the middle third of the session —
+        // a keyed substream per station, so the roam plan is independent
+        // of station count.
+        std::vector<util::TimePoint> roam_at(stations);
         for (std::size_t s = 0; s < stations; ++s) {
-          util::Rng station_rng = rng.fork(s);
-          const auto pick = static_cast<std::size_t>(
-              station_rng.uniform_int(
-                  0, static_cast<std::int64_t>(traffic::kAppCount) - 1));
-          originals.push_back(traffic::generate_trace(
-              traffic::app_from_index(pick), duration, station_rng));
+          util::Rng roam_rng = rng.fork(0x70A30000ULL + s);
+          roam_at[s] = util::TimePoint{} +
+                       util::Duration::seconds(roam_rng.uniform_real(
+                           duration.to_seconds() / 3.0,
+                           2.0 * duration.to_seconds() / 3.0));
         }
 
-        ArbitratedAir air{bitrate_mbps, rng.fork(0xA12B17E5ULL),
-                          rng.fork(0xDCFDCFULL), stations};
+        util::Rng cell_a_medium = rng.fork(0xCE11AAULL);
+        util::Rng cell_a_arbiter = rng.fork(0xCE11A1ULL);
+        util::Rng cell_b_medium = rng.fork(0xCE11BBULL);
+        util::Rng cell_b_arbiter = rng.fork(0xCE11B1ULL);
+        ArbitratedAir cell_a{bitrate_mbps, cell_a_medium, cell_a_arbiter,
+                             stations};
+        ArbitratedAir cell_b{bitrate_mbps, cell_b_medium, cell_b_arbiter,
+                             stations};
         for (std::size_t s = 0; s < stations; ++s) {
-          const std::size_t tx =
-              air.add_transmitter(sim::Position{static_cast<double>(s), 0.0});
+          const sim::Position pos{static_cast<double>(s), 0.0};
+          const std::size_t tx_a = cell_a.add_transmitter(pos);
+          const std::size_t tx_b = cell_b.add_transmitter(pos);
+          const bool home_is_a = s % 2 == 0;
           for (const traffic::PacketRecord& r : originals[s].records()) {
-            air.schedule(tx, s, r);
+            const bool in_home = r.time < roam_at[s];
+            const bool in_a = in_home == home_is_a;
+            if (in_a) {
+              cell_a.schedule(tx_a, s, r);
+            } else {
+              cell_b.schedule(tx_b, s, r);
+            }
           }
         }
-        return label_streams(air.run(), originals);
+
+        // Each station's observable flow is the time-merge of what it put
+        // on the air in either cell (the roam is seamless to the flow key:
+        // same virtual MACs, new cell).
+        std::vector<std::vector<traffic::PacketRecord>> in_a = cell_a.run();
+        std::vector<std::vector<traffic::PacketRecord>> in_b = cell_b.run();
+        std::vector<std::vector<traffic::PacketRecord>> merged(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          merged[s].reserve(in_a[s].size() + in_b[s].size());
+          std::merge(in_a[s].begin(), in_a[s].end(), in_b[s].begin(),
+                     in_b[s].end(), std::back_inserter(merged[s]),
+                     [](const traffic::PacketRecord& x,
+                        const traffic::PacketRecord& y) {
+                       return x.time < y.time;
+                     });
+        }
+        return label_streams(std::move(merged), originals);
       }};
 }
 
@@ -423,6 +529,8 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(live_reshaping(6, minute));
     r.add(contended_cell(8, minute));
     r.add(saturated_ap_downlink(5, minute));
+    r.add(adaptive_contended_cell(5, util::Duration::seconds(90.0)));
+    r.add(adaptive_roaming_retrain(4, util::Duration::seconds(90.0)));
     return r;
   }();
   return registry;

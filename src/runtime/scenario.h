@@ -126,6 +126,25 @@ class Scenario {
                                              util::Duration duration,
                                              double bitrate_mbps = 12.0);
 
+/// The adaptive adversary's arena: a contended cell held long enough for
+/// an attacker that re-trains every few seconds to matter. Identical
+/// arbitration to contended_cell (DCF, on-air restamping) with sessions
+/// sized for multi-epoch capture — the workload behind the per-epoch
+/// accuracy curves of runtime::AdaptiveCampaignEngine.
+[[nodiscard]] Scenario adaptive_contended_cell(std::size_t stations,
+                                               util::Duration duration,
+                                               double bitrate_mbps = 12.0);
+
+/// Mid-session roaming under arbitration: every station starts in its
+/// home cell (even index -> cell A, odd -> cell B) and roams to the other
+/// cell at its own instant in the middle third of the session. Both cells
+/// arbitrate independently, so each observable flow's timing regime
+/// shifts when the cell populations swap — the drift an adaptive
+/// adversary has to re-train through (and a static profile cannot track).
+[[nodiscard]] Scenario adaptive_roaming_retrain(std::size_t stations,
+                                                util::Duration duration,
+                                                double bitrate_mbps = 12.0);
+
 // ---------------------------------------------------------------- registry
 
 /// A name -> Scenario table. `global()` comes pre-populated with the

@@ -65,7 +65,34 @@ TEST(SnifferTest, MeanRssiTracksUplinkOnly) {
   sniffer.on_frame(data_frame(bssid, sta, 100, 2.0), -10.0);  // AP's power
   const auto rssi = sniffer.mean_rssi();
   ASSERT_EQ(rssi.size(), 1u);
-  EXPECT_DOUBLE_EQ(rssi.at(sta), -50.0);
+  EXPECT_EQ(rssi[0].first, sta);
+  EXPECT_DOUBLE_EQ(rssi[0].second, -50.0);
+}
+
+TEST(SnifferTest, ReportsAreSortedByMacAddress) {
+  // Stations appear on the air in descending-address order; both reports
+  // must come back ascending regardless (byte-stable epoch logs depend on
+  // it — the old unordered_map-backed path varied across libstdc++).
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  const auto high = mac::MacAddress::parse("02:00:00:00:00:99");
+  const auto mid = mac::MacAddress::parse("02:00:00:00:00:55");
+  const auto low = mac::MacAddress::parse("02:00:00:00:00:22");
+  Sniffer sniffer{bssid};
+  sniffer.on_frame(data_frame(high, bssid, 100, 0.0), -40.0);
+  sniffer.on_frame(data_frame(mid, bssid, 100, 1.0), -50.0);
+  sniffer.on_frame(data_frame(low, bssid, 100, 2.0), -60.0);
+
+  const auto stations = sniffer.observed_stations();
+  ASSERT_EQ(stations.size(), 3u);
+  EXPECT_EQ(stations[0], low);
+  EXPECT_EQ(stations[1], mid);
+  EXPECT_EQ(stations[2], high);
+
+  const auto rssi = sniffer.mean_rssi();
+  ASSERT_EQ(rssi.size(), 3u);
+  EXPECT_EQ(rssi[0].first, low);
+  EXPECT_EQ(rssi[1].first, mid);
+  EXPECT_EQ(rssi[2].first, high);
 }
 
 TEST(SnifferTest, ClearDropsState) {
@@ -158,7 +185,7 @@ mac::MacAddress addr(int k) {
 
 TEST(RssiLinkerTest, LinksCloseAndSeparatesFar) {
   RssiLinker linker{2.0};
-  std::unordered_map<mac::MacAddress, double> rssi{
+  const std::vector<std::pair<mac::MacAddress, double>> rssi{
       {addr(1), -50.0}, {addr(2), -50.5}, {addr(3), -51.0},  // one client
       {addr(4), -70.0},                                      // far station
   };
@@ -172,7 +199,7 @@ TEST(RssiLinkerTest, LinksCloseAndSeparatesFar) {
 TEST(RssiLinkerTest, ChainedLinkageIsTransitive) {
   // -50, -48.5, -47: neighbours within 2 dB link the whole chain.
   RssiLinker linker{2.0};
-  std::unordered_map<mac::MacAddress, double> rssi{
+  const std::vector<std::pair<mac::MacAddress, double>> rssi{
       {addr(1), -50.0}, {addr(2), -48.5}, {addr(3), -47.0}};
   const auto groups = linker.link(rssi);
   ASSERT_EQ(groups.size(), 1u);
@@ -181,7 +208,7 @@ TEST(RssiLinkerTest, ChainedLinkageIsTransitive) {
 
 TEST(RssiLinkerTest, SpreadMeansBreakLinks) {
   RssiLinker linker{2.0};
-  std::unordered_map<mac::MacAddress, double> rssi{
+  const std::vector<std::pair<mac::MacAddress, double>> rssi{
       {addr(1), -40.0}, {addr(2), -50.0}, {addr(3), -60.0}};
   EXPECT_EQ(linker.link(rssi).size(), 3u);
 }

@@ -488,5 +488,79 @@ TEST(ObservedStatsTest, NullWithoutArbiterOrTraffic) {
   EXPECT_EQ(ap.observed_channel_stats(), nullptr);  // no traffic yet
 }
 
+// --------------------------------------------- sniffer under arbitration ---
+
+TEST(SnifferUnderArbitrationTest, CapturesSerializedAirMatchingChannelStats) {
+  // Contending stations, a passive sniffer on the cell: the captured
+  // ledger must agree with the arbiter's accounting frame-for-frame —
+  // strictly increasing non-overlapping on-air timestamps, total and
+  // per-station frame counts, and airtime to the microsecond.
+  Simulator simulator;
+  Medium medium{quiet_model(), util::Rng{3}};
+  DcfParams params;
+  params.bitrate_mbps = 12.0;
+  ChannelArbiter arbiter{simulator, medium, 1, params, util::Rng{99}};
+
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:00:01");
+  attack::Sniffer sniffer{bssid};
+  medium.attach(sniffer, Position{0, 10}, 1);
+
+  constexpr std::size_t kStations = 4;
+  constexpr int kFramesPerStation = 25;
+  std::vector<Identity> stations(kStations);
+  std::vector<mac::MacAddress> addresses;
+  for (std::size_t s = 0; s < kStations; ++s) {
+    addresses.push_back(mac::MacAddress::from_u64(0x020000000100ULL + s));
+  }
+  for (std::size_t s = 0; s < kStations; ++s) {
+    for (int k = 0; k < kFramesPerStation; ++k) {
+      simulator.schedule_at(
+          TimePoint::from_microseconds(k * 800), [&, s] {
+            mac::Frame frame = data_frame(600);
+            frame.source = addresses[s];
+            frame.destination = bssid;
+            arbiter.enqueue(std::move(frame),
+                            Position{static_cast<double>(s), 0.0},
+                            &stations[s]);
+          });
+    }
+  }
+  simulator.run();
+  medium.detach(sniffer);
+
+  const ChannelStats totals = arbiter.totals();
+  EXPECT_GT(totals.collisions, 0u);  // the cell actually contended
+  EXPECT_EQ(sniffer.frames_captured(), totals.frames_sent);
+  EXPECT_EQ(sniffer.frames_captured(), arbiter.frames_on_air());
+
+  const std::vector<attack::CapturedFrame>& captures = sniffer.captures();
+  Duration captured_airtime;
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    const Duration on_air =
+        mac::airtime(captures[i].frame.size_bytes, params.bitrate_mbps);
+    if (i > 0) {
+      // Strictly increasing and non-overlapping: the previous frame's
+      // occupancy ends before (or exactly when) this one starts.
+      EXPECT_GT(captures[i].frame.timestamp, captures[i - 1].frame.timestamp);
+      EXPECT_GE(captures[i].frame.timestamp,
+                captures[i - 1].frame.timestamp +
+                    mac::airtime(captures[i - 1].frame.size_bytes,
+                                 params.bitrate_mbps));
+    }
+    captured_airtime += on_air;
+  }
+  EXPECT_EQ(captured_airtime, totals.airtime);
+
+  // Per-station: the flow the sniffer isolates for a MAC is exactly the
+  // frame set the arbiter accounted to that station.
+  for (std::size_t s = 0; s < kStations; ++s) {
+    const ChannelStats* station = arbiter.stats_of(&stations[s]);
+    ASSERT_NE(station, nullptr);
+    EXPECT_EQ(
+        sniffer.flow_of(addresses[s], traffic::AppType::kBrowsing).size(),
+        station->frames_sent);
+  }
+}
+
 }  // namespace
 }  // namespace reshape::sim::channel

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/combined.h"
 #include "core/defense.h"
 #include "core/morphing.h"
 #include "core/online/streaming_reshaper.h"
@@ -141,6 +142,105 @@ TEST(StreamingMorphingParityTest, MatchesBatchForEveryMorphedApp) {
     expect_same_result(batch.apply(source), run_streaming(streaming, source),
                        "Morphing " + std::string{traffic::to_string(app)});
   }
+}
+
+// ------------------------------------- combined §V-C parity, per app ---
+
+/// The paper's combined defense, built twice from identical state: batch
+/// CombinedDefense and its streaming twin (schedule on original sizes,
+/// then per-interface morphing).
+struct CombinedPair {
+  std::unique_ptr<CombinedDefense> batch;
+  std::unique_ptr<StreamingReshaper> streaming;
+};
+
+CombinedPair make_combined_pair(std::uint64_t seed) {
+  const auto or_identity = [] {
+    return std::make_unique<OrthogonalScheduler>(
+        OrthogonalScheduler::identity(SizeRanges::paper_default()));
+  };
+  const auto profile_of = [](AppType app, std::uint64_t profile_seed) {
+    const traffic::Trace trace = traffic::generate_trace(
+        app, Duration::seconds(30), profile_seed,
+        traffic::SessionJitter::none());
+    return util::EmpiricalDistribution{trace.sizes()};
+  };
+  const util::EmpiricalDistribution gaming =
+      profile_of(AppType::kGaming, 0x6A);
+  const util::EmpiricalDistribution browsing =
+      profile_of(AppType::kBrowsing, 0x6B);
+
+  // Interface 0 morphs toward gaming, interface 1 toward browsing,
+  // interface 2 passes through — the §V-C composition of
+  // eval::combined_factory. Seeds per interface match across paths.
+  std::unordered_map<std::size_t, std::unique_ptr<MorphingDefense>> morphers;
+  morphers.emplace(0, std::make_unique<MorphingDefense>(
+                          AppType::kGaming, gaming, util::Rng{seed ^ 0xAA}));
+  morphers.emplace(1, std::make_unique<MorphingDefense>(
+                          AppType::kBrowsing, browsing,
+                          util::Rng{seed ^ 0xBB}));
+
+  std::vector<std::unique_ptr<PacketShaper>> shapers;
+  shapers.push_back(std::make_unique<MorphingShaper>(
+      MorphingDefense{AppType::kGaming, gaming, util::Rng{seed ^ 0xAA}}));
+  shapers.push_back(std::make_unique<MorphingShaper>(
+      MorphingDefense{AppType::kBrowsing, browsing, util::Rng{seed ^ 0xBB}}));
+
+  CombinedPair pair;
+  pair.batch = std::make_unique<CombinedDefense>(or_identity(),
+                                                 std::move(morphers));
+  pair.streaming = std::make_unique<StreamingReshaper>(or_identity(),
+                                                       std::move(shapers));
+  return pair;
+}
+
+TEST(StreamingCombinedParityTest, MatchesBatchCombinedForEveryApp) {
+  // Satellite acceptance (§V-C composition): per-interface morphing after
+  // scheduling on the streaming path is byte-identical to the batch
+  // CombinedDefense — streams, original bytes, and added bytes.
+  CombinedPair pair = make_combined_pair(/*seed=*/0x5C3);
+  for (const AppType app : traffic::kAllApps) {
+    const traffic::Trace source = traffic::generate_trace(
+        app, Duration::seconds(20), 0x90 + traffic::app_index(app));
+    expect_same_result(
+        pair.batch->apply(source), run_streaming(*pair.streaming, source),
+        "Combined " + std::string{traffic::to_string(app)});
+  }
+}
+
+TEST(StreamingCombinedParityTest, SchedulerSeesOriginalSizes) {
+  // Dispatch must happen on the *pre-morph* size: a 100-byte packet
+  // belongs to OR interface 0 (small range) even when interface 0's
+  // morpher then pads it beyond the range boundary.
+  std::vector<std::unique_ptr<PacketShaper>> shapers;
+  shapers.push_back(std::make_unique<PaddingShaper>(1500));
+  StreamingReshaper pipeline{
+      std::make_unique<OrthogonalScheduler>(
+          OrthogonalScheduler::identity(SizeRanges::paper_default())),
+      std::move(shapers)};
+  traffic::PacketRecord small;
+  small.size_bytes = 100;
+  const ShapedPacket shaped = pipeline.push(small);
+  EXPECT_EQ(shaped.interface_index, 0u);       // dispatched on 100 bytes
+  EXPECT_EQ(shaped.record.size_bytes, 1500u);  // then padded post-dispatch
+  EXPECT_EQ(pipeline.stats().added_bytes, 1400u);
+}
+
+TEST(StreamingCombinedParityTest, RejectsShaperListWithoutScheduler) {
+  std::vector<std::unique_ptr<PacketShaper>> shapers;
+  shapers.push_back(std::make_unique<PaddingShaper>(1500));
+  EXPECT_THROW((StreamingReshaper{nullptr, std::move(shapers)}),
+               std::invalid_argument);
+}
+
+TEST(StreamingCombinedParityTest, RejectsMoreShapersThanInterfaces) {
+  std::vector<std::unique_ptr<PacketShaper>> shapers;
+  for (int i = 0; i < 4; ++i) {
+    shapers.push_back(std::make_unique<PaddingShaper>(1500));
+  }
+  EXPECT_THROW((StreamingReshaper{std::make_unique<ModuloScheduler>(3),
+                                  std::move(shapers)}),
+               std::invalid_argument);
 }
 
 // RA parity holds packet-by-packet only when both paths consume the RNG

@@ -13,10 +13,13 @@
 //   $ ./bench/bench_adaptive_arms_race --smoke    # CI smoke: tiny grid,
 //                                                 # exits non-zero on any
 //                                                 # invariant violation
+//   $ ./bench/bench_adaptive_arms_race --json <path>  # stable JSON report
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "bench_util.h"
 #include "eval/defense_factory.h"
 #include "runtime/adaptive_campaign.h"
 #include "runtime/scenario.h"
@@ -81,15 +84,19 @@ void print_curves(const runtime::AdaptiveCampaignReport& report,
 }
 
 /// Smoke checks: curve exists, epoch accounting is sane, and the run is
-/// bit-identical across thread counts. Returns the number of violations.
-int smoke_check(runtime::AdaptiveCampaignEngine& engine) {
+/// bit-identical across thread counts. Returns the number of violations;
+/// `out` receives the single-thread report (for --json) so callers never
+/// pay a redundant third sweep.
+int smoke_check(runtime::AdaptiveCampaignEngine& engine,
+                runtime::AdaptiveCampaignReport& out) {
   int failures = 0;
   const auto fail = [&failures](const std::string& what) {
     std::cerr << "SMOKE FAIL: " << what << "\n";
     ++failures;
   };
 
-  const runtime::AdaptiveCampaignReport one = engine.run(1);
+  out = engine.run(1);
+  const runtime::AdaptiveCampaignReport& one = out;
   if (one.to_json() != engine.run(2).to_json()) {
     fail("report differs between 1 and 2 threads");
   }
@@ -126,7 +133,8 @@ int smoke_check(runtime::AdaptiveCampaignEngine& engine) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
 
   // Morphing targets come from the defender-measurement profiles; warm
   // them before the cell pool starts (factories run on worker threads).
@@ -138,17 +146,34 @@ int main(int argc, char** argv) {
   if (smoke) {
     runtime::AdaptiveCampaignSpec spec = sweep_spec(10.0, true, profiles);
     runtime::AdaptiveCampaignEngine engine{std::move(spec)};
-    const int failures = smoke_check(engine);
+    runtime::AdaptiveCampaignReport report;
+    int failures = smoke_check(engine, report);
+    if (!json_path.empty() &&
+        !bench::write_json_report(json_path, report.to_json())) {
+      ++failures;
+    }
     std::cout << (failures == 0 ? "bench_adaptive_arms_race --smoke: OK\n"
                                 : "bench_adaptive_arms_race --smoke: FAILED\n");
     return failures == 0 ? 0 : 1;
   }
 
+  std::ostringstream json;
+  json << "{\"reports\":[";
+  bool first = true;
   for (const double cadence_seconds : {10.0, 20.0, 40.0}) {
     runtime::AdaptiveCampaignSpec spec =
         sweep_spec(cadence_seconds, false, profiles);
     runtime::AdaptiveCampaignEngine engine{std::move(spec)};
-    print_curves(engine.run(/*threads=*/0), cadence_seconds);
+    const runtime::AdaptiveCampaignReport report = engine.run(/*threads=*/0);
+    print_curves(report, cadence_seconds);
+    json << (first ? "" : ",") << "{\"cadence_seconds\":" << cadence_seconds
+         << ",\"campaign\":" << report.to_json() << "}";
+    first = false;
+  }
+  json << "]}";
+  if (!json_path.empty() &&
+      !bench::write_json_report(json_path, json.str())) {
+    return 1;
   }
   std::cout << "\nReading the curves: 'Static' is the paper's §IV adversary "
                "frozen at its clean profile; 'Adaptive' re-fits every epoch\n"

@@ -7,10 +7,14 @@
 // thread count); the >= 2x speedup gate only applies on machines with at
 // least four hardware threads, since a 1-core container cannot speed
 // anything up.
+//   $ ./bench/bench_campaign_throughput --json <path>   # timings + report
 #include <chrono>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 
+#include "bench_util.h"
 #include "eval/defense_factory.h"
 #include "runtime/campaign.h"
 
@@ -26,7 +30,7 @@ double time_run(runtime::CampaignEngine& engine, std::size_t threads,
   return std::chrono::duration<double>(stop - start).count();
 }
 
-int run() {
+int run(const std::string& json_path) {
   runtime::CampaignSpec spec;
   spec.seed = 20110620;
   spec.training.seed = 20110620;
@@ -84,9 +88,22 @@ int run() {
     std::cout << "  [SKIP] speedup gate needs >= 4 hardware threads (have "
               << std::thread::hardware_concurrency() << ")\n";
   }
+
+  if (!json_path.empty()) {
+    // Timings are machine-dependent; the campaign report itself is the
+    // stable part of the file.
+    std::ostringstream json;
+    json << "{\"threads\":[1,4," << hw << "],\"seconds\":[" << t1 << ","
+         << t4 << "," << thw << "],\"campaign\":" << json1 << "}";
+    if (!bench::write_json_report(json_path, json.str())) {
+      return 1;
+    }
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  return run(reshape::bench::json_path_from_args(argc, argv));
+}

@@ -1,0 +1,198 @@
+// The constraint-driven parameter tuner, swept against adversary strength.
+//
+// Runs core::tuning::ParameterTuner on the tuned-vs-table5 arena across
+// re-training cadences (AdaptiveConfig::cadence — the adversary-strength
+// knob): for each cadence, every candidate's three-axis score is printed
+// (epochs until the adaptive adversary's accuracy crosses X%, deadline
+// misses and arbitrated access-delay percentiles, byte overhead), the
+// hard-budget filter and Pareto front are marked, and the selected point
+// is compared against the paper's Table V preset.
+//
+//   $ ./bench/bench_parameter_tuning                   # full sweep
+//   $ ./bench/bench_parameter_tuning --smoke           # CI smoke grid
+//   $ ./bench/bench_parameter_tuning --json out.json   # stable JSON
+//                                                      # (combines with
+//                                                      # --smoke)
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "core/tuning/presets.h"
+#include "core/tuning/tuner.h"
+#include "runtime/scenario.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace reshape;
+using util::Duration;
+
+core::tuning::TunerSpec sweep_spec(double cadence_seconds, bool smoke) {
+  core::tuning::TunerSpec spec;
+  spec.seed = 0x7C7E5;
+  spec.bootstrap.seed = 20110620;
+  spec.bootstrap.train_sessions_per_app = smoke ? 2 : 6;
+  spec.bootstrap.train_session_duration = Duration::seconds(smoke ? 30. : 60.);
+  spec.attacker.cadence = Duration::seconds(cadence_seconds);
+  spec.scenario = smoke
+                      ? runtime::tuned_vs_table5(3, Duration::seconds(40.0))
+                      : runtime::tuned_vs_table5(4, Duration::seconds(90.0));
+  spec.shards = smoke ? 1 : 2;
+  spec.objective.adaptive_cross_percent = 40.0;
+  spec.objective.budgets.max_deadline_miss_rate = 0.25;
+  spec.objective.budgets.max_overhead_percent = 60.0;
+  spec.objective.budgets.max_frame_drop_rate = 0.05;
+  if (smoke) {
+    spec.space.interface_counts = {2, 3};
+  }
+  return spec;
+}
+
+void print_report(const core::tuning::TuningReport& report) {
+  util::TablePrinter table{{"Candidate", "Epochs>X", "Final (%)", "Miss",
+                            "Drop", "p50 us", "p99 us", "Overhead (%)",
+                            "Fit", "Front", "Pick"}};
+  for (const core::tuning::CandidateReport& entry : report.candidates) {
+    const core::tuning::CandidateMetrics& m = entry.metrics;
+    table.add_row(
+        {entry.config.name,
+         std::to_string(m.epochs_survived) + "/" +
+             std::to_string(m.epochs_total),
+         util::TablePrinter::fmt(m.final_adaptive_accuracy),
+         util::TablePrinter::fmt(m.deadline_miss_rate, 3),
+         util::TablePrinter::fmt(m.frame_drop_rate, 3),
+         util::TablePrinter::fmt(m.access_delay_p50_us, 1),
+         util::TablePrinter::fmt(m.access_delay_p99_us, 1),
+         util::TablePrinter::fmt(m.overhead_percent),
+         entry.within_budgets ? "y" : "-", entry.on_pareto_front ? "y" : "-",
+         entry.selected ? "*" : ""});
+  }
+  table.print(std::cout);
+}
+
+void print_tuned_vs_preset(const core::tuning::TuningReport& report) {
+  if (!report.selected_index.has_value()) {
+    std::cout << "No candidate passed the hard budgets.\n";
+    return;
+  }
+  const core::tuning::CandidateReport& tuned = report.selected();
+  const core::tuning::CandidateReport& preset =
+      report.candidate("OR-paper-I3");
+  std::cout << "\nTuned point  : " << tuned.config.name << " ("
+            << tuned.config.summary() << ")\n"
+            << "Table V pick : " << preset.config.name << " ("
+            << preset.config.summary() << ")\n"
+            << "Epochs-to-" << report.adaptive_cross_percent
+            << "%: " << tuned.metrics.epochs_survived << " vs "
+            << preset.metrics.epochs_survived
+            << " | miss rate: " << tuned.metrics.deadline_miss_rate << " vs "
+            << preset.metrics.deadline_miss_rate
+            << " | overhead: " << tuned.metrics.overhead_percent << "% vs "
+            << preset.metrics.overhead_percent << "%\n";
+}
+
+/// Smoke checks: sweep exists, invariants hold, and the run is
+/// bit-identical across thread counts. Returns the number of violations.
+int smoke_check(core::tuning::ParameterTuner& tuner,
+                core::tuning::TuningReport& out) {
+  int failures = 0;
+  const auto fail = [&failures](const std::string& what) {
+    std::cerr << "SMOKE FAIL: " << what << "\n";
+    ++failures;
+  };
+
+  out = tuner.run(1);
+  if (out.to_json() != tuner.run(2).to_json()) {
+    fail("report differs between 1 and 2 threads");
+  }
+  if (out.candidates.empty()) {
+    fail("empty candidate sweep");
+    return failures;
+  }
+
+  bool saw_preset = false;
+  for (const core::tuning::CandidateReport& entry : out.candidates) {
+    const core::tuning::CandidateMetrics& m = entry.metrics;
+    if (entry.config.name == "OR-paper-I3") {
+      saw_preset = true;
+    }
+    if (m.epochs_total < 2) {
+      fail(entry.config.name + ": fewer than 2 epochs");
+    }
+    if (m.deadline_miss_rate < 0.0 || m.deadline_miss_rate > 1.0) {
+      fail(entry.config.name + ": miss rate outside [0, 1]");
+    }
+    if (m.frame_drop_rate < 0.0 || m.frame_drop_rate > 1.0 ||
+        (m.frame_drop_rate > 0.0) != (m.frames_dropped > 0)) {
+      fail(entry.config.name + ": inconsistent frame-drop accounting");
+    }
+    if (m.access_delay_p50_us > m.access_delay_p90_us ||
+        m.access_delay_p90_us > m.access_delay_p99_us) {
+      fail(entry.config.name + ": access-delay percentiles not monotone");
+    }
+    if (!entry.config.padded() && m.overhead_percent != 0.0) {
+      fail(entry.config.name + ": unpadded OR must add zero bytes");
+    }
+    if (entry.config.padded() && m.overhead_percent <= 0.0) {
+      fail(entry.config.name + ": padded composition added nothing");
+    }
+  }
+  if (!saw_preset) {
+    fail("Table V preset missing from the sweep");
+  }
+  if (out.selected_index.has_value() &&
+      !out.selected().within_budgets) {
+    fail("selected candidate violates the hard budgets");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  if (smoke) {
+    core::tuning::ParameterTuner tuner{sweep_spec(10.0, true)};
+    core::tuning::TuningReport report;
+    int failures = smoke_check(tuner, report);
+    if (!json_path.empty() &&
+        !bench::write_json_report(json_path, report.to_json())) {
+      ++failures;
+    }
+    print_report(report);
+    print_tuned_vs_preset(report);
+    std::cout << (failures == 0 ? "bench_parameter_tuning --smoke: OK\n"
+                                : "bench_parameter_tuning --smoke: FAILED\n");
+    return failures == 0 ? 0 : 1;
+  }
+
+  std::ostringstream json;
+  json << "{\"reports\":[";
+  bool first = true;
+  for (const double cadence_seconds : {10.0, 20.0, 40.0}) {
+    core::tuning::ParameterTuner tuner{sweep_spec(cadence_seconds, false)};
+    const core::tuning::TuningReport report = tuner.run(/*threads=*/0);
+    std::cout << "\n== Re-training cadence " << cadence_seconds
+              << " s (X = " << report.adaptive_cross_percent << "%) ==\n";
+    print_report(report);
+    print_tuned_vs_preset(report);
+    json << (first ? "" : ",") << report.to_json();
+    first = false;
+  }
+  json << "]}";
+  if (!json_path.empty() &&
+      !bench::write_json_report(json_path, json.str())) {
+    return 1;
+  }
+  std::cout << "\nReading the table: 'Epochs>X' is how many re-training "
+               "epochs the adaptive adversary needs before its accuracy\n"
+               "crosses X% against that candidate (higher is better); "
+               "'Fit' marks the hard budgets (miss rate, overhead, p99),\n"
+               "'Front' the Pareto-optimal survivors, '*' the tuner's "
+               "selection that the AP pushes to clients.\n";
+  return 0;
+}

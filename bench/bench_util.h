@@ -3,6 +3,9 @@
 #pragma once
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -11,6 +14,46 @@
 #include "util/table.h"
 
 namespace reshape::bench {
+
+/// True when `flag` appears verbatim among the arguments (e.g. "--smoke").
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The path following a "--json" argument, or empty when absent — the
+/// machine-readable-output flag shared by the bench mains. A trailing
+/// "--json" with no path is a usage error and exits loudly: a CI script
+/// that forgot the path must not silently produce no report.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path argument\n";
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Writes a bench's JSON report; returns false (with a stderr note) when
+/// the path cannot be opened, so mains can fail loudly in CI.
+inline bool write_json_report(const std::string& path,
+                              const std::string& json) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    std::cerr << "cannot write JSON report to " << path << "\n";
+    return false;
+  }
+  out << json << "\n";
+  return static_cast<bool>(out);
+}
 
 /// Paper Table II — accuracy (%), W = 5 s.
 struct PaperTable2 {

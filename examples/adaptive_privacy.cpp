@@ -11,8 +11,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "core/parameter_selection.h"
 #include "core/scheduler.h"
+#include "core/tuning/presets.h"
 #include "mac/address_pool.h"
 #include "net/access_point.h"
 #include "net/client.h"
@@ -29,8 +29,8 @@ int main() {
                             "Privacy entropy (bits)"}};
   for (const std::size_t want : {std::size_t{2}, std::size_t{3},
                                  std::size_t{5}, std::size_t{8}}) {
-    const core::ParameterRecommendation rec =
-        core::recommend_parameters(want, /*wlan_population=*/12);
+    const core::tuning::ParameterRecommendation rec =
+        core::tuning::recommend_parameters(want, /*wlan_population=*/12);
     std::string bounds;
     for (std::size_t j = 0; j < rec.ranges.count(); ++j) {
       bounds += (j ? "," : "") + std::to_string(rec.ranges.upper_bound(j));
@@ -86,5 +86,24 @@ int main() {
   }
   std::cout << "Old addresses were recycled into the AP pool on every "
                "reconfiguration;\nno two grants overlap.\n";
+
+  // --- Tuned push (PR 5): the AP carries a tuner-selected parameter
+  //     point live — fresh virtual MACs + bounds/phi/pads in one
+  //     encrypted action frame; the client rebuilds its pipeline. ---
+  core::tuning::TunedConfiguration tuned =
+      core::tuning::to_tuned_configuration(
+          core::tuning::recommend_parameters(5, 12));
+  tuned.name = "pushed-I5";
+  tuned.pad_to[0] = tuned.range_bounds[0];  // flatten the small interface
+  ap.push_tuned_configuration(client_mac, tuned);
+  simulator.run();
+
+  std::cout << "\nTuned configuration push (" << tuned.summary() << "):\n"
+            << "  client now runs " << client.interfaces().size()
+            << " interfaces; applied point: "
+            << (client.tuned_configuration().has_value()
+                    ? client.tuned_configuration()->summary()
+                    : std::string{"<none>"})
+            << "\n";
   return 0;
 }

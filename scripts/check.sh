@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite.
+# Tier-1 verification: configure, build, and run the full test suite,
+# then refresh BENCH_tuning.json (the parameter-tuning smoke sweep's
+# stable JSON — the perf/selection trajectory tracked across PRs).
 #
 #   ./scripts/check.sh             # RelWithDebInfo, plain build
 #   ./scripts/check.sh --sanitize  # Debug + ASan/UBSan, separate build dir
@@ -36,7 +38,12 @@ done
 # error.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
 # CTEST_ARGS must precede the valueless -j, which greedily consumes a
 # following argument.
-ctest --output-on-failure ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"} -j
+(cd "$BUILD_DIR" && ctest --output-on-failure \
+    ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"} -j)
+
+# The tuner's smoke sweep doubles as the machine-readable perf record:
+# deterministic, so the diff of BENCH_tuning.json across PRs is the
+# selection/latency trajectory of the tuning subsystem.
+"./$BUILD_DIR/bench_parameter_tuning" --smoke --json BENCH_tuning.json

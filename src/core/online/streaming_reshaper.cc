@@ -41,6 +41,24 @@ double StreamingStats::overhead_percent() const {
   return byte_overhead_percent(added_bytes, original_bytes);
 }
 
+double StreamingStats::deadline_miss_rate() const {
+  if (packets == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(deadline_misses) / static_cast<double>(packets);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  packets += other.packets;
+  original_bytes += other.original_bytes;
+  added_bytes += other.added_bytes;
+  deadline_misses += other.deadline_misses;
+  total_queueing_delay = total_queueing_delay + other.total_queueing_delay;
+  max_queueing_delay = std::max(max_queueing_delay, other.max_queueing_delay);
+  airtime_busy = airtime_busy + other.airtime_busy;
+  max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+}
+
 StreamingReshaper::StreamingReshaper(std::unique_ptr<Scheduler> scheduler,
                                      std::unique_ptr<PacketShaper> shaper,
                                      StreamingConfig config)

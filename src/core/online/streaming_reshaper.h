@@ -138,6 +138,13 @@ struct StreamingStats {
 
   /// added/original bytes as a percentage (the paper's overhead metric).
   [[nodiscard]] double overhead_percent() const;
+
+  /// Fraction of packets that missed the latency budget (0 when empty).
+  [[nodiscard]] double deadline_miss_rate() const;
+
+  /// Accumulates another pipeline's (or shard's) stats into this one —
+  /// sums and counters add, maxima take the max.
+  void merge(const StreamingStats& other);
 };
 
 /// The streaming per-packet reshaping pipeline.

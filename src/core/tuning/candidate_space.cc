@@ -1,0 +1,96 @@
+#include "core/tuning/candidate_space.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/tuning/presets.h"
+#include "util/check.h"
+
+namespace reshape::core::tuning {
+
+namespace {
+
+/// Pad each interface of an identity candidate to its own range bound.
+TunedConfiguration padded_variant(const TunedConfiguration& base) {
+  TunedConfiguration padded = base;
+  padded.name = base.name + "+pad";
+  for (std::size_t j = 0; j < padded.range_bounds.size(); ++j) {
+    padded.pad_to[padded.assignment[j]] = padded.range_bounds[j];
+  }
+  return padded;
+}
+
+void add_unique(std::vector<TunedConfiguration>& out,
+                TunedConfiguration candidate) {
+  util::internal_check(candidate.structurally_valid(),
+                       "CandidateSpace: enumerated an invalid candidate");
+  // Dedup structurally (equal-mass partitions can collapse onto each
+  // other or onto a paper partition) AND by name: two different
+  // interface_counts can collapse to the same range count and would
+  // otherwise produce distinct candidates sharing one label, breaking
+  // the unique-name contract TuningReport::candidate() relies on. First
+  // enumeration wins.
+  const bool duplicate =
+      std::any_of(out.begin(), out.end(), [&](const TunedConfiguration& c) {
+        return c == candidate || c.name == candidate.name;
+      });
+  if (!duplicate) {
+    out.push_back(std::move(candidate));
+  }
+}
+
+}  // namespace
+
+std::vector<TunedConfiguration> CandidateSpace::enumerate(
+    const traffic::Trace& profile) const {
+  util::require(!profile.empty(),
+                "CandidateSpace: need a non-empty size profile");
+  std::vector<TunedConfiguration> out;
+
+  for (const std::size_t want : interface_counts) {
+    if (paper_partitions) {
+      add_unique(out, to_tuned_configuration(recommend_parameters(want, 1)));
+    }
+
+    if (equal_mass_partitions && want >= 2) {
+      const SizeRanges ranges = equal_mass_ranges(profile, want);
+      if (ranges.count() >= 2) {
+        add_unique(out, TunedConfiguration::identity(
+                            "OR-eqmass-I" + std::to_string(ranges.count()),
+                            ranges));
+      }
+    }
+
+    if (interleaved_fine_partitions && want >= 2) {
+      const SizeRanges fine = equal_mass_ranges(profile, 2 * want);
+      // The interleaved phi needs at least one full stripe: every
+      // interface i in [0, want) must own range i.
+      if (fine.count() > want) {
+        TunedConfiguration candidate;
+        candidate.name = "OR-eqmass2x-I" + std::to_string(want);
+        candidate.interfaces = want;
+        for (std::size_t j = 0; j < fine.count(); ++j) {
+          candidate.range_bounds.push_back(fine.upper_bound(j));
+          candidate.assignment.push_back(j % want);
+        }
+        candidate.pad_to.assign(want, 0);
+        add_unique(out, std::move(candidate));
+      }
+    }
+  }
+
+  if (padded_compositions) {
+    // Pad variants of every identity candidate gathered above, appended
+    // after the unpadded grid so indices of the plain points are stable.
+    const std::size_t unpadded = out.size();
+    for (std::size_t i = 0; i < unpadded; ++i) {
+      if (out[i].range_bounds.size() == out[i].interfaces) {
+        add_unique(out, padded_variant(out[i]));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace reshape::core::tuning

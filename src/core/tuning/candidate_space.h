@@ -1,0 +1,59 @@
+// The grid of parameter points the tuner sweeps.
+//
+// Table V fixes one point per I; a CandidateSpace enumerates a grid over
+// every axis the measurements of PRs 2-4 made tunable:
+//   * I            — the interface counts to try;
+//   * L / bounds   — the paper's partition for that I, plus data-driven
+//                    equal-mass partitions of the defender's own observed
+//                    size profile (presets.h equal_mass_ranges);
+//   * phi          — the identity assignment (I == L), plus a finer
+//                    interleaved assignment (L == 2I, range j owned by
+//                    interface j mod I) that gives every interface a low
+//                    and a high size band;
+//   * composition  — plain OR, plus a pad-to-range-bound variant that
+//                    flattens each interface's intra-range sizes at a
+//                    known byte cost.
+//
+// Enumeration is pure and ordered: the same space over the same profile
+// yields the same candidate list, which is what keys the tuner's grid.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tuning/tuned_configuration.h"
+#include "traffic/trace.h"
+
+namespace reshape::core::tuning {
+
+/// The sweep axes. Defaults cover Table V's I grid plus the data-driven
+/// and padded variants.
+struct CandidateSpace {
+  /// Interface counts to try (clamped per point to what the partition
+  /// supports; duplicates and counts the profile cannot sustain are
+  /// dropped).
+  std::vector<std::size_t> interface_counts{2, 3, 5};
+
+  /// Include the paper's Table V partition for each I.
+  bool paper_partitions = true;
+
+  /// Include the equal-mass quantile partition of the observed profile
+  /// (L == I, identity phi).
+  bool equal_mass_partitions = true;
+
+  /// Include the interleaved fine partition (equal-mass L == 2I, range j
+  /// owned by interface j mod I).
+  bool interleaved_fine_partitions = true;
+
+  /// Also emit a pad-to-range-bound composition of every identity
+  /// (I == L) candidate.
+  bool padded_compositions = true;
+
+  /// Enumerates the space against the defender's observed size profile
+  /// (any representative trace; only sizes are read). Candidates are
+  /// structurally valid, deduplicated, and deterministically ordered.
+  [[nodiscard]] std::vector<TunedConfiguration> enumerate(
+      const traffic::Trace& profile) const;
+};
+
+}  // namespace reshape::core::tuning

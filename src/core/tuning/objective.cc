@@ -1,0 +1,110 @@
+#include "core/tuning/objective.h"
+
+#include <limits>
+
+namespace reshape::core::tuning {
+
+bool within_budgets(const CandidateMetrics& metrics,
+                    const TuningBudgets& budgets) {
+  return metrics.deadline_miss_rate <= budgets.max_deadline_miss_rate &&
+         metrics.overhead_percent <= budgets.max_overhead_percent &&
+         metrics.access_delay_p99_us <=
+             budgets.max_access_delay_p99_ms * 1000.0 &&
+         metrics.frame_drop_rate <= budgets.max_frame_drop_rate;
+}
+
+namespace {
+
+/// The survival axis as an ordered scalar. A candidate whose merged
+/// curve never crossed X% survived the *whole* observation — that must
+/// outrank any candidate the adversary actually beat, even when curve
+/// lengths differ (epochs_survived == epochs_total on a short
+/// never-crossed curve would otherwise lose to a long curve crossed
+/// near its end).
+std::size_t survival_rank(const CandidateMetrics& m) {
+  return m.crossed ? m.epochs_survived
+                   : std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace
+
+bool dominates(const CandidateMetrics& a, const CandidateMetrics& b) {
+  const bool no_worse = survival_rank(a) >= survival_rank(b) &&
+                        a.deadline_miss_rate <= b.deadline_miss_rate &&
+                        a.overhead_percent <= b.overhead_percent;
+  const bool strictly_better = survival_rank(a) > survival_rank(b) ||
+                               a.deadline_miss_rate < b.deadline_miss_rate ||
+                               a.overhead_percent < b.overhead_percent;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    std::span<const CandidateMetrics> metrics) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < metrics.size(); ++j) {
+      if (i != j && dominates(metrics[j], metrics[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+SelectionOutcome run_selection(std::span<const CandidateMetrics> metrics,
+                               const TuningObjective& objective) {
+  SelectionOutcome outcome;
+
+  // Budgets first: an over-budget point is undeployable, not a trade-off.
+  std::vector<CandidateMetrics> feasible;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (within_budgets(metrics[i], objective.budgets)) {
+      feasible.push_back(metrics[i]);
+      outcome.feasible.push_back(i);
+    }
+  }
+  if (feasible.empty()) {
+    return outcome;
+  }
+
+  const std::vector<std::size_t> front = pareto_front(feasible);
+  outcome.front.reserve(front.size());
+  for (const std::size_t i : front) {
+    outcome.front.push_back(outcome.feasible[i]);
+  }
+
+  std::size_t best = front.front();
+  for (const std::size_t i : front) {
+    const CandidateMetrics& a = feasible[i];
+    const CandidateMetrics& b = feasible[best];
+    if (survival_rank(a) != survival_rank(b)) {
+      if (survival_rank(a) > survival_rank(b)) {
+        best = i;
+      }
+    } else if (a.final_adaptive_accuracy != b.final_adaptive_accuracy) {
+      if (a.final_adaptive_accuracy < b.final_adaptive_accuracy) {
+        best = i;
+      }
+    } else if (a.deadline_miss_rate != b.deadline_miss_rate) {
+      if (a.deadline_miss_rate < b.deadline_miss_rate) {
+        best = i;
+      }
+    } else if (a.overhead_percent < b.overhead_percent) {
+      best = i;
+    }
+  }
+  outcome.selected = outcome.feasible[best];
+  return outcome;
+}
+
+std::optional<std::size_t> select(std::span<const CandidateMetrics> metrics,
+                                  const TuningObjective& objective) {
+  return run_selection(metrics, objective).selected;
+}
+
+}  // namespace reshape::core::tuning

@@ -1,0 +1,112 @@
+// The three-axis tuning objective and its Pareto machinery.
+//
+// A candidate parameter point is scored on:
+//   1. resistance to adaptation — how many re-training epochs the
+//      adaptive adversary needs before its merged accuracy curve crosses
+//      X% (runtime::EpochAggregate-style merged curves; higher is better);
+//   2. latency under load — the deadline-miss rate of the streaming
+//      pipeline and the arbitrated channel-access delay percentiles
+//      (lower is better);
+//   3. cost — byte overhead added on the air (lower is better).
+//
+// Hard budgets (max miss rate, max overhead, max p99 access delay) filter
+// candidates *before* Pareto ranking: a point that blows the latency
+// budget is not "a different trade-off", it is undeployable. Dominance and
+// selection then run over the three scalar axes (epochs_survived up,
+// deadline_miss_rate down, overhead_percent down).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace reshape::core::tuning {
+
+/// Hard deployability constraints, applied before Pareto ranking.
+struct TuningBudgets {
+  /// Max fraction of packets allowed to miss the streaming latency budget.
+  double max_deadline_miss_rate = 1.0;
+
+  /// Max byte overhead (percent of original bytes).
+  double max_overhead_percent = std::numeric_limits<double>::infinity();
+
+  /// Max arbitrated channel-access delay at p99 (milliseconds).
+  double max_access_delay_p99_ms = std::numeric_limits<double>::infinity();
+
+  /// Max fraction of frames the arbitrated cell may drop at the retry
+  /// limit. Dropped frames never produce an access-delay sample, so the
+  /// percentile budget alone cannot see an overloaded channel — this one
+  /// can.
+  double max_frame_drop_rate = 1.0;
+};
+
+/// The objective the tuner optimises.
+struct TuningObjective {
+  /// X — the adaptive-accuracy threshold whose crossing epoch is axis 1.
+  double adaptive_cross_percent = 50.0;
+
+  TuningBudgets budgets{};
+};
+
+/// One candidate's measured score across the three axes.
+struct CandidateMetrics {
+  // Axis 1 — resistance to adaptation (higher is better).
+  std::size_t epochs_total = 0;     // epochs in the merged curve
+  std::size_t epochs_survived = 0;  // epochs before the curve crosses X%
+  bool crossed = false;             // false: never crossed (survived all)
+  double final_adaptive_accuracy = 0.0;  // % at the last epoch
+  double final_static_accuracy = 0.0;    // frozen-baseline % at last epoch
+
+  // Axis 2 — latency under load (lower is better). Percentiles cover
+  // frames that made it to the air; frames dropped at the retry limit
+  // are accounted separately (they have no delay sample).
+  double deadline_miss_rate = 0.0;       // fraction of packets
+  double mean_queueing_delay_us = 0.0;   // modeled pipeline delay
+  double access_delay_p50_us = 0.0;      // arbitrated channel access
+  double access_delay_p90_us = 0.0;
+  double access_delay_p99_us = 0.0;
+  std::uint64_t frames_dropped = 0;      // retry limit exceeded on the air
+  double frame_drop_rate = 0.0;          // dropped / (on-air + dropped)
+
+  // Axis 3 — cost (lower is better).
+  double overhead_percent = 0.0;
+};
+
+/// True when the metrics satisfy every hard budget.
+[[nodiscard]] bool within_budgets(const CandidateMetrics& metrics,
+                                  const TuningBudgets& budgets);
+
+/// Pareto dominance over (survival up, deadline_miss_rate down,
+/// overhead_percent down): `a` is no worse on all three axes and strictly
+/// better on at least one. On the survival axis a never-crossed curve
+/// (crossed == false) outranks any crossed one — the adversary never
+/// recovered, however long the observation ran; among crossed candidates
+/// epochs_survived orders them.
+[[nodiscard]] bool dominates(const CandidateMetrics& a,
+                             const CandidateMetrics& b);
+
+/// Indices (ascending) of the non-dominated members of `metrics`.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    std::span<const CandidateMetrics> metrics);
+
+/// The full selection pass: budget filter, Pareto front of the
+/// survivors, then the lexicographic tie-break — most epochs survived,
+/// lowest final adaptive accuracy, lowest miss rate, lowest overhead,
+/// lowest index. All index vectors point into the original `metrics`.
+struct SelectionOutcome {
+  std::vector<std::size_t> feasible;    // budget-passing candidates
+  std::vector<std::size_t> front;       // non-dominated feasible candidates
+  std::optional<std::size_t> selected;  // nullopt when feasible is empty
+};
+[[nodiscard]] SelectionOutcome run_selection(
+    std::span<const CandidateMetrics> metrics,
+    const TuningObjective& objective);
+
+/// run_selection()'s pick alone.
+[[nodiscard]] std::optional<std::size_t> select(
+    std::span<const CandidateMetrics> metrics, const TuningObjective& objective);
+
+}  // namespace reshape::core::tuning

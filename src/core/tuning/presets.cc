@@ -1,4 +1,4 @@
-#include "core/parameter_selection.h"
+#include "core/tuning/presets.h"
 
 #include <algorithm>
 #include <cmath>
@@ -6,11 +6,12 @@
 #include "mac/frame.h"
 #include "util/check.h"
 
-namespace reshape::core {
+namespace reshape::core::tuning {
 
 double privacy_entropy_bits(std::size_t total_mac_addresses) {
-  util::require(total_mac_addresses >= 1,
-                "privacy_entropy_bits: population must be >= 1");
+  if (total_mac_addresses <= 1) {
+    return 0.0;  // nobody (or only yourself) to hide among
+  }
   return std::log2(static_cast<double>(total_mac_addresses));
 }
 
@@ -60,6 +61,16 @@ ParameterRecommendation recommend_parameters(std::size_t desired_interfaces,
   return rec;
 }
 
+TunedConfiguration to_tuned_configuration(
+    const ParameterRecommendation& recommendation) {
+  TunedConfiguration config = TunedConfiguration::identity(
+      "OR-paper-I" + std::to_string(recommendation.interfaces),
+      recommendation.ranges);
+  util::internal_check(config.interfaces == recommendation.interfaces,
+                       "to_tuned_configuration: presets are I == L points");
+  return config;
+}
+
 SizeRanges equal_mass_ranges(const traffic::Trace& trace, std::size_t l) {
   util::require(l >= 1, "equal_mass_ranges: need l >= 1");
   util::require(!trace.empty(), "equal_mass_ranges: empty trace");
@@ -70,6 +81,10 @@ SizeRanges equal_mass_ranges(const traffic::Trace& trace, std::size_t l) {
     sizes.push_back(r.size_bytes);
   }
   std::sort(sizes.begin(), sizes.end());
+  // A record of zero bytes cannot bound a non-empty (lo, hi] range; clamp
+  // the partition's ceiling to one byte so degenerate traces still yield
+  // a valid partition.
+  const std::uint32_t max_size = std::max<std::uint32_t>(sizes.back(), 1);
 
   std::vector<std::uint32_t> bounds;
   for (std::size_t k = 1; k < l; ++k) {
@@ -77,16 +92,16 @@ SizeRanges equal_mass_ranges(const traffic::Trace& trace, std::size_t l) {
     const std::uint32_t candidate = sizes[std::min(rank, sizes.size() - 1)];
     // Bounds must be strictly increasing; heavily repeated sizes (e.g. a
     // downloading trace that is 99% 1576-byte frames) can collapse
-    // quantiles, in which case we skip the duplicate boundary.
-    if (bounds.empty() ? candidate > 0 : candidate > bounds.back()) {
+    // quantiles, in which case the duplicate boundary is skipped — asking
+    // for more ranges than the trace has distinct sizes degrades to the
+    // distinct-size partition rather than failing.
+    if ((bounds.empty() ? candidate > 0 : candidate > bounds.back()) &&
+        candidate < max_size) {
       bounds.push_back(candidate);
     }
   }
-  const std::uint32_t max_size = sizes.back();
-  if (bounds.empty() || bounds.back() < max_size) {
-    bounds.push_back(max_size);
-  }
+  bounds.push_back(max_size);
   return SizeRanges{std::move(bounds)};
 }
 
-}  // namespace reshape::core
+}  // namespace reshape::core::tuning

@@ -1,4 +1,5 @@
-// Parameter-selection rules for traffic reshaping (§III-C.3):
+// The paper's one-shot parameter-selection rules (§III-C.3), kept as thin
+// presets inside the tuning subsystem:
 //   * L (number of size ranges): derived from where the applications'
 //     packet sizes actually concentrate — the paper observes modes in
 //     [108, 232] and [1546, 1576] and recommends L >= 3;
@@ -6,19 +7,26 @@
 //     H = log2(N) against AP resource cost; the paper finds I = 3
 //     sufficient with diminishing returns beyond;
 //   * phi: per-interface targets, orthogonal for OR.
+//
+// These rules pick one point; CandidateSpace/ParameterTuner (the rest of
+// core::tuning) sweep a space of points against measured objectives and
+// use these presets as the Table V baseline candidates.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "core/target_distribution.h"
+#include "core/tuning/tuned_configuration.h"
 #include "traffic/trace.h"
 
-namespace reshape::core {
+namespace reshape::core::tuning {
 
 /// Privacy entropy of a WLAN with `total_mac_addresses` observable MAC
 /// addresses, assuming an attacker with no side information (paper cites
-/// ref. [14]): H = log2(N).
+/// ref. [14]): H = log2(N). An empty population carries zero bits — there
+/// is nothing to hide among — so privacy_entropy_bits(0) == 0.0, same as
+/// a population of one.
 [[nodiscard]] double privacy_entropy_bits(std::size_t total_mac_addresses);
 
 /// Recommendation produced by the rule engine.
@@ -36,15 +44,26 @@ struct ParameterRecommendation {
 /// 5; for other I, boundaries are interpolated between the small-packet
 /// mode edge (232), mid-range splits, and the large mode edge (1540)).
 /// `wlan_population` is the number of MAC addresses already visible in
-/// the WLAN, used for the entropy report.
+/// the WLAN, used for the entropy report: the recommendation reports
+/// log2(max(population, 1) + I) — a zero population counts as one (the
+/// client itself is always visible once it transmits).
 [[nodiscard]] ParameterRecommendation recommend_parameters(
     std::size_t desired_interfaces, std::size_t wlan_population);
 
-/// Splits a trace's observed size distribution into `l` ranges with
-/// approximately equal probability mass (quantile partition) — a
-/// data-driven alternative to the fixed paper partition; the final bound
-/// is always the trace's maximum observed size.
+/// The recommendation as a sweepable/pushable configuration point — the
+/// "Table V preset" the tuner's candidates are measured against.
+[[nodiscard]] TunedConfiguration to_tuned_configuration(
+    const ParameterRecommendation& recommendation);
+
+/// Splits a trace's observed size distribution into at most `l` ranges
+/// with approximately equal probability mass (quantile partition) — a
+/// data-driven alternative to the fixed paper partition. The final bound
+/// is always the trace's maximum observed size (clamped to >= 1 byte so
+/// the partition stays valid even for degenerate zero-size records), and
+/// the result is always a non-empty strictly-increasing partition:
+/// traces with fewer than `l` distinct sizes collapse duplicate quantile
+/// boundaries, down to a single range for single-size traces.
 [[nodiscard]] SizeRanges equal_mass_ranges(const traffic::Trace& trace,
                                            std::size_t l);
 
-}  // namespace reshape::core
+}  // namespace reshape::core::tuning

@@ -1,0 +1,92 @@
+// ParameterTuner: the constraint-driven replacement for the one-shot
+// rule engine.
+//
+// recommend_parameters() picks Table V's point once and never looks at
+// the deployment; the tuner instead enumerates a CandidateSpace against
+// the defender's own size profile, measures every candidate on the arena
+// scenario with the CandidateEvaluator (epochs-until-adaptive-recovery,
+// deadline-miss rate and access-delay percentiles under arbitration,
+// byte overhead), filters by the hard budgets, Pareto-ranks the
+// survivors, and selects one point — the TunedConfiguration the AP then
+// pushes to clients through net::config_protocol.
+//
+// Sweeps run candidate × shard cells on the shared runtime:: worker pool
+// with the same keyed-fork streams as every campaign engine, so a
+// TuningReport is bit-identical for any thread count and serializes to a
+// stable JSON (the BENCH_tuning.json trajectory file).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tuning/evaluator.h"
+
+namespace reshape::core::tuning {
+
+/// One candidate's entry in the report.
+struct CandidateReport {
+  TunedConfiguration config;
+  CandidateMetrics metrics{};
+  bool within_budgets = false;
+  bool on_pareto_front = false;  // among budget-passing candidates
+  bool selected = false;
+};
+
+/// Everything a tuning sweep produced, in enumeration order.
+struct TuningReport {
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  double cadence_seconds = 0.0;       // the adversary-strength knob
+  double adaptive_cross_percent = 0.0;
+  std::vector<CandidateReport> candidates;
+  std::optional<std::size_t> selected_index;
+
+  /// The selected candidate; throws std::out_of_range when no candidate
+  /// passed the budgets.
+  [[nodiscard]] const CandidateReport& selected() const;
+
+  /// The entry whose config label equals `name`; throws
+  /// std::out_of_range for unknown names.
+  [[nodiscard]] const CandidateReport& candidate(const std::string& name) const;
+
+  /// Stable JSON export (fixed key order, locale-independent numbers) —
+  /// equal reports serialize to equal strings.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Enumerates, measures, filters, ranks, selects.
+class ParameterTuner {
+ public:
+  explicit ParameterTuner(TunerSpec spec);
+
+  // The evaluator holds a reference into spec_; moving or copying the
+  // tuner would leave it dangling.
+  ParameterTuner(const ParameterTuner&) = delete;
+  ParameterTuner& operator=(const ParameterTuner&) = delete;
+
+  /// Profiles the bootstrap corpus and enumerates the candidate space
+  /// (idempotent; run() calls it).
+  void train();
+
+  /// The enumerated candidates, in sweep order. Requires train().
+  [[nodiscard]] const std::vector<TunedConfiguration>& candidates() const;
+
+  /// Sweeps the candidate grid on `threads` workers (0 = hardware
+  /// concurrency). The report is bit-identical for every thread count.
+  [[nodiscard]] TuningReport run(std::size_t threads = 0);
+
+  [[nodiscard]] const TunerSpec& spec() const { return spec_; }
+  [[nodiscard]] const CandidateEvaluator& evaluator() const {
+    return evaluator_;
+  }
+
+ private:
+  TunerSpec spec_;
+  CandidateEvaluator evaluator_;
+  std::vector<TunedConfiguration> candidates_;
+  bool trained_ = false;
+};
+
+}  // namespace reshape::core::tuning

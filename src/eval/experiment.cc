@@ -8,32 +8,6 @@
 
 namespace reshape::eval {
 
-namespace {
-
-/// Applies one freshly-built defense to one session, accumulating the
-/// byte account and collecting the non-empty observable flows — the one
-/// code path both the legacy per-app loop and the campaign cell path use.
-void apply_defense_to_session(const DefenseFactory& factory,
-                              const traffic::Trace& session,
-                              std::uint64_t defense_seed,
-                              std::vector<traffic::Trace>& flows,
-                              std::uint64_t& original_bytes,
-                              std::uint64_t& added_bytes) {
-  auto defense = factory(session.app(), defense_seed);
-  util::internal_check(defense != nullptr,
-                       "ExperimentHarness: factory returned null defense");
-  core::DefenseResult result = defense->apply(session);
-  original_bytes += result.original_bytes;
-  added_bytes += result.added_bytes;
-  for (traffic::Trace& stream : result.streams) {
-    if (!stream.empty()) {
-      flows.push_back(std::move(stream));
-    }
-  }
-}
-
-}  // namespace
-
 ExperimentHarness::ExperimentHarness(ExperimentConfig config)
     : config_{config}, profiles_(traffic::kAppCount) {
   util::require(config_.window > util::Duration{},
@@ -136,28 +110,6 @@ void ExperimentHarness::train() {
   }
 }
 
-std::vector<traffic::Trace> ExperimentHarness::test_flows(
-    const DefenseFactory& factory, traffic::AppType app,
-    std::array<double, traffic::kAppCount>& overhead_out) const {
-  std::vector<traffic::Trace> flows;
-  std::uint64_t original_bytes = 0;
-  std::uint64_t added_bytes = 0;
-  for (std::size_t s = 0; s < config_.test_sessions_per_app; ++s) {
-    const std::uint64_t seed = session_seed(app, s, false);
-    const traffic::Trace trace = traffic::generate_trace(
-        app, config_.test_session_duration, seed, config_.session_jitter);
-    apply_defense_to_session(factory, trace,
-                             util::splitmix64(seed ^ 0xDEFULL), flows,
-                             original_bytes, added_bytes);
-  }
-  overhead_out[traffic::app_index(app)] =
-      original_bytes == 0
-          ? 0.0
-          : 100.0 * static_cast<double>(added_bytes) /
-                static_cast<double>(original_bytes);
-  return flows;
-}
-
 void ExperimentHarness::score_flows(std::span<const traffic::Trace> flows,
                                     DefenseEvaluation& out) const {
   // The paper reports "the highest classification accuracy" its attack
@@ -188,24 +140,18 @@ DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
                                               std::string defense_name) {
   train();
 
-  DefenseEvaluation out;
-  out.defense_name = std::move(defense_name);
-
-  std::vector<traffic::Trace> flows;
+  // The paper's test corpus: fresh sessions of every app, app-major.
+  std::vector<traffic::Trace> sessions;
+  sessions.reserve(traffic::kAppCount * config_.test_sessions_per_app);
   for (const traffic::AppType app : traffic::kAllApps) {
-    std::vector<traffic::Trace> app_flows =
-        test_flows(factory, app, out.overhead);
-    for (traffic::Trace& flow : app_flows) {
-      flows.push_back(std::move(flow));
+    for (std::size_t s = 0; s < config_.test_sessions_per_app; ++s) {
+      sessions.push_back(traffic::generate_trace(
+          app, config_.test_session_duration, session_seed(app, s, false),
+          config_.session_jitter));
     }
   }
-  score_flows(flows, out);
-  double overhead_sum = 0.0;
-  for (const double o : out.overhead) {
-    overhead_sum += o;
-  }
-  out.mean_overhead = overhead_sum / static_cast<double>(traffic::kAppCount);
-  return out;
+  return evaluate_sessions(factory, std::move(defense_name), sessions,
+                           util::splitmix64(config_.seed ^ 0xDEFULL));
 }
 
 DefenseEvaluation ExperimentHarness::evaluate_sessions(
@@ -218,15 +164,19 @@ DefenseEvaluation ExperimentHarness::evaluate_sessions(
   DefenseEvaluation out;
   out.defense_name = std::move(defense_name);
 
+  std::vector<DefendedSession> defended =
+      apply_defense(factory, sessions, defense_seed);
+
   std::array<std::uint64_t, traffic::kAppCount> original_bytes{};
   std::array<std::uint64_t, traffic::kAppCount> added_bytes{};
   std::vector<traffic::Trace> flows;
-  for (std::size_t s = 0; s < sessions.size(); ++s) {
-    const traffic::Trace& session = sessions[s];
-    const auto i = traffic::app_index(session.app());
-    apply_defense_to_session(factory, session,
-                             util::splitmix64(defense_seed ^ (0xCE11ULL + s)),
-                             flows, original_bytes[i], added_bytes[i]);
+  for (DefendedSession& session : defended) {
+    const auto i = traffic::app_index(session.app);
+    original_bytes[i] += session.original_bytes;
+    added_bytes[i] += session.added_bytes;
+    for (traffic::Trace& flow : session.flows) {
+      flows.push_back(std::move(flow));
+    }
   }
   // Mean overhead averages over the apps the workload actually contains —
   // a chatting+browsing scenario must not be diluted by five absent apps.

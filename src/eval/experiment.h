@@ -24,6 +24,7 @@
 
 #include "attack/classifier_attack.h"
 #include "core/defense.h"
+#include "eval/session_eval.h"
 #include "features/features.h"
 #include "ml/metrics.h"
 #include "traffic/app_model.h"
@@ -45,11 +46,6 @@ struct ExperimentConfig {
   features::FeatureSet feature_set = features::FeatureSet::kAll;
   traffic::SessionJitter session_jitter{};
 };
-
-/// Builds a fresh defense instance for one (app, session); defenses carry
-/// RNG/counter state, so each session gets its own.
-using DefenseFactory = std::function<std::unique_ptr<core::Defense>(
-    traffic::AppType app, std::uint64_t seed)>;
 
 /// Everything a table row needs about one defense.
 struct DefenseEvaluation {
@@ -81,15 +77,19 @@ class ExperimentHarness {
   void train();
 
   /// Applies the defense to fresh test sessions of every app and scores
-  /// the attacker on the observable flows.
+  /// the attacker on the observable flows — a convenience wrapper that
+  /// generates the §IV test corpus and hands it to evaluate_sessions().
   [[nodiscard]] DefenseEvaluation evaluate(const DefenseFactory& factory,
                                            std::string defense_name);
 
   /// Scoring phase over an explicit workload: applies the defense to each
-  /// session (ground truth carried in Trace::app()) and scores the trained
-  /// attackers over every observable flow. Per-session defense seeds are
-  /// derived from `defense_seed`, so a cell's result depends only on its
-  /// sessions and seed. Requires trained(); const and thread-safe.
+  /// session (ground truth carried in Trace::app()) through the shared
+  /// eval::apply_defense primitive and scores the trained attackers over
+  /// every observable flow. Per-session defense seeds are derived from
+  /// `defense_seed` via eval::session_defense_seed, so a cell's result
+  /// depends only on its sessions and seed — any engine evaluating the
+  /// same (factory, sessions, seed) triple gets this exact result.
+  /// Requires trained(); const and thread-safe.
   [[nodiscard]] DefenseEvaluation evaluate_sessions(
       const DefenseFactory& factory, std::string defense_name,
       std::span<const traffic::Trace> sessions,
@@ -122,9 +122,6 @@ class ExperimentHarness {
   [[nodiscard]] std::uint64_t session_seed(traffic::AppType app,
                                            std::size_t session,
                                            bool training) const;
-  [[nodiscard]] std::vector<traffic::Trace> test_flows(
-      const DefenseFactory& factory, traffic::AppType app,
-      std::array<double, traffic::kAppCount>& overhead_out) const;
 
   /// Runs every trained attacker over the flows and fills the confusion /
   /// accuracy / FP fields of `out` with the strongest one's numbers.

@@ -1,0 +1,39 @@
+#include "eval/session_eval.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace reshape::eval {
+
+std::uint64_t session_defense_seed(std::uint64_t defense_seed,
+                                   std::size_t session) {
+  return util::splitmix64(defense_seed ^ (0xCE11ULL + session));
+}
+
+std::vector<DefendedSession> apply_defense(
+    const DefenseFactory& factory, std::span<const traffic::Trace> sessions,
+    std::uint64_t defense_seed) {
+  std::vector<DefendedSession> out;
+  out.reserve(sessions.size());
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const traffic::Trace& session = sessions[s];
+    auto defense = factory(session.app(), session_defense_seed(defense_seed, s));
+    util::internal_check(defense != nullptr,
+                         "apply_defense: factory returned null defense");
+    core::DefenseResult result = defense->apply(session);
+
+    DefendedSession defended;
+    defended.app = session.app();
+    defended.original_bytes = result.original_bytes;
+    defended.added_bytes = result.added_bytes;
+    for (traffic::Trace& stream : result.streams) {
+      if (!stream.empty()) {
+        defended.flows.push_back(std::move(stream));
+      }
+    }
+    out.push_back(std::move(defended));
+  }
+  return out;
+}
+
+}  // namespace reshape::eval

@@ -1,0 +1,54 @@
+// The per-session defense-application primitive every scoring path shares.
+//
+// ExperimentHarness::evaluate_sessions, the campaign engines, and the
+// parameter tuner all answer the same question for one cell: "apply this
+// defense to these labeled sessions and hand me the observable flows plus
+// the byte account". The session-seed derivation and the flow-collection
+// rules (fresh defense per session, non-empty streams only, session-major
+// order) must be identical everywhere, or two engines evaluating the same
+// candidate would disagree — so they live here, once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/defense.h"
+#include "traffic/app_type.h"
+#include "traffic/trace.h"
+
+namespace reshape::eval {
+
+/// Builds a fresh defense instance for one (app, session); defenses carry
+/// RNG/counter state, so each session gets its own.
+using DefenseFactory = std::function<std::unique_ptr<core::Defense>(
+    traffic::AppType app, std::uint64_t seed)>;
+
+/// The canonical per-session defense seed: every engine derives session
+/// `s`'s defense instance from the cell's `defense_seed` through exactly
+/// this mix, so a (defense, session list, seed) triple scores identically
+/// no matter which engine runs it.
+[[nodiscard]] std::uint64_t session_defense_seed(std::uint64_t defense_seed,
+                                                 std::size_t session);
+
+/// What applying a defense to one session produced: the non-empty
+/// observable flows (per virtual MAC / channel partition / single flow),
+/// in stream order, plus the byte account.
+struct DefendedSession {
+  traffic::AppType app = traffic::AppType::kBrowsing;
+  std::vector<traffic::Trace> flows;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t added_bytes = 0;
+};
+
+/// Applies a fresh, canonically-seeded defense instance to every session.
+/// Results are index-aligned with `sessions`; flows keep per-session
+/// grouping so callers that need station structure (RSSI tagging, live
+/// replay) don't have to re-derive it.
+[[nodiscard]] std::vector<DefendedSession> apply_defense(
+    const DefenseFactory& factory, std::span<const traffic::Trace> sessions,
+    std::uint64_t defense_seed);
+
+}  // namespace reshape::eval

@@ -32,6 +32,7 @@ enum class FrameSubtype : std::uint8_t {
   kAck,
   kData,
   kQosData,
+  kAction,  // AP-initiated configuration pushes (tuned reshaping updates)
 };
 
 /// Direction of a data frame relative to the client under observation.

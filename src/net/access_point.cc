@@ -216,6 +216,53 @@ std::vector<mac::MacAddress> AccessPoint::virtual_addresses_of(
                               : it->second.virtual_addresses;
 }
 
+bool AccessPoint::push_tuned_configuration(
+    const mac::MacAddress& client_physical,
+    const core::tuning::TunedConfiguration& config) {
+  config.validate();
+  util::require(config.interfaces <= config_.max_interfaces,
+                "AccessPoint::push_tuned_configuration: configuration "
+                "exceeds the per-client interface ceiling");
+  const auto it = clients_.find(client_physical);
+  if (it == clients_.end()) {
+    return false;
+  }
+  ClientState& client = it->second;
+
+  auto addresses = pool_.allocate_n(config.interfaces);
+  if (!addresses) {
+    return false;  // pool exhaustion (practically impossible at 48 bits)
+  }
+  recycle(client_physical);
+  client.virtual_addresses = *addresses;
+  for (const mac::MacAddress& a : client.virtual_addresses) {
+    virtual_to_physical_.emplace(a, client_physical);
+  }
+  // The AP-side downlink pipeline is rebuilt from the same configuration
+  // the client will rebuild its uplink from — both ends of the link run
+  // the pushed point (stats restart with the new pipeline).
+  client.reshaper =
+      std::make_unique<core::online::StreamingReshaper>(
+          config.make_scheduler(), config.make_interface_shapers(),
+          config_.streaming.accounting_only());
+
+  TunedConfigUpdate update{nonce_gen_.next(), client.virtual_addresses,
+                           config};
+  const mac::StreamCipher cipher{client.key};
+  mac::Frame push;
+  push.type = mac::FrameType::kManagement;
+  push.subtype = mac::FrameSubtype::kAction;
+  push.source = bssid_;
+  push.destination = client_physical;
+  push.bssid = bssid_;
+  push.payload = encode_tuned_config(update, cipher, nonce_gen_.next());
+  push.size_bytes =
+      mac::on_air_size(static_cast<std::uint32_t>(push.payload.size()));
+  transmit(std::move(push));
+  ++tuned_pushes_;
+  return true;
+}
+
 std::size_t AccessPoint::recycle(const mac::MacAddress& client_physical) {
   const auto it = clients_.find(client_physical);
   if (it == clients_.end()) {

@@ -22,6 +22,7 @@
 #include "core/online/streaming_reshaper.h"
 #include "core/scheduler.h"
 #include "core/tpc.h"
+#include "core/tuning/tuned_configuration.h"
 #include "mac/address_pool.h"
 #include "mac/crypto.h"
 #include "mac/frame.h"
@@ -103,6 +104,24 @@ class AccessPoint : public sim::RadioListener {
   /// resource recycling, §III-B.1). Returns how many were reclaimed.
   std::size_t recycle(const mac::MacAddress& client_physical);
 
+  /// Pushes a tuner-selected parameter point to an associated client:
+  /// recycles its old virtual addresses, mints a fresh set sized to the
+  /// configuration, rebuilds the AP-side downlink pipeline from it, and
+  /// sends the encrypted update in an action frame — the client rebuilds
+  /// its uplink pipeline from the same body on receipt. Requires a
+  /// structurally valid `config` with interfaces <= max_interfaces.
+  /// Returns false (and changes nothing) for unknown clients or address
+  /// pool exhaustion.
+  ///
+  /// Transition window: like a handshake re-request (which also recycles
+  /// before the client learns the new set), the switch is not seamless —
+  /// frames already scheduled on the *old* virtual MACs in either
+  /// direction are rejected at the receiver until the push propagates.
+  /// Reconfigure at quiet instants; carrying live reshaper state through
+  /// the switch is the ROADMAP's reshaper-state-migration item.
+  bool push_tuned_configuration(const mac::MacAddress& client_physical,
+                                const core::tuning::TunedConfiguration& config);
+
   [[nodiscard]] std::uint64_t uplink_packets() const {
     return uplink_packets_;
   }
@@ -115,6 +134,7 @@ class AccessPoint : public sim::RadioListener {
   [[nodiscard]] std::uint64_t rejected_frames() const {
     return rejected_frames_;
   }
+  [[nodiscard]] std::uint64_t tuned_pushes() const { return tuned_pushes_; }
 
   /// *Modeled* cost of one client's downlink reshaping pipeline (queueing
   /// delay behind the StreamingReshaper's private radio model, airtime,
@@ -178,6 +198,7 @@ class AccessPoint : public sim::RadioListener {
   std::uint64_t downlink_packets_ = 0;
   std::uint64_t handshakes_completed_ = 0;
   std::uint64_t rejected_frames_ = 0;
+  std::uint64_t tuned_pushes_ = 0;
 };
 
 }  // namespace reshape::net

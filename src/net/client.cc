@@ -23,6 +23,7 @@ WirelessClient::WirelessClient(
       cipher_{key},
       nonce_gen_{rng.next_u64()},
       tpc_{core::TransmitPowerControl::fixed(15.0)},
+      streaming_{streaming},
       reshaper_{checked(std::move(uplink_scheduler)), std::move(shaper),
                 streaming.accounting_only()} {
   util::require(!physical_address_.is_null(),
@@ -118,6 +119,39 @@ void WirelessClient::handle_config_response(const mac::Frame& frame) {
   state_ = ClientState::kConfigured;
 }
 
+void WirelessClient::handle_tuned_config(const mac::Frame& frame) {
+  const auto update = decode_tuned_config(frame.payload, cipher_);
+  if (!update || !seen_push_nonces_.insert(update->nonce).second) {
+    // Wrong key / tampered / malformed, or a replay of an honoured push.
+    ++rejected_config_pushes_;
+    return;
+  }
+  // Rebuild the MAC identities and the uplink pipeline from the pushed
+  // point. The reshaper is replaced wholesale: scheduler state and stats
+  // restart under the new configuration, exactly like the AP's downlink
+  // twin.
+  const bool interface_count_changed =
+      update->virtual_addresses.size() != interfaces_.size();
+  interfaces_.clear();
+  interfaces_.resize(update->virtual_addresses.size());
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    interfaces_[i].configure(update->virtual_addresses[i]);
+  }
+  // Per-interface power disguises are positional: they stay valid when
+  // the interface count is unchanged, but a different I leaves nothing
+  // sensible to map them onto — drop them (the global control takes
+  // over) and let the caller re-establish the disguise; see the header.
+  if (interface_count_changed) {
+    interface_tpc_.clear();
+  }
+  reshaper_ = core::online::StreamingReshaper{
+      update->config.make_scheduler(), update->config.make_interface_shapers(),
+      streaming_.accounting_only()};
+  tuned_ = std::move(update->config);
+  pending_nonce_.reset();
+  state_ = ClientState::kConfigured;
+}
+
 bool WirelessClient::owns_address(const mac::MacAddress& addr) const {
   if (addr == physical_address_) {
     return true;
@@ -135,6 +169,12 @@ void WirelessClient::on_frame(const mac::Frame& frame, double /*rssi_dbm*/) {
       frame.subtype == mac::FrameSubtype::kAssociationResponse &&
       frame.destination == physical_address_ && frame.source == bssid_) {
     handle_config_response(frame);
+    return;
+  }
+  if (frame.type == mac::FrameType::kManagement &&
+      frame.subtype == mac::FrameSubtype::kAction &&
+      frame.destination == physical_address_ && frame.source == bssid_) {
+    handle_tuned_config(frame);
     return;
   }
   if (!frame.is_data() || !owns_address(frame.destination)) {

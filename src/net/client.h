@@ -8,7 +8,11 @@
 //   * downlink reception — accept frames addressed to *any* of its
 //     virtual MACs (or the physical one), translate back to the physical
 //     address, and hand the payload to upper layers, keeping the whole
-//     mechanism transparent above the MAC layer.
+//     mechanism transparent above the MAC layer;
+//   * tuned reconfiguration — accept an AP-pushed TunedConfigUpdate
+//     (action frame, anti-replay checked) and rebuild both the virtual
+//     interface set and the uplink StreamingReshaper from the pushed
+//     core::tuning::TunedConfiguration.
 //
 // Transmission timing: the uplink StreamingReshaper's scheduled release
 // times are *real* — a packet whose release time is in the future is
@@ -23,11 +27,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "core/online/streaming_reshaper.h"
 #include "core/scheduler.h"
 #include "core/tpc.h"
+#include "core/tuning/tuned_configuration.h"
 #include "mac/crypto.h"
 #include "mac/frame.h"
 #include "mac/mac_address.h"
@@ -111,6 +117,24 @@ class WirelessClient : public sim::RadioListener {
     return handshake_failures_;
   }
 
+  /// The last tuner-selected configuration applied via an AP push (the
+  /// net::TunedConfigUpdate path); nullopt until one arrives. A push
+  /// that *changes* the interface count drops any per-interface power
+  /// controls (they are positional — there is nothing sensible to map
+  /// them onto) and falls back to the global control until the caller
+  /// re-establishes the §V-A disguise via
+  /// set_interface_power_controls(); a same-count push keeps them.
+  [[nodiscard]] const std::optional<core::tuning::TunedConfiguration>&
+  tuned_configuration() const {
+    return tuned_;
+  }
+
+  /// AP pushes dropped for bad decode, replayed nonce, or a mismatched
+  /// address set.
+  [[nodiscard]] std::uint64_t rejected_config_pushes() const {
+    return rejected_config_pushes_;
+  }
+
   /// *Modeled* cost of the uplink reshaping pipeline: per-packet queueing
   /// delay behind the StreamingReshaper's private radio model, airtime,
   /// deadline misses. When a ChannelArbiter serves this channel, prefer
@@ -147,6 +171,7 @@ class WirelessClient : public sim::RadioListener {
   void transmit_at(mac::Frame frame, core::TransmitPowerControl& tpc,
                    util::TimePoint when);
   void handle_config_response(const mac::Frame& frame);
+  void handle_tuned_config(const mac::Frame& frame);
   [[nodiscard]] bool owns_address(const mac::MacAddress& addr) const;
 
   sim::Simulator& simulator_;
@@ -159,11 +184,16 @@ class WirelessClient : public sim::RadioListener {
   mac::NonceGenerator nonce_gen_;
   core::TransmitPowerControl tpc_;
   std::vector<core::TransmitPowerControl> interface_tpc_;
+  core::online::StreamingConfig streaming_;  // for pipeline rebuilds
   core::online::StreamingReshaper reshaper_;
   std::vector<VirtualInterface> interfaces_;
   std::function<void(std::uint32_t)> upper_layer_;
   ClientState state_ = ClientState::kAssociated;
   std::optional<std::uint64_t> pending_nonce_;
+  std::optional<core::tuning::TunedConfiguration> tuned_;
+  // AP-push nonces already honoured (anti-replay, mirroring the AP's
+  // request seen-set).
+  std::unordered_set<std::uint64_t> seen_push_nonces_;
   // Lifetime token for deferred release events: lambdas hold a weak_ptr
   // and no-op once the client is gone.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
@@ -171,6 +201,7 @@ class WirelessClient : public sim::RadioListener {
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;
   std::uint64_t handshake_failures_ = 0;
+  std::uint64_t rejected_config_pushes_ = 0;
 };
 
 }  // namespace reshape::net

@@ -10,12 +10,19 @@
 // cipher nonce rides in the clear ahead of the ciphertext (like an IV);
 // the *protocol* nonce — the anti-replay token the client checks —
 // travels encrypted inside the body.
+//
+// A third, AP-initiated message carries a tuner-selected parameter point
+// (core::tuning::TunedConfiguration) together with a fresh virtual
+// address set: the AP pushes it in an action frame and the client
+// rebuilds its interfaces and its uplink StreamingReshaper from exactly
+// this body — the live end of the tuning subsystem.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/tuning/tuned_configuration.h"
 #include "mac/crypto.h"
 #include "mac/mac_address.h"
 
@@ -51,6 +58,30 @@ struct ConfigResponse {
 
 /// Decrypts and parses a response; std::nullopt on failure.
 [[nodiscard]] std::optional<ConfigResponse> decode_response(
+    const std::vector<std::uint8_t>& payload, const mac::StreamCipher& cipher);
+
+/// AP-initiated tuned-configuration push: a fresh virtual address set
+/// (one address per configured interface) plus the parameter point the
+/// client must rebuild its reshaping pipeline from. `nonce` is AP-fresh;
+/// the client keeps a seen-set, so a captured push replayed by an
+/// attacker (who cannot forge new ciphertext) is ignored.
+struct TunedConfigUpdate {
+  std::uint64_t nonce = 0;
+  std::vector<mac::MacAddress> virtual_addresses;
+  core::tuning::TunedConfiguration config;
+};
+
+/// Serialises and encrypts a tuned-configuration push. Requires
+/// `update.config` to be structurally valid and the address count to
+/// equal the configured interface count.
+[[nodiscard]] std::vector<std::uint8_t> encode_tuned_config(
+    const TunedConfigUpdate& update, const mac::StreamCipher& cipher,
+    std::uint64_t cipher_nonce);
+
+/// Decrypts and parses a tuned-configuration push; std::nullopt on wrong
+/// key, tampering, malformed body, a structurally invalid configuration,
+/// or an address set that does not match the interface count.
+[[nodiscard]] std::optional<TunedConfigUpdate> decode_tuned_config(
     const std::vector<std::uint8_t>& payload, const mac::StreamCipher& cipher);
 
 }  // namespace reshape::net

@@ -1,17 +1,12 @@
 #include "runtime/adaptive_campaign.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
+#include "runtime/evaluation_backend.h"
 #include "runtime/report_json.h"
-#include "traffic/generator.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace reshape::runtime {
 
@@ -115,138 +110,50 @@ void AdaptiveCampaignEngine::train() {
   if (trained_) {
     return;
   }
-  // Clean bootstrap corpus, derived exactly like the static harness
-  // (same stream seeds — an AdaptiveAttacker and an ExperimentHarness on
-  // the same bootstrap config profile identical sessions).
-  std::vector<traffic::Trace> corpus;
-  corpus.reserve(traffic::kAppCount * spec_.bootstrap.train_sessions_per_app);
-  for (const traffic::AppType app : traffic::kAllApps) {
-    for (std::size_t s = 0; s < spec_.bootstrap.train_sessions_per_app; ++s) {
-      corpus.push_back(traffic::generate_trace(
-          app, spec_.bootstrap.train_session_duration,
-          eval::ExperimentHarness::session_stream_seed(spec_.bootstrap.seed,
-                                                       app, s,
-                                                       /*training=*/true),
-          spec_.bootstrap.session_jitter));
-    }
-  }
-  base_ = attack::adaptive::AdaptiveAttacker::profile(corpus, spec_.attacker);
+  base_ = bootstrap_profile(spec_.bootstrap, spec_.attacker);
   trained_ = true;
+}
+
+CellGrid AdaptiveCampaignEngine::grid() const {
+  return CellGrid{spec_.defenses.size(), spec_.scenarios.size(), spec_.shards};
 }
 
 AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
     std::size_t cell_id) const {
-  const std::size_t per_defense = spec_.scenarios.size() * spec_.shards;
+  const CellGrid g = grid();
+  const CellGrid::Cell cell = g.decompose(cell_id);
+  CellStreams streams = cell_streams(spec_.seed, g, cell_id);
+
   AdaptiveCellResult result;
-  result.defense_index = cell_id / per_defense;
-  result.scenario_index = (cell_id % per_defense) / spec_.shards;
-  result.shard = cell_id % spec_.shards;
+  result.defense_index = cell.defense;
+  result.scenario_index = cell.scenario;
+  result.shard = cell.shard;
 
-  // Stream keying mirrors CampaignEngine: workloads by (scenario, shard)
-  // so every defense faces the same sessions; defense and RSSI draws by
-  // the full cell id (flow counts differ per defense).
-  const util::Rng base{spec_.seed};
-  const std::size_t workload_id =
-      result.scenario_index * spec_.shards + result.shard;
-  util::Rng workload_rng = base.fork(1).fork(workload_id);
-  const std::uint64_t defense_seed = base.fork(2).fork(cell_id).seed();
-  util::Rng rssi_rng = base.fork(3).fork(cell_id);
-
-  const Scenario& scenario = spec_.scenarios[result.scenario_index];
-  const DefenseSpec& defense = spec_.defenses[result.defense_index];
-  const std::vector<traffic::Trace> sessions = scenario.generate(workload_rng);
+  const Scenario& scenario = spec_.scenarios[cell.scenario];
+  const DefenseSpec& defense = spec_.defenses[cell.defense];
+  const std::vector<traffic::Trace> sessions =
+      scenario.generate(streams.workload);
   result.session_count = sessions.size();
 
-  // Apply the defense per session and package every observable flow with
-  // its synthetic power signature: the session's physical station sits at
-  // one mean RSSI, each virtual MAC observes it +- jitter.
-  std::vector<attack::adaptive::ObservedFlow> flows;
-  for (std::size_t s = 0; s < sessions.size(); ++s) {
-    auto instance = defense.factory(
-        sessions[s].app(), util::splitmix64(defense_seed ^ (0xCE11ULL + s)));
-    util::internal_check(instance != nullptr,
-                         "AdaptiveCampaignEngine: factory returned null");
-    core::DefenseResult applied = instance->apply(sessions[s]);
-    util::Rng session_rssi = rssi_rng.fork(s);
-    const double station_mean =
-        spec_.rssi_min_dbm == spec_.rssi_max_dbm
-            ? spec_.rssi_min_dbm
-            : session_rssi.uniform_real(spec_.rssi_min_dbm,
-                                        spec_.rssi_max_dbm);
-    for (traffic::Trace& stream : applied.streams) {
-      if (stream.empty()) {
-        continue;
-      }
-      attack::adaptive::ObservedFlow flow;
-      // Synthetic locally-administered MAC, unique per flow in the cell.
-      flow.address = mac::MacAddress::from_u64(0x020000000000ULL +
-                                               flows.size() + 1);
-      flow.mean_rssi =
-          station_mean + session_rssi.normal(0.0, spec_.rssi_flow_jitter_db);
-      flow.flow = std::move(stream);
-      flows.push_back(std::move(flow));
-    }
-  }
+  std::vector<eval::DefendedSession> defended =
+      eval::apply_defense(defense.factory, sessions, streams.defense_seed);
+  const RssiModel rssi{spec_.rssi_min_dbm, spec_.rssi_max_dbm,
+                       spec_.rssi_flow_jitter_db};
+  const std::vector<attack::adaptive::ObservedFlow> flows =
+      rssi_tagged_flows(defended, streams.rssi, rssi);
   result.flow_count = flows.size();
-
-  attack::adaptive::AdaptiveAttacker attacker{spec_.attacker,
-                                              spec_.make_classifier};
-  attacker.bootstrap(base_);  // copies the shared raw rows
-  result.epochs = attacker.run_session(flows);
+  result.epochs =
+      run_adaptive_flows(base_, spec_.attacker, spec_.make_classifier, flows);
   return result;
 }
 
 AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
   train();
 
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) {
-      threads = 1;
-    }
-  }
-
   const std::size_t cells = cell_count();
   std::vector<AdaptiveCellResult> results(cells);
-
-  if (threads <= 1 || cells <= 1) {
-    for (std::size_t c = 0; c < cells; ++c) {
-      results[c] = run_cell(c);
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> abort{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    const auto worker = [&] {
-      for (;;) {
-        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
-        if (c >= cells || abort.load(std::memory_order_relaxed)) {
-          return;
-        }
-        try {
-          results[c] = run_cell(c);
-        } catch (...) {
-          abort.store(true, std::memory_order_relaxed);
-          const std::lock_guard<std::mutex> lock{error_mutex};
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(std::min(threads, cells));
-    for (std::size_t t = 0; t < std::min(threads, cells); ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-    if (first_error) {
-      std::rethrow_exception(first_error);
-    }
-  }
+  run_cells(cells, threads,
+            [&](std::size_t cell_id) { results[cell_id] = run_cell(cell_id); });
 
   AdaptiveCampaignReport report;
   report.seed = spec_.seed;

@@ -130,6 +130,7 @@ class AdaptiveCampaignEngine {
   [[nodiscard]] bool trained() const { return trained_; }
 
  private:
+  [[nodiscard]] CellGrid grid() const;
   [[nodiscard]] AdaptiveCellResult run_cell(std::size_t cell_id) const;
 
   AdaptiveCampaignSpec spec_;

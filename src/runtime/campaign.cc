@@ -1,16 +1,12 @@
 #include "runtime/campaign.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
+#include "runtime/evaluation_backend.h"
 #include "runtime/report_json.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace reshape::runtime {
 
@@ -95,84 +91,37 @@ std::size_t CampaignEngine::cell_count() const {
 
 void CampaignEngine::train() { harness_.train(); }
 
+CellGrid CampaignEngine::grid() const {
+  return CellGrid{spec_.defenses.size(), spec_.scenarios.size(), spec_.shards};
+}
+
 CellResult CampaignEngine::run_cell(std::size_t cell_id) const {
-  const std::size_t per_defense = spec_.scenarios.size() * spec_.shards;
+  const CellGrid g = grid();
+  const CellGrid::Cell cell = g.decompose(cell_id);
+  CellStreams streams = cell_streams(spec_.seed, g, cell_id);
+
   CellResult result;
-  result.defense_index = cell_id / per_defense;
-  result.scenario_index = (cell_id % per_defense) / spec_.shards;
-  result.shard = cell_id % spec_.shards;
+  result.defense_index = cell.defense;
+  result.scenario_index = cell.scenario;
+  result.shard = cell.shard;
 
-  // Workload streams are keyed by (scenario, shard) ONLY: every defense
-  // scores the exact same sampled sessions, the paired comparison the
-  // paper's tables rely on. Defense streams are keyed by the full cell id.
-  // The two keyspaces are separated by a first-level fork.
-  const util::Rng base{spec_.seed};
-  const std::size_t workload_id =
-      result.scenario_index * spec_.shards + result.shard;
-  util::Rng workload_rng = base.fork(1).fork(workload_id);
-  const std::uint64_t defense_seed = base.fork(2).fork(cell_id).seed();
-
-  const Scenario& scenario = spec_.scenarios[result.scenario_index];
-  const DefenseSpec& defense = spec_.defenses[result.defense_index];
+  const Scenario& scenario = spec_.scenarios[cell.scenario];
+  const DefenseSpec& defense = spec_.defenses[cell.defense];
   const std::vector<traffic::Trace> sessions =
-      scenario.generate(workload_rng);
+      scenario.generate(streams.workload);
   result.session_count = sessions.size();
   result.evaluation = harness_.evaluate_sessions(
-      defense.factory, defense.name, sessions, defense_seed);
+      defense.factory, defense.name, sessions, streams.defense_seed);
   return result;
 }
 
 CampaignReport CampaignEngine::run(std::size_t threads) {
   train();
 
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) {
-      threads = 1;
-    }
-  }
-
   const std::size_t cells = cell_count();
   std::vector<CellResult> results(cells);
-
-  if (threads <= 1 || cells <= 1) {
-    for (std::size_t c = 0; c < cells; ++c) {
-      results[c] = run_cell(c);
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> abort{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    const auto worker = [&] {
-      for (;;) {
-        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
-        if (c >= cells || abort.load(std::memory_order_relaxed)) {
-          return;
-        }
-        try {
-          results[c] = run_cell(c);
-        } catch (...) {
-          abort.store(true, std::memory_order_relaxed);
-          const std::lock_guard<std::mutex> lock{error_mutex};
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(std::min(threads, cells));
-    for (std::size_t t = 0; t < std::min(threads, cells); ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-    if (first_error) {
-      std::rethrow_exception(first_error);
-    }
-  }
+  run_cells(cells, threads,
+            [&](std::size_t cell_id) { results[cell_id] = run_cell(cell_id); });
 
   CampaignReport report;
   report.seed = spec_.seed;

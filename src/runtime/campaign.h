@@ -26,6 +26,8 @@
 
 namespace reshape::runtime {
 
+struct CellGrid;  // evaluation_backend.h
+
 /// One defense under evaluation.
 struct DefenseSpec {
   std::string name;
@@ -106,6 +108,7 @@ class CampaignEngine {
   void train();
 
  private:
+  [[nodiscard]] CellGrid grid() const;
   [[nodiscard]] CellResult run_cell(std::size_t cell_id) const;
 
   CampaignSpec spec_;

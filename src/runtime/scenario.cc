@@ -374,37 +374,51 @@ std::vector<traffic::Trace> arbitrate_one_cell(
   return label_streams(air.run(), originals);
 }
 
-}  // namespace
-
-Scenario contended_cell(std::size_t stations, util::Duration duration,
-                        double bitrate_mbps) {
-  util::require(stations > 0, "contended_cell: need >= 1 station");
-  util::require(bitrate_mbps > 0.0, "contended_cell: bitrate must be > 0");
+/// The one contended-cell generator behind contended_cell,
+/// adaptive_contended_cell, and tuned_vs_table5 — identical arbitration
+/// and stream keying, so the three arenas differ only in name and
+/// default sizing.
+Scenario contended_cell_arena(std::string name, std::string description,
+                              std::size_t stations, util::Duration duration,
+                              double bitrate_mbps) {
+  util::require(stations > 0, name + ": need >= 1 station");
+  util::require(bitrate_mbps > 0.0, name + ": bitrate must be > 0");
   return Scenario{
-      "contended-cell",
-      "co-channel stations under DCF arbitration: on-air timestamps after "
-      "carrier sense, backoff, and collision retries",
-      [=](util::Rng& rng) {
+      std::move(name), std::move(description),
+      [stations, duration, bitrate_mbps](util::Rng& rng) {
         const std::vector<traffic::Trace> originals =
             random_app_sessions(stations, duration, rng);
         return arbitrate_one_cell(originals, bitrate_mbps, rng);
       }};
 }
 
+}  // namespace
+
+Scenario contended_cell(std::size_t stations, util::Duration duration,
+                        double bitrate_mbps) {
+  return contended_cell_arena(
+      "contended-cell",
+      "co-channel stations under DCF arbitration: on-air timestamps after "
+      "carrier sense, backoff, and collision retries",
+      stations, duration, bitrate_mbps);
+}
+
 Scenario adaptive_contended_cell(std::size_t stations, util::Duration duration,
                                  double bitrate_mbps) {
-  util::require(stations > 0, "adaptive_contended_cell: need >= 1 station");
-  util::require(bitrate_mbps > 0.0,
-                "adaptive_contended_cell: bitrate must be > 0");
-  return Scenario{
+  return contended_cell_arena(
       "adaptive-contended-cell",
       "a contended cell held long enough for an adversary that re-trains "
       "mid-session: DCF-arbitrated on-air flows, multi-epoch sessions",
-      [=](util::Rng& rng) {
-        const std::vector<traffic::Trace> originals =
-            random_app_sessions(stations, duration, rng);
-        return arbitrate_one_cell(originals, bitrate_mbps, rng);
-      }};
+      stations, duration, bitrate_mbps);
+}
+
+Scenario tuned_vs_table5(std::size_t stations, util::Duration duration,
+                         double bitrate_mbps) {
+  return contended_cell_arena(
+      "tuned-vs-table5",
+      "the parameter-tuning arena: a contended multi-epoch cell where the "
+      "tuner's point is compared against the paper's Table V preset",
+      stations, duration, bitrate_mbps);
 }
 
 Scenario adaptive_roaming_retrain(std::size_t stations,
@@ -531,6 +545,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(saturated_ap_downlink(5, minute));
     r.add(adaptive_contended_cell(5, util::Duration::seconds(90.0)));
     r.add(adaptive_roaming_retrain(4, util::Duration::seconds(90.0)));
+    r.add(tuned_vs_table5(4, util::Duration::seconds(60.0)));
     return r;
   }();
   return registry;

@@ -135,6 +135,15 @@ class Scenario {
                                                util::Duration duration,
                                                double bitrate_mbps = 12.0);
 
+/// The parameter-tuning arena: a contended multi-epoch cell (identical
+/// arbitration to adaptive_contended_cell) sized so the tuner's selected
+/// point and the paper's Table V preset can be compared under an
+/// adversary that re-trains mid-session — the workload behind the
+/// tuned-vs-table5 acceptance check and bench_parameter_tuning.
+[[nodiscard]] Scenario tuned_vs_table5(std::size_t stations,
+                                       util::Duration duration,
+                                       double bitrate_mbps = 12.0);
+
 /// Mid-session roaming under arbitration: every station starts in its
 /// home cell (even index -> cell A, odd -> cell B) and roams to the other
 /// cell at its own instant in the middle third of the session. Both cells

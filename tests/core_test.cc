@@ -3,6 +3,7 @@
 // defenses, parameter selection, and TPC.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "core/combined.h"
@@ -10,10 +11,10 @@
 #include "core/frequency_hopping.h"
 #include "core/morphing.h"
 #include "core/padding.h"
-#include "core/parameter_selection.h"
 #include "core/scheduler.h"
 #include "core/target_distribution.h"
 #include "core/tpc.h"
+#include "core/tuning/presets.h"
 #include "traffic/generator.h"
 #include "util/stats.h"
 
@@ -366,31 +367,57 @@ TEST(CombinedDefenseTest, RejectsBadMorpherKey) {
 // -------------------------------------------------- parameter selection ---
 
 TEST(ParameterSelectionTest, EntropyIsLog2N) {
-  EXPECT_DOUBLE_EQ(privacy_entropy_bits(1), 0.0);
-  EXPECT_DOUBLE_EQ(privacy_entropy_bits(8), 3.0);
-  EXPECT_THROW((void)privacy_entropy_bits(0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(tuning::privacy_entropy_bits(1), 0.0);
+  EXPECT_DOUBLE_EQ(tuning::privacy_entropy_bits(8), 3.0);
+}
+
+TEST(ParameterSelectionTest, ZeroPopulationHasZeroEntropy) {
+  // Documented clamp: an empty WLAN carries no anonymity, not an error.
+  EXPECT_DOUBLE_EQ(tuning::privacy_entropy_bits(0), 0.0);
 }
 
 TEST(ParameterSelectionTest, RecommendationsAreOrthogonal) {
   for (const std::size_t i : {std::size_t{2}, std::size_t{3}, std::size_t{4},
                               std::size_t{5}, std::size_t{8}}) {
-    const ParameterRecommendation rec = recommend_parameters(i, 20);
+    const tuning::ParameterRecommendation rec =
+        tuning::recommend_parameters(i, 20);
     EXPECT_EQ(rec.interfaces, i);
     EXPECT_EQ(rec.ranges.count(), i);
     EXPECT_TRUE(rec.target.is_orthogonal());
     EXPECT_EQ(rec.ranges.max_size(), mac::kMaxFrameBytes);
-    EXPECT_GT(rec.privacy_entropy, privacy_entropy_bits(20));
+    EXPECT_GT(rec.privacy_entropy, tuning::privacy_entropy_bits(20));
   }
 }
 
-TEST(ParameterSelectionTest, ClampsInterfaceCount) {
-  EXPECT_EQ(recommend_parameters(1, 10).interfaces, 2u);
-  EXPECT_EQ(recommend_parameters(50, 10).interfaces, 8u);
+TEST(ParameterSelectionTest, ClampsInterfaceCountToDocumentedRange) {
+  // The documented [2, 8] clamp, including both degenerate extremes.
+  EXPECT_EQ(tuning::recommend_parameters(0, 10).interfaces, 2u);
+  EXPECT_EQ(tuning::recommend_parameters(1, 10).interfaces, 2u);
+  EXPECT_EQ(tuning::recommend_parameters(8, 10).interfaces, 8u);
+  EXPECT_EQ(tuning::recommend_parameters(50, 10).interfaces, 8u);
+}
+
+TEST(ParameterSelectionTest, ZeroPopulationRecommendationCountsTheClient) {
+  // population 0 counts as 1 (the client itself): H = log2(1 + I).
+  const tuning::ParameterRecommendation rec =
+      tuning::recommend_parameters(3, 0);
+  EXPECT_DOUBLE_EQ(rec.privacy_entropy, std::log2(4.0));
+}
+
+TEST(ParameterSelectionTest, PresetConvertsToTunedConfiguration) {
+  const tuning::TunedConfiguration preset =
+      tuning::to_tuned_configuration(tuning::recommend_parameters(3, 12));
+  EXPECT_TRUE(preset.structurally_valid());
+  EXPECT_EQ(preset.interfaces, 3u);
+  EXPECT_EQ(preset.range_bounds,
+            (std::vector<std::uint32_t>{232, 1540, 1576}));
+  EXPECT_EQ(preset.assignment, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_FALSE(preset.padded());
 }
 
 TEST(ParameterSelectionTest, EqualMassRangesBalance) {
   const Trace trace = bt_trace(60.0);
-  const SizeRanges ranges = equal_mass_ranges(trace, 3);
+  const SizeRanges ranges = tuning::equal_mass_ranges(trace, 3);
   const auto p = ranges.probabilities(trace);
   for (const double v : p) {
     EXPECT_GT(v, 0.1);  // roughly balanced mass
@@ -407,9 +434,38 @@ TEST(ParameterSelectionTest, EqualMassHandlesDegenerateTraces) {
   for (int i = 0; i < 100; ++i) {
     trace.push_back(record(i, 1576));
   }
-  const SizeRanges ranges = equal_mass_ranges(trace, 3);
-  EXPECT_GE(ranges.count(), 1u);
+  const SizeRanges ranges = tuning::equal_mass_ranges(trace, 3);
+  EXPECT_EQ(ranges.count(), 1u);
   EXPECT_EQ(ranges.max_size(), 1576u);
+}
+
+TEST(ParameterSelectionTest, EqualMassHandlesMoreRangesThanDistinctSizes) {
+  // l far above the number of distinct sizes must still yield a valid
+  // non-empty strictly-increasing partition ending at the max size.
+  Trace trace{AppType::kBrowsing};
+  for (int i = 0; i < 90; ++i) {
+    trace.push_back(record(i, i % 3 == 0 ? 200u : (i % 3 == 1 ? 800u : 1576u)));
+  }
+  const SizeRanges ranges = tuning::equal_mass_ranges(trace, 10);
+  ASSERT_GE(ranges.count(), 1u);
+  EXPECT_LE(ranges.count(), 3u);  // only 3 distinct sizes exist
+  for (std::size_t j = 1; j < ranges.count(); ++j) {
+    EXPECT_LT(ranges.upper_bound(j - 1), ranges.upper_bound(j));
+  }
+  EXPECT_EQ(ranges.max_size(), 1576u);
+}
+
+TEST(ParameterSelectionTest, EqualMassSingleSizeTraceForAnyL) {
+  Trace trace{AppType::kChatting};
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(record(i, 130));
+  }
+  for (const std::size_t l : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{64}}) {
+    const SizeRanges ranges = tuning::equal_mass_ranges(trace, l);
+    EXPECT_EQ(ranges.count(), 1u) << "l=" << l;
+    EXPECT_EQ(ranges.max_size(), 130u) << "l=" << l;
+  }
 }
 
 // ---------------------------------------------------------------- TPC ---

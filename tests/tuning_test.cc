@@ -1,0 +1,276 @@
+// Unit tests for core::tuning: configuration points, candidate-space
+// enumeration, the objective's budget/Pareto machinery, and batch vs
+// streaming parity of the padded composition. Full tuner sweeps (thread
+// bit-identity, tuned-vs-table5 dominance) live in tuning_slow_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/tuning/candidate_space.h"
+#include "core/tuning/objective.h"
+#include "core/tuning/presets.h"
+#include "core/tuning/tuned_configuration.h"
+#include "traffic/generator.h"
+
+namespace reshape::core::tuning {
+namespace {
+
+using traffic::AppType;
+using traffic::Trace;
+
+// ----------------------------------------------------- TunedConfiguration
+
+TEST(TunedConfigurationTest, IdentityPointIsValid) {
+  const TunedConfiguration config =
+      TunedConfiguration::identity("id", SizeRanges::paper_default());
+  EXPECT_TRUE(config.structurally_valid());
+  EXPECT_EQ(config.interfaces, 3u);
+  EXPECT_FALSE(config.padded());
+  EXPECT_TRUE(config.target().is_orthogonal());
+  EXPECT_EQ(config.make_scheduler()->interface_count(), 3u);
+  EXPECT_EQ(config.summary(), "I=3 L=3 bounds=232,1540,1576");
+}
+
+TEST(TunedConfigurationTest, RejectsStructurallyInvalidPoints) {
+  const TunedConfiguration valid =
+      TunedConfiguration::identity("id", SizeRanges::paper_default());
+
+  TunedConfiguration bad = valid;
+  bad.range_bounds[1] = bad.range_bounds[0];  // not strictly increasing
+  EXPECT_FALSE(bad.structurally_valid());
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid;
+  bad.assignment[2] = 7;  // nonexistent interface
+  EXPECT_FALSE(bad.structurally_valid());
+
+  bad = valid;
+  bad.assignment = {0, 0, 0};  // interfaces 1 and 2 own nothing
+  EXPECT_FALSE(bad.structurally_valid());
+
+  bad = valid;
+  bad.pad_to.pop_back();  // pad vector must match I
+  EXPECT_FALSE(bad.structurally_valid());
+
+  bad = valid;
+  bad.interfaces = 0;
+  EXPECT_FALSE(bad.structurally_valid());
+}
+
+TEST(TunedConfigurationTest, EqualityIsStructuralAndIgnoresName) {
+  const TunedConfiguration a =
+      TunedConfiguration::identity("a", SizeRanges::paper_default());
+  TunedConfiguration b = a;
+  b.name = "renamed";
+  EXPECT_EQ(a, b);
+  b.pad_to[0] = 232;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TunedConfigurationTest, BatchAndStreamingPathsAgree) {
+  // The golden-parity property the tuner's scoring rests on: the batch
+  // twin and the streaming pipeline must produce byte-identical flows —
+  // including the padded composition.
+  const Trace trace = traffic::generate_trace(
+      AppType::kBitTorrent, util::Duration::seconds(20.0), 404);
+
+  TunedConfiguration config =
+      TunedConfiguration::identity("parity", SizeRanges::paper_default());
+  config.pad_to = {232, 1540, 0};
+
+  const auto batch = config.make_defense()->apply(trace);
+
+  online::StreamingConfig streaming;
+  auto reshaper = config.make_reshaper(streaming);
+  const DefenseResult live = online::run_streaming(*reshaper, trace);
+
+  ASSERT_EQ(batch.streams.size(), live.streams.size());
+  for (std::size_t i = 0; i < batch.streams.size(); ++i) {
+    ASSERT_EQ(batch.streams[i].size(), live.streams[i].size()) << i;
+    for (std::size_t k = 0; k < batch.streams[i].size(); ++k) {
+      EXPECT_EQ(batch.streams[i][k], live.streams[i][k]);
+    }
+  }
+  EXPECT_EQ(batch.original_bytes, live.original_bytes);
+  EXPECT_EQ(batch.added_bytes, live.added_bytes);
+  EXPECT_GT(batch.added_bytes, 0u);  // the pads actually fired
+}
+
+// --------------------------------------------------------- CandidateSpace
+
+TEST(CandidateSpaceTest, EnumeratesValidDedupedCandidates) {
+  const Trace profile = traffic::generate_trace(
+      AppType::kBrowsing, util::Duration::seconds(30.0), 7);
+  const CandidateSpace space;
+  const std::vector<TunedConfiguration> candidates = space.enumerate(profile);
+  ASSERT_FALSE(candidates.empty());
+
+  std::set<std::string> names;
+  for (const TunedConfiguration& candidate : candidates) {
+    EXPECT_TRUE(candidate.structurally_valid()) << candidate.name;
+    EXPECT_TRUE(names.insert(candidate.name).second)
+        << "duplicate name " << candidate.name;
+  }
+  // The Table V presets are part of the space (the tuner always sweeps
+  // the baseline it is measured against).
+  for (const std::size_t i : {2, 3, 5}) {
+    const auto preset =
+        to_tuned_configuration(recommend_parameters(i, 1));
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), preset),
+              candidates.end())
+        << "missing paper preset I=" << i;
+  }
+  // Padded variants exist and are flagged.
+  EXPECT_TRUE(std::any_of(candidates.begin(), candidates.end(),
+                          [](const TunedConfiguration& c) {
+                            return c.padded();
+                          }));
+}
+
+TEST(CandidateSpaceTest, EnumerationIsDeterministic) {
+  const Trace profile = traffic::generate_trace(
+      AppType::kVideo, util::Duration::seconds(30.0), 11);
+  const CandidateSpace space;
+  const auto a = space.enumerate(profile);
+  const auto b = space.enumerate(profile);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+}
+
+TEST(CandidateSpaceTest, AxesCanBeDisabled) {
+  const Trace profile = traffic::generate_trace(
+      AppType::kUploading, util::Duration::seconds(30.0), 13);
+  CandidateSpace space;
+  space.equal_mass_partitions = false;
+  space.interleaved_fine_partitions = false;
+  space.padded_compositions = false;
+  space.interface_counts = {3};
+  const auto candidates = space.enumerate(profile);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(),
+            to_tuned_configuration(recommend_parameters(3, 1)));
+}
+
+// -------------------------------------------------------------- objective
+
+CandidateMetrics metrics(std::size_t survived, double miss, double overhead) {
+  CandidateMetrics m;
+  m.epochs_total = 10;
+  m.epochs_survived = survived;
+  m.crossed = survived < m.epochs_total;
+  m.deadline_miss_rate = miss;
+  m.overhead_percent = overhead;
+  return m;
+}
+
+TEST(ObjectiveTest, DominanceIsStrictOnAtLeastOneAxis) {
+  EXPECT_TRUE(dominates(metrics(5, 0.1, 10.0), metrics(4, 0.1, 10.0)));
+  EXPECT_TRUE(dominates(metrics(5, 0.05, 10.0), metrics(5, 0.1, 10.0)));
+  EXPECT_FALSE(dominates(metrics(5, 0.1, 10.0), metrics(5, 0.1, 10.0)));
+  EXPECT_FALSE(dominates(metrics(6, 0.2, 10.0), metrics(5, 0.1, 10.0)));
+  EXPECT_FALSE(dominates(metrics(4, 0.05, 5.0), metrics(5, 0.1, 10.0)));
+}
+
+TEST(ObjectiveTest, NeverCrossedOutranksCrossedRegardlessOfCurveLength) {
+  // A defense the adversary never beat must not lose the survival axis
+  // to one it did beat, even when the never-crossed curve is shorter.
+  CandidateMetrics never_beaten = metrics(4, 0.1, 10.0);
+  never_beaten.epochs_total = 4;
+  never_beaten.crossed = false;
+  const CandidateMetrics beaten_late = metrics(5, 0.1, 10.0);  // crossed
+  EXPECT_TRUE(dominates(never_beaten, beaten_late));
+  EXPECT_FALSE(dominates(beaten_late, never_beaten));
+
+  TuningObjective objective;
+  const std::vector<CandidateMetrics> all{beaten_late, never_beaten};
+  const auto chosen = select(all, objective);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1u);
+}
+
+TEST(ObjectiveTest, ParetoFrontKeepsNonDominated) {
+  const std::vector<CandidateMetrics> all{
+      metrics(5, 0.10, 10.0),  // dominated by #2
+      metrics(3, 0.05, 0.0),   // front (cheapest, lowest miss)
+      metrics(6, 0.10, 10.0),  // front (most epochs)
+      metrics(6, 0.20, 20.0),  // dominated by #2
+  };
+  EXPECT_EQ(pareto_front(all), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ObjectiveTest, BudgetsFilterBeforeRanking) {
+  TuningObjective objective;
+  objective.budgets.max_deadline_miss_rate = 0.08;
+  objective.budgets.max_overhead_percent = 15.0;
+
+  const std::vector<CandidateMetrics> all{
+      metrics(9, 0.50, 5.0),   // best epochs, blows the miss budget
+      metrics(7, 0.05, 30.0),  // blows the overhead budget
+      metrics(5, 0.05, 10.0),  // feasible — must win
+      metrics(4, 0.01, 0.0),   // feasible, fewer epochs
+  };
+  EXPECT_TRUE(within_budgets(all[2], objective.budgets));
+  EXPECT_FALSE(within_budgets(all[0], objective.budgets));
+  EXPECT_FALSE(within_budgets(all[1], objective.budgets));
+  const auto chosen = select(all, objective);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 2u);
+}
+
+TEST(ObjectiveTest, DropRateBudgetCatchesOverloadedCells) {
+  // Dropped frames produce no access-delay sample; the drop budget is
+  // what sees an overloaded measurement cell hiding behind good
+  // percentiles.
+  TuningObjective objective;
+  objective.budgets.max_frame_drop_rate = 0.01;
+  CandidateMetrics overloaded = metrics(9, 0.0, 0.0);
+  overloaded.frames_dropped = 40;
+  overloaded.frame_drop_rate = 0.4;
+  const std::vector<CandidateMetrics> all{overloaded, metrics(3, 0.0, 0.0)};
+  EXPECT_FALSE(within_budgets(all[0], objective.budgets));
+  const auto chosen = select(all, objective);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1u);
+}
+
+TEST(ObjectiveTest, RunSelectionExposesFeasibleAndFront) {
+  TuningObjective objective;
+  objective.budgets.max_overhead_percent = 15.0;
+  const std::vector<CandidateMetrics> all{
+      metrics(5, 0.10, 30.0),  // infeasible (overhead)
+      metrics(3, 0.05, 0.0),   // feasible, front
+      metrics(6, 0.10, 10.0),  // feasible, front, selected
+      metrics(5, 0.20, 12.0),  // feasible, dominated by #2
+  };
+  const SelectionOutcome outcome = run_selection(all, objective);
+  EXPECT_EQ(outcome.feasible, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(outcome.front, (std::vector<std::size_t>{1, 2}));
+  ASSERT_TRUE(outcome.selected.has_value());
+  EXPECT_EQ(*outcome.selected, 2u);
+  EXPECT_EQ(outcome.selected, select(all, objective));
+}
+
+TEST(ObjectiveTest, SelectReturnsNulloptWhenNothingFits) {
+  TuningObjective objective;
+  objective.budgets.max_overhead_percent = 1.0;
+  const std::vector<CandidateMetrics> all{metrics(5, 0.0, 50.0)};
+  EXPECT_FALSE(select(all, objective).has_value());
+}
+
+TEST(ObjectiveTest, TieBreaksPreferLowerFinalAccuracy) {
+  TuningObjective objective;
+  std::vector<CandidateMetrics> all{metrics(5, 0.1, 10.0),
+                                    metrics(5, 0.1, 10.0)};
+  all[0].final_adaptive_accuracy = 40.0;
+  all[1].final_adaptive_accuracy = 25.0;
+  const auto chosen = select(all, objective);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1u);
+}
+
+}  // namespace
+}  // namespace reshape::core::tuning

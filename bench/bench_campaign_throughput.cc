@@ -8,6 +8,7 @@
 // least four hardware threads, since a 1-core container cannot speed
 // anything up.
 //   $ ./bench/bench_campaign_throughput --json <path>   # timings + report
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -16,6 +17,7 @@
 
 #include "bench_util.h"
 #include "eval/defense_factory.h"
+#include "obs/export.h"
 #include "runtime/campaign.h"
 
 namespace {
@@ -28,6 +30,21 @@ double time_run(runtime::CampaignEngine& engine, std::size_t threads,
   json_out = engine.run(threads).to_json();
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best-of-3 sessions/sec at `threads` workers with the given telemetry
+/// config; also returns the (stable) report JSON of the last run.
+double best_rate(runtime::CampaignEngine& engine, std::size_t threads,
+                 obs::TelemetryConfig config, std::size_t sessions,
+                 std::string& json_out) {
+  engine.set_telemetry(config);
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double seconds = time_run(engine, threads, json_out);
+    best = std::max(best,
+                    static_cast<double>(sessions) / std::max(seconds, 1e-9));
+  }
+  return best;
 }
 
 int run(const std::string& json_path) {
@@ -89,12 +106,43 @@ int run(const std::string& json_path) {
               << std::thread::hardware_concurrency() << ")\n";
   }
 
+  // Telemetry overhead: the same grid with full collection (metrics +
+  // tracing + profiling) vs everything off, best of three runs each —
+  // the observability layer must cost < 5% throughput and must not
+  // perturb the report by a single byte.
+  std::size_t sessions = 0;
+  {
+    const runtime::CampaignReport counted = engine.run(hw);
+    for (const runtime::CellResult& cell : counted.cells) {
+      sessions += cell.session_count;
+    }
+  }
+  std::string json_off;
+  std::string json_on;
+  const double rate_off =
+      best_rate(engine, hw, obs::TelemetryConfig{}, sessions, json_off);
+  const double rate_on = best_rate(engine, hw, obs::TelemetryConfig::enabled(),
+                                   sessions, json_on);
+  engine.set_telemetry(obs::TelemetryConfig{});
+  const double overhead_percent =
+      rate_off <= 0.0 ? 0.0 : 100.0 * (rate_off - rate_on) / rate_off;
+  std::cout << "  telemetry off: " << rate_off << " sessions/s\n"
+            << "  telemetry on : " << rate_on << " sessions/s (overhead "
+            << overhead_percent << "%)\n";
+  check("report identical with telemetry enabled",
+        json_off == json_on && json_on == json1);
+  check("telemetry overhead < 5%", overhead_percent < 5.0);
+
   if (!json_path.empty()) {
     // Timings are machine-dependent; the campaign report itself is the
     // stable part of the file.
     std::ostringstream json;
     json << "{\"threads\":[1,4," << hw << "],\"seconds\":[" << t1 << ","
-         << t4 << "," << thw << "],\"campaign\":" << json1 << "}";
+         << t4 << "," << thw << "],\"telemetry_overhead\":{\"sessions\":"
+         << sessions << ",\"rate_disabled\":" << rate_off
+         << ",\"rate_enabled\":" << rate_on
+         << ",\"overhead_percent\":" << overhead_percent
+         << "},\"campaign\":" << json1 << "}";
     if (!bench::write_json_report(json_path, json.str())) {
       return 1;
     }

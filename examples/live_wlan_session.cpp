@@ -10,14 +10,24 @@
 // client's real MAC address — at true on-air timestamps, after the
 // reshaper's release delay and channel arbitration.
 //
+// Telemetry: packet-lifecycle tracing is on by default (OBS_TRACE=off
+// disables it); set OBS_TELEMETRY=<path> to write the telemetry JSON
+// (metrics + trace) for scripts/trace_dump.py.
+//
 //   $ ./examples/live_wlan_session
+#include <cstdlib>
 #include <iostream>
+#include <map>
 
 #include "attack/adaptive/adaptive_attacker.h"
 #include "attack/sniffer.h"
 #include "core/scheduler.h"
 #include "net/access_point.h"
 #include "net/client.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/packet_trace.h"
+#include "obs/stat_views.h"
 #include "sim/channel/channel_arbiter.h"
 #include "sim/medium.h"
 #include "sim/simulator.h"
@@ -26,6 +36,9 @@
 
 int main() {
   using namespace reshape;
+
+  const obs::TelemetryConfig telemetry =
+      obs::TelemetryConfig::from_env(obs::TelemetryConfig::enabled());
 
   sim::Simulator simulator;
   sim::Medium medium{sim::PathLossModel{}, util::Rng{99}};
@@ -53,6 +66,17 @@ int main() {
 
   attack::Sniffer sniffer{bssid};
   medium.attach(sniffer, sim::Position{-5, 10}, 6);
+
+  // One shared tracer across the whole path — reshaper (client and AP),
+  // arbiter, sniffer — so each data frame's span chain lines up under one
+  // frame id. Observation-only: attaching it changes no report numbers.
+  obs::PacketTrace trace;
+  if (telemetry.tracing) {
+    client.set_packet_trace(&trace);
+    ap.set_packet_trace(&trace);
+    arbiter.set_packet_trace(&trace);
+    sniffer.set_packet_trace(&trace);
+  }
 
   // --- Step 1-4: the encrypted configuration handshake (Fig. 2). ---
   client.request_virtual_interfaces(3);
@@ -159,6 +183,63 @@ int main() {
             << util::TablePrinter::fmt(arbiter.utilization())
             << ", busy " << arbiter.busy_time().to_seconds() << " s\n";
 
+  // --- Per-station latency decomposition, sourced solely from the
+  // telemetry registry: the trace's complete span chains are published as
+  // trace_* counters per on-air station, and the table below reads the
+  // frozen snapshot — nothing else. Queueing is the reshaper's release
+  // delay, backoff the DCF access delay, airtime the transmission itself.
+  obs::MetricsRegistry registry;
+  obs::publish(registry, client.modeled_reshaping_stats(),
+               obs::LabelSet{{"side", "uplink"}});
+  if (const auto* ap_stats = ap.modeled_reshaping_stats_of(client_mac)) {
+    obs::publish(registry, *ap_stats, obs::LabelSet{{"side", "downlink"}});
+  }
+  std::map<std::uint64_t, std::uint64_t> station_of;
+  for (const obs::SpanEvent& event : trace.events()) {
+    if (event.hop == obs::Hop::kSniffed) {
+      station_of[event.frame_id] = static_cast<std::uint64_t>(event.aux);
+    }
+  }
+  for (const obs::FrameSpans& frame : trace.complete_frames()) {
+    const auto it = station_of.find(frame.frame_id);
+    if (it == station_of.end()) {
+      continue;
+    }
+    const obs::LabelSet labels{
+        {"station", mac::MacAddress::from_u64(it->second).to_string()}};
+    registry.counter("trace_frames_total", labels).add(1);
+    registry.counter("trace_queueing_us_total", labels)
+        .add(static_cast<std::uint64_t>(frame.queueing.count_us()));
+    registry.counter("trace_backoff_us_total", labels)
+        .add(static_cast<std::uint64_t>(frame.backoff.count_us()));
+    registry.counter("trace_airtime_us_total", labels)
+        .add(static_cast<std::uint64_t>(frame.airtime.count_us()));
+  }
+  const obs::MetricsSnapshot metrics = registry.snapshot();
+  if (telemetry.tracing) {
+    util::TablePrinter decomp{{"Station on the air", "Frames",
+                               "Queueing mean (us)", "Backoff mean (us)",
+                               "Airtime mean (us)"}};
+    for (const obs::SeriesSnapshot& series : metrics.series) {
+      if (series.name != "trace_frames_total") {
+        continue;
+      }
+      const double frames = static_cast<double>(series.counter);
+      const auto mean = [&](const char* name) {
+        return util::TablePrinter::fmt(metrics.value(name, series.labels) /
+                                       frames);
+      };
+      decomp.add_row({series.labels.entries().front().second,
+                      std::to_string(series.counter),
+                      mean("trace_queueing_us_total"),
+                      mean("trace_backoff_us_total"),
+                      mean("trace_airtime_us_total")});
+    }
+    std::cout << "\nPer-station latency decomposition (telemetry registry; "
+                 "queueing = reshaper, backoff = DCF):\n";
+    decomp.print(std::cout);
+  }
+
   // --- The adaptive adversary: capture -> window -> refit -> score. ---
   // An attacker that re-trains on the defended capture every 10 s. Each
   // epoch is scored *before* its windows enter training, so epoch 0 is
@@ -191,6 +272,19 @@ int main() {
   epochs.print(std::cout);
   std::cout << "\nEpoch 0 is the frozen static profile; later epochs "
                "re-fit on the defended capture itself.\n";
+
+  if (const char* path = std::getenv("OBS_TELEMETRY")) {
+    obs::TelemetryExport doc;
+    doc.metrics = &metrics;
+    if (telemetry.tracing) {
+      doc.trace = &trace;
+    }
+    if (!obs::write_file(path, doc.to_json())) {
+      std::cerr << "failed to write telemetry to " << path << "\n";
+      return 1;
+    }
+    std::cout << "\nTelemetry written to " << path << "\n";
+  }
 
   medium.detach(sniffer);
   return 0;

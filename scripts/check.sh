@@ -24,6 +24,9 @@ for arg in "$@"; do
       )
       ;;
     --quick)
+      # -LE slow keeps the fast suites, which include telemetry_test —
+      # the telemetry-on/off and cross-thread determinism guarantees run
+      # on every quick pass, not just the full verify.
       CTEST_ARGS+=(-LE slow)
       ;;
     *)
@@ -47,3 +50,10 @@ cmake --build "$BUILD_DIR" -j
 # deterministic, so the diff of BENCH_tuning.json across PRs is the
 # selection/latency trajectory of the tuning subsystem.
 "./$BUILD_DIR/bench_parameter_tuning" --smoke --json BENCH_tuning.json
+
+# A sample telemetry document (metrics + packet trace) from the live
+# example session: keeps the exporter surface exercised end-to-end and
+# gives CI an artifact to upload per leg. Pretty-print one frame's span
+# chain with scripts/trace_dump.py telemetry.json.
+OBS_TELEMETRY=telemetry.json "./$BUILD_DIR/live_wlan_session" > /dev/null
+test -s telemetry.json

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Pretty-print packet-lifecycle traces from an exported telemetry JSON.
+
+Reads either a full telemetry document ({"metrics":...,"trace":...}, as
+written by OBS_TELEMETRY=<path> or engine telemetry_to_json()) or a bare
+PacketTrace JSON ({"capacity":...,"events":[...]}).
+
+  scripts/trace_dump.py telemetry.json             # per-frame summary
+  scripts/trace_dump.py telemetry.json --frame 17  # one frame's span chain
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def mac_str(aux):
+    """Render a kSniffed aux (station MAC as u64) back to colon form."""
+    if aux <= 0:
+        return "-"
+    return ":".join(f"{(aux >> (8 * i)) & 0xFF:02x}" for i in range(5, -1, -1))
+
+
+def load_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    trace = doc.get("trace", doc)
+    if "events" not in trace:
+        raise SystemExit(f"{path}: no trace section (run with OBS_TRACE on?)")
+    return trace
+
+
+def spans(events):
+    """Group events per frame and decompose the span chain, mirroring
+    obs::PacketTrace::spans_of (integer microseconds, exact)."""
+    frames = {}
+    for event in events:
+        frames.setdefault(event["frame"], []).append(event)
+    out = []
+    for frame_id in sorted(frames):
+        at = {e["hop"]: e["at_us"] for e in frames[frame_id]}
+        aux = {e["hop"]: e["aux"] for e in frames[frame_id]}
+        row = {
+            "frame": frame_id,
+            "events": frames[frame_id],
+            "dropped": "dropped" in at,
+            "complete": all(h in at for h in
+                            ("enqueue", "schedule", "on_air", "sniffed"))
+                        and "dropped" not in at,
+            "station": mac_str(aux.get("sniffed", 0)),
+            "padded": aux.get("shape", 0),
+        }
+        if "enqueue" in at and "schedule" in at:
+            row["queueing"] = at["schedule"] - at["enqueue"]
+        if "on_air" in at:
+            start = at.get("channel_enqueue", at.get("schedule"))
+            if start is not None:
+                row["backoff"] = at["on_air"] - start
+            row["airtime"] = aux.get("on_air", 0)
+        if "enqueue" in at and "sniffed" in at:
+            row["end_to_end"] = at["sniffed"] - at["enqueue"]
+        out.append(row)
+    return out
+
+
+def print_table(rows, header):
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="telemetry or trace JSON file")
+    parser.add_argument("--frame", type=int,
+                        help="dump one frame's event chain instead")
+    parser.add_argument("--all", action="store_true",
+                        help="include incomplete/dropped frames")
+    args = parser.parse_args()
+
+    trace = load_trace(args.path)
+    decomposed = spans(trace["events"])
+
+    if args.frame is not None:
+        matches = [r for r in decomposed if r["frame"] == args.frame]
+        if not matches:
+            raise SystemExit(f"frame {args.frame} not in trace "
+                             f"(evicted? {trace.get('evicted', 0)} events "
+                             "were)")
+        row = matches[0]
+        print(f"frame {row['frame']}  station {row['station']}  "
+              f"padded {row['padded']} B  "
+              f"{'DROPPED' if row['dropped'] else ''}")
+        base = row["events"][0]["at_us"]
+        chain = [(e["hop"], e["at_us"], e["at_us"] - base, e["aux"])
+                 for e in row["events"]]
+        print_table([list(c) for c in chain],
+                    ["hop", "at_us", "+us", "aux"])
+        for key in ("queueing", "backoff", "airtime", "end_to_end"):
+            if key in row:
+                print(f"{key:>12}: {row[key]} us")
+        return
+
+    rows = [r for r in decomposed if args.all or r["complete"]]
+    if not rows:
+        print("no complete frames in trace "
+              f"({len(decomposed)} partial, {trace.get('evicted', 0)} "
+              "events evicted)")
+        return
+    print(f"{len(rows)} frames  "
+          f"(capacity {trace.get('capacity', '?')}, "
+          f"evicted {trace.get('evicted', 0)} events)")
+    print_table(
+        [[r["frame"], r["station"],
+          r.get("queueing", "-"), r.get("backoff", "-"),
+          r.get("airtime", "-"), r.get("end_to_end", "-"), r["padded"],
+          "drop" if r["dropped"] else ("ok" if r["complete"] else "partial")]
+         for r in rows],
+        ["frame", "station", "queue_us", "backoff_us", "air_us",
+         "e2e_us", "pad_B", "state"])
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+        sys.exit(0)

@@ -28,6 +28,12 @@ void Sniffer::on_frame(const mac::Frame& frame, double rssi_dbm) {
   if (station_key(frame).is_null()) {
     return;
   }
+  if (trace_ != nullptr) {
+    // aux carries the on-air station key (virtual MAC as u64): the trace
+    // is the only place the capture-side identity meets the span chain.
+    trace_->record(frame.trace_id, obs::Hop::kSniffed, frame.timestamp,
+                   static_cast<std::int64_t>(station_key(frame).to_u64()));
+  }
   captures_.push_back(CapturedFrame{frame, rssi_dbm});
 }
 

@@ -14,6 +14,7 @@
 
 #include "mac/frame.h"
 #include "mac/mac_address.h"
+#include "obs/packet_trace.h"
 #include "sim/medium.h"
 #include "traffic/trace.h"
 
@@ -57,6 +58,11 @@ class Sniffer : public sim::RadioListener {
 
   void clear();
 
+  /// Attaches a lifecycle tracer (nullptr detaches): every kept capture
+  /// of a traced frame records the kSniffed span at the frame's on-air
+  /// timestamp, closing the reshaper -> sniffer chain.
+  void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
+
  private:
   /// The client-side key of a frame, or null MAC when the frame does not
   /// involve the observed BSSID.
@@ -64,6 +70,7 @@ class Sniffer : public sim::RadioListener {
 
   mac::MacAddress bssid_;
   std::vector<CapturedFrame> captures_;
+  obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
 };
 
 }  // namespace reshape::attack

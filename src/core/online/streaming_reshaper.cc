@@ -156,6 +156,15 @@ ShapedPacket StreamingReshaper::push(const traffic::PacketRecord& arrival) {
   if (config_.record_streams) {
     streams_[out.interface_index].push_back(out.record);
   }
+  if (trace_ != nullptr) {
+    out.trace_id = trace_->next_frame_id();
+    trace_->record(out.trace_id, obs::Hop::kEnqueue, arrival.time);
+    trace_->record(out.trace_id, obs::Hop::kShape, arrival.time,
+                   static_cast<std::int64_t>(out.record.size_bytes) -
+                       static_cast<std::int64_t>(arrival.size_bytes));
+    trace_->record(out.trace_id, obs::Hop::kSchedule, out.tx_start,
+                   static_cast<std::int64_t>(out.interface_index));
+  }
   return out;
 }
 

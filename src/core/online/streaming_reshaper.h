@@ -42,6 +42,7 @@
 #include "core/defense.h"
 #include "core/morphing.h"
 #include "core/scheduler.h"
+#include "obs/packet_trace.h"
 #include "traffic/trace.h"
 #include "util/time.h"
 
@@ -120,6 +121,11 @@ struct ShapedPacket {
   util::Duration queueing_delay;
 
   bool deadline_miss = false;
+
+  /// Lifecycle-trace id (obs::PacketTrace); 0 unless a tracer is attached.
+  /// Endpoints copy it onto the mac::Frame they transmit so the span chain
+  /// continues through the arbiter and sniffer.
+  std::uint64_t trace_id = 0;
 };
 
 /// Aggregate accounting over every packet pushed since the last reset().
@@ -190,6 +196,13 @@ class StreamingReshaper {
   [[nodiscard]] const StreamingStats& stats() const { return stats_; }
   [[nodiscard]] const StreamingConfig& config() const { return config_; }
 
+  /// Attaches a lifecycle tracer (nullptr detaches). While attached, each
+  /// pushed packet gets a fresh frame id and the pipeline records the
+  /// enqueue / shape / schedule spans. Observation-only: tracing never
+  /// touches the scheduler, shapers, or RNG state.
+  void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
+  [[nodiscard]] obs::PacketTrace* packet_trace() const { return trace_; }
+
   /// Packages the accumulated streams as a batch-compatible result,
   /// labeled with the originating application (requires record_streams).
   [[nodiscard]] DefenseResult result(traffic::AppType app) const;
@@ -213,6 +226,7 @@ class StreamingReshaper {
   // Modeled in-flight departures per interface, pruned on every push —
   // the per-interface queue the paper's live deployment would hold.
   std::vector<std::deque<util::TimePoint>> inflight_;
+  obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
 };
 
 /// Feeds a whole trace through the reshaper (after a reset()) and returns

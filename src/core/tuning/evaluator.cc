@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <utility>
 
+#include "runtime/adaptive_campaign.h"
 #include "sim/channel/channel_arbiter.h"
 #include "sim/medium.h"
 #include "sim/simulator.h"
@@ -97,6 +99,11 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
   online::StreamingConfig config = spec_.streaming;
   config.record_streams = true;
 
+  // One phase-timer lap per pass (emplace ends the previous lap); host
+  // timings only, the simulation below never reads the profiler.
+  std::optional<obs::PhaseProfiler::Scope> phase;
+  phase.emplace(profiler_, "streaming");
+
   std::vector<eval::DefendedSession> defended;
   defended.reserve(sessions.size());
   std::vector<std::vector<traffic::PacketRecord>> released(sessions.size());
@@ -125,6 +132,7 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
   // Observed pass: every released frame contends for one arbitrated DCF
   // cell; the per-frame enqueue -> on-air delay is the access-delay
   // sample distribution the latency budgets are checked against.
+  phase.emplace(profiler_, "arbitration");
   {
     sim::Simulator simulator;
     sim::PathLossModel quiet;
@@ -166,52 +174,50 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
 
   // Adaptive pass: identical scoring to AdaptiveCampaignEngine, via the
   // shared backend (consumes the defended flow traces).
+  phase.emplace(profiler_, "adaptive");
   const std::vector<attack::adaptive::ObservedFlow> flows =
       runtime::rssi_tagged_flows(defended, streams.rssi, spec_.rssi);
   outcome.flows = flows.size();
   outcome.epochs = runtime::run_adaptive_flows(base_, spec_.attacker,
                                                spec_.make_classifier, flows);
+  phase.reset();
   return outcome;
 }
 
 CandidateMetrics CandidateEvaluator::merge(
     std::span<const CandidateShardOutcome> shards,
     const TuningObjective& objective) {
-  constexpr int kClasses = static_cast<int>(traffic::kAppCount);
   CandidateMetrics metrics;
 
-  // Merge the epoch curves across shards (confusions summed per epoch,
-  // like runtime::EpochAggregate), then read the crossing off the merged
-  // curve: the first epoch where the adaptive adversary's accuracy
-  // reaches X%. Curves can differ in length (sessions end at different
-  // instants); the merged curve spans the longest shard.
+  // Merge the epoch curves across shards through the canonical
+  // runtime::EpochAggregate::merge (every field folded — the hand-rolled
+  // confusion-only merge that used to live here dropped the window and
+  // label tallies), then read the crossing off the merged curve: the
+  // first epoch where the adaptive adversary's accuracy reaches X%.
+  // Curves can differ in length (sessions end at different instants); the
+  // merged curve spans the longest shard.
   std::size_t epochs_total = 0;
   for (const CandidateShardOutcome& shard : shards) {
     epochs_total = std::max(epochs_total, shard.epochs.size());
   }
-  std::vector<ml::ConfusionMatrix> adaptive(epochs_total,
-                                            ml::ConfusionMatrix{kClasses});
-  std::vector<ml::ConfusionMatrix> frozen(epochs_total,
-                                          ml::ConfusionMatrix{kClasses});
+  std::vector<runtime::EpochAggregate> merged(epochs_total);
   for (const CandidateShardOutcome& shard : shards) {
     for (std::size_t e = 0; e < shard.epochs.size(); ++e) {
-      adaptive[e].merge(shard.epochs[e].confusion);
-      frozen[e].merge(shard.epochs[e].static_confusion);
+      merged[e].merge(shard.epochs[e]);
     }
   }
   metrics.epochs_total = epochs_total;
   metrics.epochs_survived = epochs_total;
   for (std::size_t e = 0; e < epochs_total; ++e) {
-    if (100.0 * adaptive[e].mean_accuracy() >=
-        objective.adaptive_cross_percent) {
+    if (merged[e].accuracy_percent() >= objective.adaptive_cross_percent) {
       metrics.epochs_survived = e;
       metrics.crossed = true;
       break;
     }
   }
   if (epochs_total > 0) {
-    metrics.final_adaptive_accuracy = 100.0 * adaptive.back().mean_accuracy();
-    metrics.final_static_accuracy = 100.0 * frozen.back().mean_accuracy();
+    metrics.final_adaptive_accuracy = merged.back().accuracy_percent();
+    metrics.final_static_accuracy = merged.back().static_accuracy_percent();
   }
 
   online::StreamingStats pooled;

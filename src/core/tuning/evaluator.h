@@ -30,6 +30,7 @@
 #include "core/tuning/tuned_configuration.h"
 #include "eval/experiment.h"
 #include "ml/dataset.h"
+#include "obs/profiler.h"
 #include "runtime/evaluation_backend.h"
 #include "runtime/scenario.h"
 #include "traffic/trace.h"
@@ -122,11 +123,17 @@ class CandidateEvaluator {
       std::span<const CandidateShardOutcome> shards,
       const TuningObjective& objective);
 
+  /// Attaches a phase profiler (nullptr detaches): evaluate_cell records
+  /// wall/CPU laps of its streaming / arbitration / adaptive passes.
+  /// Host timings only — never part of the deterministic reports.
+  void set_profiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
  private:
   const TunerSpec& spec_;
   ml::Dataset base_;
   traffic::Trace profile_;
   bool trained_ = false;
+  obs::PhaseProfiler* profiler_ = nullptr;  // not owned
 };
 
 }  // namespace reshape::core::tuning

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/stat_views.h"
 #include "runtime/report_json.h"
 #include "util/check.h"
 
@@ -13,6 +14,34 @@ namespace {
 
 using runtime::detail::json_escape;
 using runtime::detail::json_number;
+
+/// Publishes one (candidate, shard) cell into a private per-cell
+/// registry: the shard's pooled streaming stats, the arbitrated
+/// access-delay distribution as a histogram (shared bucket edges, so
+/// shard merges are bucket-wise sums), drop/session/flow counters, and
+/// one adaptive_* series set per epoch.
+void publish_cell(obs::MetricsRegistry& registry,
+                  const TunedConfiguration& candidate,
+                  const runtime::CellGrid::Cell& cell,
+                  const CandidateShardOutcome& outcome) {
+  const obs::LabelSet labels{{"candidate", candidate.name},
+                             {"shard", std::to_string(cell.shard)}};
+  registry.counter("tuner_sessions_total", labels).add(outcome.sessions);
+  registry.counter("tuner_flows_total", labels).add(outcome.flows);
+  registry.counter("tuner_frames_dropped_total", labels)
+      .add(outcome.frames_dropped);
+  obs::publish(registry, outcome.streaming, labels);
+  obs::Histogram& access = registry.histogram(
+      "tuner_access_delay_us", obs::latency_us_buckets(), labels);
+  for (const double sample : outcome.access_delay_us) {
+    access.observe(sample);
+  }
+  for (std::size_t e = 0; e < outcome.epochs.size(); ++e) {
+    obs::LabelSet epoch_labels = labels;
+    epoch_labels.set("epoch", std::to_string(e));
+    obs::publish(registry, outcome.epochs[e], epoch_labels);
+  }
+}
 
 void append_metrics(std::ostringstream& os, const CandidateMetrics& m) {
   os << "\"epochs_total\":" << m.epochs_total
@@ -113,6 +142,9 @@ const std::vector<TunedConfiguration>& ParameterTuner::candidates() const {
 
 TuningReport ParameterTuner::run(std::size_t threads) {
   train();
+  profiler_.clear();
+  telemetry_ = obs::MetricsSnapshot{};
+  evaluator_.set_profiler(telemetry_config_.profiling ? &profiler_ : nullptr);
 
   // The candidate grid is a one-scenario campaign: candidates take the
   // defense axis, so workload streams stay keyed by shard alone and every
@@ -120,11 +152,25 @@ TuningReport ParameterTuner::run(std::size_t threads) {
   // the Pareto ranking needs.
   const runtime::CellGrid grid{candidates_.size(), 1, spec_.shards};
   std::vector<CandidateShardOutcome> outcomes(grid.cell_count());
-  runtime::run_cells(grid.cell_count(), threads, [&](std::size_t cell_id) {
-    const runtime::CellGrid::Cell cell = grid.decompose(cell_id);
-    outcomes[cell_id] =
-        evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id);
-  });
+  std::vector<obs::MetricsSnapshot> cell_metrics(
+      telemetry_config_.metrics ? grid.cell_count() : 0);
+  runtime::run_cells(
+      grid.cell_count(), threads,
+      [&](std::size_t cell_id) {
+        const runtime::CellGrid::Cell cell = grid.decompose(cell_id);
+        outcomes[cell_id] =
+            evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id);
+        if (telemetry_config_.metrics) {
+          obs::MetricsRegistry registry;
+          publish_cell(registry, candidates_[cell.defense], cell,
+                       outcomes[cell_id]);
+          cell_metrics[cell_id] = registry.snapshot();
+        }
+      },
+      telemetry_config_.profiling ? &profiler_ : nullptr);
+  for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
+    telemetry_.merge(snapshot);
+  }
 
   TuningReport report;
   report.seed = spec_.seed;
@@ -155,6 +201,17 @@ TuningReport ParameterTuner::run(std::size_t threads) {
     report.candidates[*report.selected_index].selected = true;
   }
   return report;
+}
+
+std::string ParameterTuner::telemetry_to_json() const {
+  obs::TelemetryExport doc;
+  if (telemetry_config_.metrics) {
+    doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.profiling) {
+    doc.profiler = &profiler_;
+  }
+  return doc.to_json();
 }
 
 }  // namespace reshape::core::tuning

@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "core/tuning/evaluator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace reshape::core::tuning {
 
@@ -82,11 +85,41 @@ class ParameterTuner {
     return evaluator_;
   }
 
+  /// Selects what the next run() collects. Telemetry is observation-only:
+  /// the TuningReport is byte-identical whatever this is set to.
+  void set_telemetry(obs::TelemetryConfig config) {
+    telemetry_config_ = config;
+  }
+  [[nodiscard]] const obs::TelemetryConfig& telemetry_config() const {
+    return telemetry_config_;
+  }
+
+  /// The merged metrics of the last run() (streaming_* / tuner_* series
+  /// per (candidate, shard) cell, folded in cell order on the main
+  /// thread). Empty when metrics collection was off.
+  [[nodiscard]] const obs::MetricsSnapshot& telemetry() const {
+    return telemetry_;
+  }
+
+  /// Wall/CPU phase timings of the last run(): per-cell laps from the
+  /// worker pool plus the evaluator's streaming / arbitration / adaptive
+  /// passes. Host measurements — never part of the deterministic report.
+  [[nodiscard]] const obs::PhaseProfiler& profiler() const {
+    return profiler_;
+  }
+
+  /// The combined telemetry document of the last run(); sections follow
+  /// the telemetry config.
+  [[nodiscard]] std::string telemetry_to_json() const;
+
  private:
   TunerSpec spec_;
   CandidateEvaluator evaluator_;
   std::vector<TunedConfiguration> candidates_;
   bool trained_ = false;
+  obs::TelemetryConfig telemetry_config_{};
+  obs::MetricsSnapshot telemetry_;
+  obs::PhaseProfiler profiler_;
 };
 
 }  // namespace reshape::core::tuning

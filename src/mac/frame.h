@@ -75,6 +75,11 @@ struct Frame {
   std::uint16_t sequence = 0;
   bool encrypted = true;
 
+  /// Observation-only lifecycle-trace id (obs::PacketTrace); 0 = untraced.
+  /// Not an on-air field: the adversary never sees it and no simulation
+  /// decision may read it.
+  std::uint64_t trace_id = 0;
+
   /// Opaque payload bytes. Only management frames of the virtual-interface
   /// configuration handshake carry real bytes (ciphertext); data frames
   /// model payload *length* only, as every analysis in the paper is a

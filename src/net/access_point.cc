@@ -41,8 +41,16 @@ void AccessPoint::associate(const mac::MacAddress& client_physical,
   pool_.reserve(client_physical);
   auto reshaper = std::make_unique<core::online::StreamingReshaper>(
       scheduler_factory_(), nullptr, config_.streaming.accounting_only());
+  reshaper->set_packet_trace(trace_);
   clients_.emplace(client_physical,
                    ClientState{key, {}, std::move(reshaper), {}});
+}
+
+void AccessPoint::set_packet_trace(obs::PacketTrace* trace) {
+  trace_ = trace;
+  for (auto& [physical, client] : clients_) {
+    client.reshaper->set_packet_trace(trace);
+  }
 }
 
 void AccessPoint::set_upper_layer_sink(UpperLayerSink sink) {
@@ -193,6 +201,7 @@ void AccessPoint::send_to_client(const mac::MacAddress& client_physical,
       shaped.interface_index % client.virtual_addresses.size();
   frame.destination = client.virtual_addresses[i];
   frame.size_bytes = shaped.record.size_bytes;
+  frame.trace_id = shaped.trace_id;
   ++downlink_packets_;
   transmit_at(std::move(frame), shaped.tx_start);
 }
@@ -245,6 +254,7 @@ bool AccessPoint::push_tuned_configuration(
       std::make_unique<core::online::StreamingReshaper>(
           config.make_scheduler(), config.make_interface_shapers(),
           config_.streaming.accounting_only());
+  client.reshaper->set_packet_trace(trace_);  // tracing survives the rebuild
 
   TunedConfigUpdate update{nonce_gen_.next(), client.virtual_addresses,
                            config};

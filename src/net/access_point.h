@@ -158,6 +158,12 @@ class AccessPoint : public sim::RadioListener {
   [[nodiscard]] const sim::channel::ChannelStats* observed_channel_stats()
       const;
 
+  /// Attaches a lifecycle tracer (nullptr detaches) to every client's
+  /// downlink reshaper — current and future (association and tuned-push
+  /// rebuilds inherit it). Downlink data frames carry the shaped packet's
+  /// trace id.
+  void set_packet_trace(obs::PacketTrace* trace);
+
  private:
   struct ClientState {
     mac::SymmetricKey key;
@@ -190,6 +196,7 @@ class AccessPoint : public sim::RadioListener {
   std::function<std::unique_ptr<core::Scheduler>()> scheduler_factory_;
   std::unordered_map<mac::MacAddress, ClientState> clients_;
   std::unordered_map<mac::MacAddress, mac::MacAddress> virtual_to_physical_;
+  obs::PacketTrace* trace_ = nullptr;  // not owned; applied to reshapers
   UpperLayerSink upper_layer_;
   // Lifetime token for deferred release events (see WirelessClient).
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);

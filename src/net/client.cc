@@ -64,6 +64,10 @@ const sim::channel::ChannelStats* WirelessClient::observed_channel_stats()
   return arbiter == nullptr ? nullptr : arbiter->stats_of(this);
 }
 
+void WirelessClient::set_packet_trace(obs::PacketTrace* trace) {
+  reshaper_.set_packet_trace(trace);
+}
+
 void WirelessClient::transmit(mac::Frame frame) {
   transmit_at(std::move(frame), tpc_, simulator_.now());
 }
@@ -144,9 +148,11 @@ void WirelessClient::handle_tuned_config(const mac::Frame& frame) {
   if (interface_count_changed) {
     interface_tpc_.clear();
   }
+  obs::PacketTrace* trace = reshaper_.packet_trace();
   reshaper_ = core::online::StreamingReshaper{
       update->config.make_scheduler(), update->config.make_interface_shapers(),
       streaming_.accounting_only()};
+  reshaper_.set_packet_trace(trace);  // tracing survives the rebuild
   tuned_ = std::move(update->config);
   pending_nonce_.reset();
   state_ = ClientState::kConfigured;
@@ -216,6 +222,7 @@ void WirelessClient::send_packet(std::uint32_t payload_bytes) {
     const std::size_t i = shaped.interface_index % interfaces_.size();
     frame.source = interfaces_[i].address();
     frame.size_bytes = shaped.record.size_bytes;
+    frame.trace_id = shaped.trace_id;
     interfaces_[i].record_tx(frame.size_bytes);
     release = shaped.tx_start;
     iface = i;

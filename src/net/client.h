@@ -160,6 +160,11 @@ class WirelessClient : public sim::RadioListener {
   [[nodiscard]] const sim::channel::ChannelStats* observed_channel_stats()
       const;
 
+  /// Attaches a lifecycle tracer (nullptr detaches) to the uplink
+  /// reshaper; survives AP-pushed pipeline rebuilds. Data frames carry the
+  /// shaped packet's trace id so the arbiter and sniffer spans join up.
+  void set_packet_trace(obs::PacketTrace* trace);
+
  private:
   /// The client requires a scheduler even though StreamingReshaper itself
   /// accepts null (a null here would silently degrade to a single-stream

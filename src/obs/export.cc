@@ -1,0 +1,100 @@
+#include "obs/export.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace reshape::obs {
+
+void TimeSeriesRecorder::consume(std::uint64_t sequence,
+                                 const MetricsSnapshot& snapshot) {
+  sequences_.push_back(sequence);
+  snapshots_.push_back(snapshot);
+}
+
+std::string TimeSeriesRecorder::to_json() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"sequence\":" << sequences_[i]
+        << ",\"metrics\":" << snapshots_[i].to_json() << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string TimeSeriesRecorder::to_csv() const {
+  std::string out = "sequence,name,labels,field,value\n";
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    const std::string body = snapshots_[i].to_csv();
+    // Re-prefix each data row of the single-snapshot CSV with the sequence.
+    std::istringstream rows(body);
+    std::string row;
+    std::getline(rows, row);  // skip the per-snapshot header
+    while (std::getline(rows, row)) {
+      out += std::to_string(sequences_[i]);
+      out += ',';
+      out += row;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool env_enabled(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const std::string_view v{value};
+  return !(v == "0" || v == "off" || v == "false" || v == "OFF" ||
+           v == "no");
+}
+
+TelemetryConfig TelemetryConfig::from_env(TelemetryConfig fallback) {
+  TelemetryConfig config;
+  config.metrics = env_enabled("OBS_METRICS", fallback.metrics);
+  config.tracing = env_enabled("OBS_TRACE", fallback.tracing);
+  config.profiling = env_enabled("OBS_PROFILE", fallback.profiling);
+  return config;
+}
+
+std::string TelemetryExport::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  if (metrics != nullptr) {
+    out << "\"metrics\":" << metrics->to_json();
+    first = false;
+  }
+  if (profiler != nullptr) {
+    if (!first) {
+      out << ",";
+    }
+    out << "\"profile\":" << profiler->to_json();
+    first = false;
+  }
+  if (trace != nullptr) {
+    if (!first) {
+      out << ",";
+    }
+    out << "\"trace\":" << trace->to_json();
+  }
+  out << "}";
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace reshape::obs

@@ -1,0 +1,97 @@
+// Telemetry export: stable-JSON / CSV dumps, the TelemetrySink interface,
+// and the on/off configuration shared by the engines and examples.
+//
+// The deterministic campaign/tuner reports and the telemetry export are
+// deliberately separate documents: metrics and traces are deterministic
+// (they describe the simulation) and may be compared byte-for-byte across
+// thread counts; the profile section measures the host and is not. Anything
+// consuming telemetry for drift decisions (the future TuningService)
+// implements TelemetrySink and receives merged MetricsSnapshots in
+// publication order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/packet_trace.h"
+#include "obs/profiler.h"
+
+namespace reshape::obs {
+
+/// Consumer interface for published telemetry — the seam the future
+/// TuningService (fleet controller) plugs into for its drift signal.
+/// `sequence` increases by one per publication from a given producer.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void consume(std::uint64_t sequence,
+                       const MetricsSnapshot& snapshot) = 0;
+};
+
+/// A TelemetrySink that keeps every publication, exportable as a JSON
+/// array or long-form CSV time series.
+class TimeSeriesRecorder : public TelemetrySink {
+ public:
+  void consume(std::uint64_t sequence,
+               const MetricsSnapshot& snapshot) override;
+
+  [[nodiscard]] const std::vector<MetricsSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+
+  /// [{"sequence":0,"metrics":[...]},...]
+  [[nodiscard]] std::string to_json() const;
+
+  /// sequence,name,labels,field,value rows across all publications.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::uint64_t> sequences_;
+  std::vector<MetricsSnapshot> snapshots_;
+};
+
+/// What to collect. Default-constructed = everything off (zero overhead).
+struct TelemetryConfig {
+  bool metrics = false;    // registry publishing
+  bool tracing = false;    // PacketTrace span recording
+  bool profiling = false;  // wall/CPU phase timers
+
+  [[nodiscard]] bool any() const { return metrics || tracing || profiling; }
+
+  [[nodiscard]] static TelemetryConfig enabled() {
+    return TelemetryConfig{true, true, true};
+  }
+
+  /// Reads OBS_TRACE (gates tracing) and OBS_METRICS/OBS_PROFILE; an unset
+  /// variable keeps `fallback`'s field. Recognizes 0/off/false as off,
+  /// anything else as on.
+  [[nodiscard]] static TelemetryConfig from_env(TelemetryConfig fallback);
+  [[nodiscard]] static TelemetryConfig from_env() {
+    return from_env(TelemetryConfig{});
+  }
+};
+
+/// True unless the environment variable is set to 0/off/false; `fallback`
+/// when unset.
+[[nodiscard]] bool env_enabled(const char* name, bool fallback);
+
+/// One telemetry document: metrics + profile + trace, each section
+/// optional (null pointer = omitted).
+struct TelemetryExport {
+  const MetricsSnapshot* metrics = nullptr;
+  const PhaseProfiler* profiler = nullptr;
+  const PacketTrace* trace = nullptr;
+
+  /// {"metrics":...,"profile":...,"trace":...} with absent sections
+  /// skipped. The metrics and trace sections are deterministic; profile
+  /// is not (host timings).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Writes `contents` to `path`; returns false (and leaves no partial
+/// file guarantee) on I/O failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace reshape::obs

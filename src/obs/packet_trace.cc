@@ -1,0 +1,172 @@
+#include "obs/packet_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace reshape::obs {
+
+std::string_view hop_name(Hop hop) {
+  switch (hop) {
+    case Hop::kEnqueue:
+      return "enqueue";
+    case Hop::kShape:
+      return "shape";
+    case Hop::kSchedule:
+      return "schedule";
+    case Hop::kChannelEnqueue:
+      return "channel_enqueue";
+    case Hop::kOnAir:
+      return "on_air";
+    case Hop::kDropped:
+      return "dropped";
+    case Hop::kSniffed:
+      return "sniffed";
+  }
+  return "unknown";
+}
+
+PacketTrace::PacketTrace(std::size_t capacity)
+    : buffer_(capacity == 0 ? 1 : capacity) {}
+
+void PacketTrace::record(std::uint64_t frame_id, Hop hop, util::TimePoint at,
+                         std::int64_t aux) {
+  if (frame_id == 0) {
+    return;  // untraced frame
+  }
+  if (size_ == buffer_.size()) {
+    evicted_events_ += 1;  // overwriting the oldest slot
+  } else {
+    size_ += 1;
+  }
+  buffer_[head_] = SpanEvent{frame_id, hop, at, aux};
+  head_ = (head_ + 1) % buffer_.size();
+}
+
+std::vector<SpanEvent> PacketTrace::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> PacketTrace::events_of(std::uint64_t frame_id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& e : events()) {
+    if (e.frame_id == frame_id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+FrameSpans spans_from_events(std::uint64_t frame_id,
+                             const std::vector<SpanEvent>& events) {
+  FrameSpans spans;
+  spans.frame_id = frame_id;
+  bool saw_enqueue = false;
+  bool saw_schedule = false;
+  bool saw_channel = false;
+  bool saw_on_air = false;
+  bool saw_sniffed = false;
+  util::TimePoint enqueue_at;
+  util::TimePoint schedule_at;
+  util::TimePoint channel_at;
+  util::TimePoint on_air_at;
+  util::TimePoint sniffed_at;
+  for (const SpanEvent& e : events) {
+    switch (e.hop) {
+      case Hop::kEnqueue:
+        enqueue_at = e.at;
+        saw_enqueue = true;
+        break;
+      case Hop::kShape:
+        spans.padded_bytes += e.aux;
+        break;
+      case Hop::kSchedule:
+        schedule_at = e.at;
+        saw_schedule = true;
+        break;
+      case Hop::kChannelEnqueue:
+        channel_at = e.at;
+        saw_channel = true;
+        break;
+      case Hop::kOnAir:
+        on_air_at = e.at;
+        spans.airtime = util::Duration::microseconds(e.aux);
+        saw_on_air = true;
+        break;
+      case Hop::kDropped:
+        spans.dropped = true;
+        break;
+      case Hop::kSniffed:
+        sniffed_at = e.at;
+        saw_sniffed = true;
+        break;
+    }
+  }
+  if (saw_enqueue && saw_schedule) {
+    spans.queueing = schedule_at - enqueue_at;
+  }
+  if (saw_on_air) {
+    spans.backoff = on_air_at - (saw_channel ? channel_at : schedule_at);
+  }
+  if (saw_enqueue && saw_sniffed) {
+    spans.end_to_end = sniffed_at - enqueue_at;
+  }
+  spans.complete = saw_enqueue && saw_schedule && saw_on_air && saw_sniffed &&
+                   !spans.dropped;
+  return spans;
+}
+
+}  // namespace
+
+FrameSpans PacketTrace::spans_of(std::uint64_t frame_id) const {
+  return spans_from_events(frame_id, events_of(frame_id));
+}
+
+std::vector<FrameSpans> PacketTrace::complete_frames() const {
+  std::map<std::uint64_t, std::vector<SpanEvent>> by_frame;
+  for (const SpanEvent& e : events()) {
+    by_frame[e.frame_id].push_back(e);
+  }
+  std::vector<FrameSpans> out;
+  for (const auto& [frame_id, frame_events] : by_frame) {
+    FrameSpans spans = spans_from_events(frame_id, frame_events);
+    if (spans.complete) {
+      out.push_back(spans);
+    }
+  }
+  return out;
+}
+
+std::string PacketTrace::to_json() const {
+  std::ostringstream out;
+  out << "{\"capacity\":" << buffer_.size()
+      << ",\"evicted\":" << evicted_events_ << ",\"events\":[";
+  bool first = true;
+  for (const SpanEvent& e : events()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"frame\":" << e.frame_id << ",\"hop\":\"" << hop_name(e.hop)
+        << "\",\"at_us\":" << e.at.count_us() << ",\"aux\":" << e.aux << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void PacketTrace::clear() {
+  head_ = 0;
+  size_ = 0;
+  evicted_events_ = 0;
+  // last_frame_id_ keeps counting — frame ids stay unique per tracer.
+}
+
+}  // namespace reshape::obs

@@ -1,0 +1,115 @@
+// Packet-lifecycle tracing: follow one frame from scheduler decision to
+// on-air capture.
+//
+// Every traced frame carries a non-zero frame id (mac::Frame::trace_id,
+// assigned by the reshaper when a tracer is attached) and each layer it
+// crosses records one span event into a shared ring buffer:
+//
+//   kEnqueue        StreamingReshaper::push — packet arrival
+//   kShape          after padding/morphing     (aux = bytes added)
+//   kSchedule       scheduler release instant  (reshaper tx_start)
+//   kChannelEnqueue ChannelArbiter::enqueue    (== release instant)
+//   kOnAir          DCF grant / broadcast      (aux = airtime us)
+//   kDropped        arbiter retry-limit drop
+//   kSniffed        attack::Sniffer capture    (== on-air instant,
+//                                               aux = station MAC as u64)
+//
+// spans_of() decomposes the chain into the three latencies that matter for
+// the paper's overhead story — queueing (arrival → release, the reshaper's
+// doing), backoff (release → on-air, the medium's doing), airtime — and
+// because release==channel-enqueue and sniff==on-air by construction, the
+// invariant `queueing + backoff == end_to_end` holds EXACTLY (integer
+// microseconds, no rounding), which the golden test asserts.
+//
+// Observation-only: recording never consumes randomness or perturbs
+// simulation state; with no tracer attached, frames keep trace_id 0 and
+// every hook is a null-pointer check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace reshape::obs {
+
+enum class Hop : std::uint8_t {
+  kEnqueue,
+  kShape,
+  kSchedule,
+  kChannelEnqueue,
+  kOnAir,
+  kDropped,
+  kSniffed,
+};
+
+[[nodiscard]] std::string_view hop_name(Hop hop);
+
+struct SpanEvent {
+  std::uint64_t frame_id = 0;
+  Hop hop = Hop::kEnqueue;
+  util::TimePoint at;
+  std::int64_t aux = 0;  // hop-specific: bytes added (kShape), airtime us (kOnAir)
+};
+
+/// Per-frame latency decomposition derived from the recorded events.
+/// All durations are integer microseconds.
+struct FrameSpans {
+  std::uint64_t frame_id = 0;
+  util::Duration queueing;    // kEnqueue -> kSchedule (reshaper)
+  util::Duration backoff;     // kChannelEnqueue -> kOnAir (DCF access)
+  util::Duration airtime;     // kOnAir aux
+  util::Duration end_to_end;  // kEnqueue -> kSniffed
+  std::int64_t padded_bytes = 0;
+  bool dropped = false;
+  bool complete = false;  // saw enqueue, schedule, on-air and sniffed
+};
+
+/// Fixed-capacity ring buffer of span events. When full, the oldest
+/// events are evicted (and counted) — tracing a long session keeps the
+/// most recent frames, never grows unbounded, and never blocks.
+class PacketTrace {
+ public:
+  explicit PacketTrace(std::size_t capacity = 65536);
+
+  /// Allocates the next frame id (1-based; 0 means untraced).
+  [[nodiscard]] std::uint64_t next_frame_id() { return ++last_frame_id_; }
+
+  void record(std::uint64_t frame_id, Hop hop, util::TimePoint at,
+              std::int64_t aux = 0);
+
+  /// Events of one frame, in recording order.
+  [[nodiscard]] std::vector<SpanEvent> events_of(std::uint64_t frame_id) const;
+
+  /// Latency decomposition of one frame.
+  [[nodiscard]] FrameSpans spans_of(std::uint64_t frame_id) const;
+
+  /// Spans of every frame that completed the full chain (ascending id).
+  [[nodiscard]] std::vector<FrameSpans> complete_frames() const;
+
+  /// All buffered events in recording order.
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t evicted_events() const {
+    return evicted_events_;
+  }
+  [[nodiscard]] std::uint64_t last_frame_id() const { return last_frame_id_; }
+
+  /// Stable JSON: {"capacity":...,"evicted":...,"events":[...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  std::vector<SpanEvent> buffer_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t last_frame_id_ = 0;
+  std::uint64_t evicted_events_ = 0;
+};
+
+}  // namespace reshape::obs

@@ -1,0 +1,78 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <sstream>
+
+#include <time.h>
+
+namespace reshape::obs {
+
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+           ts.tv_nsec / 1'000;
+  }
+#endif
+  return static_cast<std::int64_t>(clock()) * 1'000'000 / CLOCKS_PER_SEC;
+}
+
+PhaseProfiler::Scope::Scope(PhaseProfiler* profiler, std::string phase)
+    : profiler_{profiler}, phase_{std::move(phase)} {
+  if (profiler_ != nullptr) {
+    wall_start_ = wall_clock_us();
+    cpu_start_ = thread_cpu_us();
+  }
+}
+
+PhaseProfiler::Scope::~Scope() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  PhaseSample sample;
+  sample.wall_us = wall_clock_us() - wall_start_;
+  sample.cpu_us = thread_cpu_us() - cpu_start_;
+  sample.calls = 1;
+  profiler_->add(phase_, sample);
+}
+
+void PhaseProfiler::add(std::string_view phase, const PhaseSample& sample) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phases_[std::string(phase)].merge(sample);
+}
+
+std::map<std::string, PhaseSample> PhaseProfiler::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+std::string PhaseProfiler::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [phase, sample] : snapshot()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << phase << "\":{\"wall_us\":" << sample.wall_us
+        << ",\"cpu_us\":" << sample.cpu_us << ",\"calls\":" << sample.calls
+        << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void PhaseProfiler::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
+
+}  // namespace reshape::obs

@@ -1,0 +1,85 @@
+// Per-phase wall/CPU profiling for the evaluation backends.
+//
+// The campaign engines and the tuner run three distinct passes per cell —
+// streaming, arbitration, adaptive — and the fleet-controller roadmap item
+// needs to know where campaign time actually goes. PhaseProfiler collects
+// RAII-scoped wall-clock and thread-CPU laps, keyed by phase name, and is
+// safe to fill from worker threads (add() takes a mutex; a lap itself is
+// two clock reads, no locking).
+//
+// Profiling is inherently nondeterministic (it measures the host, not the
+// simulation), so its output is exported ONLY through the telemetry JSON —
+// it must never be folded into the deterministic campaign/tuner reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace reshape::obs {
+
+/// Accumulated laps of one phase. Merge sums everything.
+struct PhaseSample {
+  std::int64_t wall_us = 0;
+  std::int64_t cpu_us = 0;
+  std::uint64_t calls = 0;
+
+  void merge(const PhaseSample& other) {
+    wall_us += other.wall_us;
+    cpu_us += other.cpu_us;
+    calls += other.calls;
+  }
+};
+
+/// Current wall-clock, in microseconds (monotonic).
+[[nodiscard]] std::int64_t wall_clock_us();
+
+/// Calling thread's consumed CPU time, in microseconds; falls back to the
+/// process clock where a per-thread clock is unavailable.
+[[nodiscard]] std::int64_t thread_cpu_us();
+
+class PhaseProfiler {
+ public:
+  /// RAII lap: records one PhaseSample into the profiler at destruction.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, std::string phase);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler* profiler_;  // nullptr = disabled, zero-cost
+    std::string phase_;
+    std::int64_t wall_start_ = 0;
+    std::int64_t cpu_start_ = 0;
+  };
+
+  /// Times `phase` until the returned Scope dies. `profiler` may be
+  /// nullptr (a disabled scope records nothing) — callers hold a plain
+  /// pointer and need no branching.
+  [[nodiscard]] static Scope time(PhaseProfiler* profiler,
+                                  std::string phase) {
+    return Scope{profiler, std::move(phase)};
+  }
+
+  /// Thread-safe accumulation of one lap into the named phase.
+  void add(std::string_view phase, const PhaseSample& sample);
+
+  /// Phases sorted by name (std::map order), samples copied out.
+  [[nodiscard]] std::map<std::string, PhaseSample> snapshot() const;
+
+  /// {"phase":{"wall_us":...,"cpu_us":...,"calls":...},...} sorted by
+  /// phase name.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseSample> phases_;
+};
+
+}  // namespace reshape::obs

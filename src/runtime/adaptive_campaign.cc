@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/stat_views.h"
 #include "runtime/evaluation_backend.h"
 #include "runtime/report_json.h"
 #include "util/check.h"
@@ -17,10 +18,37 @@ using detail::json_number;
 
 constexpr int kClasses = static_cast<int>(traffic::kAppCount);
 
+/// Publishes one adaptive cell into a private per-cell registry: session
+/// and flow counters plus one adaptive_* epoch series set per epoch
+/// (labels carry the epoch index — the curve survives the shard merge).
+void publish_cell(obs::MetricsRegistry& registry,
+                  const AdaptiveCampaignSpec& spec,
+                  const AdaptiveCellResult& cell) {
+  const obs::LabelSet labels{
+      {"defense", spec.defenses[cell.defense_index].name},
+      {"scenario", std::string{spec.scenarios[cell.scenario_index].name()}},
+      {"shard", std::to_string(cell.shard)}};
+  registry.counter("adaptive_sessions_total", labels).add(cell.session_count);
+  registry.counter("adaptive_flows_total", labels).add(cell.flow_count);
+  for (std::size_t e = 0; e < cell.epochs.size(); ++e) {
+    obs::LabelSet epoch_labels = labels;
+    epoch_labels.set("epoch", std::to_string(e));
+    obs::publish(registry, cell.epochs[e], epoch_labels);
+  }
+}
+
 }  // namespace
 
 EpochAggregate::EpochAggregate()
     : confusion{kClasses}, static_confusion{kClasses} {}
+
+void EpochAggregate::merge(const attack::adaptive::EpochScore& epoch) {
+  windows += epoch.windows;
+  confusion.merge(epoch.confusion);
+  static_confusion.merge(epoch.static_confusion);
+  labels_correct += epoch.labels_correct;
+  labels_assigned += epoch.labels_assigned;
+}
 
 double EpochAggregate::accuracy_percent() const {
   return 100.0 * confusion.mean_accuracy();
@@ -149,11 +177,27 @@ AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
 
 AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
   train();
+  profiler_.clear();
+  telemetry_ = obs::MetricsSnapshot{};
 
   const std::size_t cells = cell_count();
   std::vector<AdaptiveCellResult> results(cells);
-  run_cells(cells, threads,
-            [&](std::size_t cell_id) { results[cell_id] = run_cell(cell_id); });
+  std::vector<obs::MetricsSnapshot> cell_metrics(
+      telemetry_config_.metrics ? cells : 0);
+  run_cells(
+      cells, threads,
+      [&](std::size_t cell_id) {
+        results[cell_id] = run_cell(cell_id);
+        if (telemetry_config_.metrics) {
+          obs::MetricsRegistry registry;
+          publish_cell(registry, spec_, results[cell_id]);
+          cell_metrics[cell_id] = registry.snapshot();
+        }
+      },
+      telemetry_config_.profiling ? &profiler_ : nullptr);
+  for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
+    telemetry_.merge(snapshot);
+  }
 
   AdaptiveCampaignReport report;
   report.seed = spec_.seed;
@@ -177,18 +221,24 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
           agg.epochs.resize(cell.epochs.size());
         }
         for (std::size_t e = 0; e < cell.epochs.size(); ++e) {
-          const attack::adaptive::EpochScore& epoch = cell.epochs[e];
-          agg.epochs[e].windows += epoch.windows;
-          agg.epochs[e].confusion.merge(epoch.confusion);
-          agg.epochs[e].static_confusion.merge(epoch.static_confusion);
-          agg.epochs[e].labels_correct += epoch.labels_correct;
-          agg.epochs[e].labels_assigned += epoch.labels_assigned;
+          agg.epochs[e].merge(cell.epochs[e]);
         }
       }
       report.aggregates.push_back(std::move(agg));
     }
   }
   return report;
+}
+
+std::string AdaptiveCampaignEngine::telemetry_to_json() const {
+  obs::TelemetryExport doc;
+  if (telemetry_config_.metrics) {
+    doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.profiling) {
+    doc.profiler = &profiler_;
+  }
+  return doc.to_json();
 }
 
 }  // namespace reshape::runtime

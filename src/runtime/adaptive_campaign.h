@@ -28,6 +28,9 @@
 #include "eval/experiment.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "runtime/campaign.h"
 #include "runtime/scenario.h"
 
@@ -82,6 +85,14 @@ struct EpochAggregate {
 
   EpochAggregate();
 
+  /// THE canonical shard-merge of one epoch: every field of the score is
+  /// folded in (windows, both confusions, both label tallies). The
+  /// adaptive campaign and core::tuning::CandidateEvaluator both merge
+  /// through here — a second hand-rolled path once dropped the window and
+  /// label counters, the aggregation asymmetry tests/obs_test.cc now
+  /// guards against.
+  void merge(const attack::adaptive::EpochScore& epoch);
+
   /// Mean per-class accuracy (%) of the adaptive / static model.
   [[nodiscard]] double accuracy_percent() const;
   [[nodiscard]] double static_accuracy_percent() const;
@@ -129,6 +140,32 @@ class AdaptiveCampaignEngine {
   [[nodiscard]] std::size_t cell_count() const;
   [[nodiscard]] bool trained() const { return trained_; }
 
+  /// Selects what the next run() collects. Telemetry is observation-only:
+  /// the AdaptiveCampaignReport is byte-identical whatever this is set to.
+  void set_telemetry(obs::TelemetryConfig config) {
+    telemetry_config_ = config;
+  }
+  [[nodiscard]] const obs::TelemetryConfig& telemetry_config() const {
+    return telemetry_config_;
+  }
+
+  /// The merged metrics of the last run() (adaptive_* epoch series plus
+  /// session/flow counters per cell, folded in cell order on the main
+  /// thread). Empty when metrics collection was off.
+  [[nodiscard]] const obs::MetricsSnapshot& telemetry() const {
+    return telemetry_;
+  }
+
+  /// Wall/CPU phase timings of the last run() (host measurements — never
+  /// part of the deterministic report).
+  [[nodiscard]] const obs::PhaseProfiler& profiler() const {
+    return profiler_;
+  }
+
+  /// The combined telemetry document of the last run(); sections follow
+  /// the telemetry config.
+  [[nodiscard]] std::string telemetry_to_json() const;
+
  private:
   [[nodiscard]] CellGrid grid() const;
   [[nodiscard]] AdaptiveCellResult run_cell(std::size_t cell_id) const;
@@ -136,6 +173,9 @@ class AdaptiveCampaignEngine {
   AdaptiveCampaignSpec spec_;
   ml::Dataset base_;  // shared raw bootstrap rows (read-only after train)
   bool trained_ = false;
+  obs::TelemetryConfig telemetry_config_{};
+  obs::MetricsSnapshot telemetry_;
+  obs::PhaseProfiler profiler_;
 };
 
 }  // namespace reshape::runtime

@@ -15,6 +15,31 @@ namespace {
 using detail::json_escape;
 using detail::json_number;
 
+/// Publishes one cell's scored result into a (private, per-cell)
+/// registry: windows and correct-window tallies as counters so shard
+/// merges recompute accuracy from summed evidence, point metrics as
+/// per-cell gauges (unique labels — never merged across cells).
+void publish_cell(obs::MetricsRegistry& registry, const CampaignSpec& spec,
+                  const CellResult& cell) {
+  const obs::LabelSet labels{
+      {"defense", spec.defenses[cell.defense_index].name},
+      {"scenario", std::string{spec.scenarios[cell.scenario_index].name()}},
+      {"shard", std::to_string(cell.shard)}};
+  registry.counter("campaign_sessions_total", labels)
+      .add(cell.session_count);
+  const ml::ConfusionMatrix& confusion = cell.evaluation.confusion;
+  std::uint64_t correct = 0;
+  for (int c = 0; c < confusion.num_classes(); ++c) {
+    correct += confusion.count(c, c);
+  }
+  registry.counter("campaign_windows_total", labels).add(confusion.total());
+  registry.counter("campaign_windows_correct_total", labels).add(correct);
+  registry.gauge("campaign_mean_accuracy_percent", labels)
+      .set(cell.evaluation.mean_accuracy);
+  registry.gauge("campaign_mean_overhead_percent", labels)
+      .set(cell.evaluation.mean_overhead);
+}
+
 void append_evaluation_fields(std::ostringstream& os,
                               const eval::DefenseEvaluation& e) {
   os << "\"classifier\":\"" << json_escape(e.classifier_name) << "\","
@@ -117,11 +142,31 @@ CellResult CampaignEngine::run_cell(std::size_t cell_id) const {
 
 CampaignReport CampaignEngine::run(std::size_t threads) {
   train();
+  profiler_.clear();
+  telemetry_ = obs::MetricsSnapshot{};
 
   const std::size_t cells = cell_count();
   std::vector<CellResult> results(cells);
-  run_cells(cells, threads,
-            [&](std::size_t cell_id) { results[cell_id] = run_cell(cell_id); });
+  // One private registry per cell, snapshotted by whichever worker ran the
+  // cell and folded on the main thread in cell order — the snapshot of a
+  // cell is a pure function of its result, so the merged telemetry is as
+  // thread-count-independent as the report itself.
+  std::vector<obs::MetricsSnapshot> cell_metrics(
+      telemetry_config_.metrics ? cells : 0);
+  run_cells(
+      cells, threads,
+      [&](std::size_t cell_id) {
+        results[cell_id] = run_cell(cell_id);
+        if (telemetry_config_.metrics) {
+          obs::MetricsRegistry registry;
+          publish_cell(registry, spec_, results[cell_id]);
+          cell_metrics[cell_id] = registry.snapshot();
+        }
+      },
+      telemetry_config_.profiling ? &profiler_ : nullptr);
+  for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
+    telemetry_.merge(snapshot);
+  }
 
   CampaignReport report;
   report.seed = spec_.seed;
@@ -179,6 +224,17 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
     }
   }
   return report;
+}
+
+std::string CampaignEngine::telemetry_to_json() const {
+  obs::TelemetryExport doc;
+  if (telemetry_config_.metrics) {
+    doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.profiling) {
+    doc.profiler = &profiler_;
+  }
+  return doc.to_json();
 }
 
 }  // namespace reshape::runtime

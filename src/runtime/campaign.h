@@ -22,6 +22,9 @@
 
 #include "eval/defense_factory.h"
 #include "eval/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "runtime/scenario.h"
 
 namespace reshape::runtime {
@@ -107,12 +110,41 @@ class CampaignEngine {
   /// Trains the attackers without running cells (idempotent).
   void train();
 
+  /// Selects what the next run() collects. Telemetry is observation-only:
+  /// the CampaignReport is byte-identical whatever this is set to.
+  void set_telemetry(obs::TelemetryConfig config) {
+    telemetry_config_ = config;
+  }
+  [[nodiscard]] const obs::TelemetryConfig& telemetry_config() const {
+    return telemetry_config_;
+  }
+
+  /// The merged metrics of the last run() (campaign_* series per cell,
+  /// folded in cell order on the main thread — deterministic). Empty when
+  /// metrics collection was off.
+  [[nodiscard]] const obs::MetricsSnapshot& telemetry() const {
+    return telemetry_;
+  }
+
+  /// Wall/CPU phase timings of the last run() (host measurements — never
+  /// part of the deterministic report).
+  [[nodiscard]] const obs::PhaseProfiler& profiler() const {
+    return profiler_;
+  }
+
+  /// The combined telemetry document of the last run(); sections follow
+  /// the telemetry config.
+  [[nodiscard]] std::string telemetry_to_json() const;
+
  private:
   [[nodiscard]] CellGrid grid() const;
   [[nodiscard]] CellResult run_cell(std::size_t cell_id) const;
 
   CampaignSpec spec_;
   eval::ExperimentHarness harness_;
+  obs::TelemetryConfig telemetry_config_{};
+  obs::MetricsSnapshot telemetry_;
+  obs::PhaseProfiler profiler_;
 };
 
 }  // namespace reshape::runtime

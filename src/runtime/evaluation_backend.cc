@@ -28,17 +28,24 @@ CellStreams cell_streams(std::uint64_t seed, const CellGrid& grid,
 }
 
 void run_cells(std::size_t cells, std::size_t threads,
-               const std::function<void(std::size_t)>& run_one) {
+               const std::function<void(std::size_t)>& run_one,
+               obs::PhaseProfiler* profiler) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) {
       threads = 1;
     }
   }
+  const auto timed = [&run_one, profiler](std::size_t c) {
+    const auto pooled = obs::PhaseProfiler::time(profiler, "cells");
+    const auto per_cell =
+        obs::PhaseProfiler::time(profiler, "cell/" + std::to_string(c));
+    run_one(c);
+  };
 
   if (threads <= 1 || cells <= 1) {
     for (std::size_t c = 0; c < cells; ++c) {
-      run_one(c);
+      timed(c);
     }
     return;
   }
@@ -54,7 +61,7 @@ void run_cells(std::size_t cells, std::size_t threads,
         return;
       }
       try {
-        run_one(c);
+        timed(c);
       } catch (...) {
         abort.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock{error_mutex};

@@ -30,6 +30,7 @@
 #include "eval/experiment.h"
 #include "eval/session_eval.h"
 #include "ml/dataset.h"
+#include "obs/profiler.h"
 #include "util/rng.h"
 
 namespace reshape::runtime {
@@ -76,9 +77,12 @@ struct CellStreams {
 /// Runs `run_one(cell_id)` for every cell on `threads` workers (0 =
 /// hardware concurrency). Aborts remaining cells on the first exception
 /// and rethrows it after the pool drains. `run_one` must be thread-safe
-/// and write only to its own cell's slot.
+/// and write only to its own cell's slot. A non-null `profiler` records
+/// one wall/CPU lap per cell (phase "cell/<id>") plus a pooled "cells"
+/// total — host timings only, never part of the deterministic reports.
 void run_cells(std::size_t cells, std::size_t threads,
-               const std::function<void(std::size_t)>& run_one);
+               const std::function<void(std::size_t)>& run_one,
+               obs::PhaseProfiler* profiler = nullptr);
 
 /// The clean bootstrap corpus an adaptive adversary profiles before the
 /// session starts — generated with the static harness's stream seeds, so

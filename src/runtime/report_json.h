@@ -1,43 +1,15 @@
 // Deterministic JSON primitives shared by the campaign report exporters.
 //
-// Both engines promise "equal reports serialize to equal strings", which
-// hangs on exactly one number format and one escaping rule — keep them
-// here so the static and adaptive exporters can never drift apart.
+// The canonical implementations live in util/json.h (the obs:: telemetry
+// exporters share them); these aliases keep the engines' historical
+// spelling working.
 #pragma once
 
-#include <cstdio>
-#include <string>
-#include <string_view>
+#include "util/json.h"
 
 namespace reshape::runtime::detail {
 
-/// Locale-independent double formatting with round-trip precision; equal
-/// doubles always serialize to equal strings.
-inline std::string json_number(double v) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-  return buffer;
-}
-
-inline std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
+using util::json_escape;
+using util::json_number;
 
 }  // namespace reshape::runtime::detail

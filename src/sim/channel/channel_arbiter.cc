@@ -88,6 +88,9 @@ void ChannelArbiter::enqueue(mac::Frame frame, Position tx_position,
     first_activity_ = now;
     saw_activity_ = true;
   }
+  if (trace_ != nullptr) {
+    trace_->record(frame.trace_id, obs::Hop::kChannelEnqueue, now);
+  }
   Station& station = station_of(transmitter);
   station.queue.push_back(Pending{std::move(frame), tx_position, now});
   station.stats.max_queue_depth =
@@ -209,6 +212,11 @@ void ChannelArbiter::decide(std::uint64_t generation) {
       station.cw = std::min(2 * station.cw + 1, params_.cw_max);
     }
   }
+  if (trace_ != nullptr) {
+    for (const auto& [frame, id] : dropped) {
+      trace_->record(frame.trace_id, obs::Hop::kDropped, now);
+    }
+  }
   if (drop_hook_) {
     for (const auto& [frame, id] : dropped) {
       drop_hook_(frame, id);
@@ -239,6 +247,11 @@ void ChannelArbiter::transmit_head(std::size_t station_index) {
   station.stats.max_access_delay =
       std::max(station.stats.max_access_delay, delay);
   const RadioListener* id = station.id;
+
+  if (trace_ != nullptr) {
+    trace_->record(pending.frame.trace_id, obs::Hop::kOnAir, now,
+                   on_air.count_us());
+  }
 
   // Listeners may transmit from on_frame (handshake replies), which
   // re-enters enqueue() and can grow stations_ — no Station references

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "mac/frame.h"
+#include "obs/packet_trace.h"
 #include "sim/channel/channel_stats.h"
 #include "sim/medium.h"
 #include "sim/simulator.h"
@@ -146,6 +147,11 @@ class ChannelArbiter {
   void set_on_air_hook(OnAirHook hook) { on_air_hook_ = std::move(hook); }
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Attaches a lifecycle tracer (nullptr detaches). Frames arriving with
+  /// a non-zero trace_id get channel-enqueue / on-air / dropped span
+  /// events; observation-only, the DCF state machine never reads it.
+  void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
+
  private:
   struct Pending {
     mac::Frame frame;
@@ -193,6 +199,7 @@ class ChannelArbiter {
   std::uint64_t frames_on_air_ = 0;
   OnAirHook on_air_hook_;
   DropHook drop_hook_;
+  obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
 };
 
 }  // namespace reshape::sim::channel

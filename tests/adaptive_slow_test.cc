@@ -41,7 +41,16 @@ TEST(AdaptiveCampaignTest, EpochCurvesBitIdenticalAcrossThreadCounts) {
   AdaptiveCampaignEngine engine{arms_race_spec()};
   const std::string one = engine.run(1).to_json();
   EXPECT_EQ(one, engine.run(2).to_json());
+
+  // Telemetry is observation-only: full collection must not move the
+  // report by a byte, and the merged metrics themselves must be
+  // thread-count-independent (per-cell snapshots folded in cell order).
+  engine.set_telemetry(obs::TelemetryConfig::enabled());
   EXPECT_EQ(one, engine.run(8).to_json());
+  const std::string telemetry = engine.telemetry().to_json();
+  EXPECT_FALSE(engine.telemetry().empty());
+  EXPECT_EQ(one, engine.run(2).to_json());
+  EXPECT_EQ(telemetry, engine.telemetry().to_json());
 }
 
 TEST(AdaptiveCampaignTest, BitIdenticalAcrossRepeatedEngines) {

@@ -1,0 +1,218 @@
+// End-to-end telemetry guarantees (fast — runs in check.sh --quick):
+//
+//  * Determinism: a campaign report is byte-identical with telemetry off
+//    and with full collection on, across 1/2/8 worker threads — and the
+//    merged telemetry snapshot itself is thread-count-independent.
+//  * The packet-trace golden property: for every frame that completes the
+//    reshaper -> arbiter -> sniffer chain, the per-hop spans sum EXACTLY
+//    (integer microseconds) to the end-to-end latency, and an uncontended
+//    channel shows zero backoff.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/sniffer.h"
+#include "core/scheduler.h"
+#include "core/tuning/tuned_configuration.h"
+#include "eval/defense_factory.h"
+#include "net/access_point.h"
+#include "net/client.h"
+#include "obs/export.h"
+#include "obs/packet_trace.h"
+#include "runtime/campaign.h"
+#include "runtime/scenario.h"
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace reshape;
+using util::Duration;
+
+runtime::CampaignSpec tiny_campaign() {
+  runtime::CampaignSpec spec;
+  spec.seed = 0x0B5;
+  spec.training.seed = 777;
+  spec.training.window = Duration::seconds(5.0);
+  spec.training.train_sessions_per_app = 2;
+  spec.training.train_session_duration = Duration::seconds(30.0);
+  spec.training.test_sessions_per_app = 1;
+  spec.training.test_session_duration = Duration::seconds(30.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(
+      runtime::multi_app_station(1, Duration::seconds(30.0)));
+  spec.shards = 2;
+  return spec;
+}
+
+TEST(TelemetryDeterminismTest, CampaignReportUnmovedAndSnapshotStable) {
+  runtime::CampaignEngine engine{tiny_campaign()};
+
+  // Baseline: telemetry fully off (the default).
+  const std::string baseline = engine.run(1).to_json();
+  EXPECT_TRUE(engine.telemetry().empty());
+
+  // Full collection on: the report must not move by a byte at any worker
+  // count, and the merged telemetry must be identical across counts.
+  engine.set_telemetry(obs::TelemetryConfig::enabled());
+  std::vector<std::string> snapshots;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(baseline, engine.run(threads).to_json())
+        << "telemetry perturbed the report at " << threads << " threads";
+    ASSERT_FALSE(engine.telemetry().empty());
+    snapshots.push_back(engine.telemetry().to_json());
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+
+  // The merged series carry the campaign's evidence: per-cell session
+  // counters labeled (defense, scenario, shard), summed over the grid.
+  const obs::MetricsSnapshot& telemetry = engine.telemetry();
+  double sessions = 0.0;
+  for (const obs::SeriesSnapshot& series : telemetry.series) {
+    if (series.name == "campaign_sessions_total") {
+      sessions += static_cast<double>(series.counter);
+    }
+  }
+  EXPECT_GT(sessions, 0.0);
+
+  // Profiling ran one lap per cell plus the pooled total — host timings
+  // live in the profiler only, never in the report.
+  const auto phases = engine.profiler().snapshot();
+  ASSERT_EQ(phases.count("cells"), 1u);
+  EXPECT_EQ(phases.at("cells").calls, engine.cell_count());
+
+  // The telemetry document has both sections; the report JSON has none.
+  const std::string doc = engine.telemetry_to_json();
+  EXPECT_NE(doc.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"profile\":"), std::string::npos);
+  EXPECT_EQ(baseline.find("\"profile\":"), std::string::npos);
+}
+
+TEST(PacketTraceGoldenTest, SpansSumExactlyToEndToEndOnLiveStack) {
+  sim::Simulator simulator;
+  sim::Medium medium{sim::PathLossModel{}, util::Rng{5}};
+  // Uncontended DCF: zero backoff slots, so a lone station's frames go
+  // on air the instant the channel is idle.
+  sim::channel::ChannelArbiter arbiter{simulator, medium, /*channel=*/6,
+                                       sim::channel::DcfParams::uncontended(),
+                                       util::Rng{7}};
+
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:aa:01");
+  const auto client_mac = mac::MacAddress::parse("02:00:00:00:bb:02");
+  const mac::SymmetricKey key{0x1234, 0x5678};
+  const auto make_or = [] {
+    return std::make_unique<core::OrthogonalScheduler>(
+        core::OrthogonalScheduler::identity(
+            core::SizeRanges::paper_default()));
+  };
+  net::AccessPoint ap{simulator, medium, sim::Position{0, 0}, bssid,
+                      /*channel=*/6, net::ApConfig{}, util::Rng{1}, make_or};
+  net::WirelessClient client{simulator, medium, sim::Position{7, 2},
+                             client_mac, bssid, 6, key, util::Rng{2},
+                             make_or()};
+  ap.associate(client_mac, key);
+  attack::Sniffer sniffer{bssid};
+  medium.attach(sniffer, sim::Position{-5, 10}, 6);
+
+  obs::PacketTrace trace;
+  client.set_packet_trace(&trace);
+  ap.set_packet_trace(&trace);
+  arbiter.set_packet_trace(&trace);
+  sniffer.set_packet_trace(&trace);
+
+  client.request_virtual_interfaces(3);
+  simulator.run();  // handshake (ciphertext — not data, not traced hops)
+
+  // Well-spaced uplink data: every frame finds the channel idle.
+  constexpr std::size_t kPackets = 20;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const auto at = util::TimePoint::from_microseconds(
+        1'000'000 + static_cast<std::int64_t>(i) * 50'000);
+    simulator.schedule_at(at, [&client, i] {
+      client.send_packet(mac::payload_of(400 + 16 * i));
+    });
+  }
+  simulator.run();
+
+  const std::vector<obs::FrameSpans> frames = trace.complete_frames();
+  ASSERT_GE(frames.size(), kPackets);
+  for (const obs::FrameSpans& frame : frames) {
+    // The golden invariant, exact in integer microseconds: the reshaper's
+    // queueing span plus the DCF access span IS the end-to-end latency
+    // (release == channel enqueue and sniff == on-air by construction).
+    EXPECT_EQ(frame.queueing.count_us() + frame.backoff.count_us(),
+              frame.end_to_end.count_us())
+        << "frame " << frame.frame_id;
+    // Uncontended, spaced: the channel never delays a frame.
+    EXPECT_EQ(frame.backoff.count_us(), 0) << "frame " << frame.frame_id;
+    EXPECT_GT(frame.airtime.count_us(), 0) << "frame " << frame.frame_id;
+    EXPECT_FALSE(frame.dropped);
+  }
+
+  medium.detach(sniffer);
+}
+
+TEST(PacketTraceGoldenTest, TracerSurvivesTunedReconfiguration) {
+  // The AP-pushed reconfiguration rebuilds the client's reshaper
+  // wholesale; the attached tracer must ride along, so frames after the
+  // push keep completing span chains.
+  sim::Simulator simulator;
+  sim::Medium medium{sim::PathLossModel{}, util::Rng{5}};
+  sim::channel::ChannelArbiter arbiter{simulator, medium, /*channel=*/6,
+                                       sim::channel::DcfParams::uncontended(),
+                                       util::Rng{7}};
+  const auto bssid = mac::MacAddress::parse("02:00:00:00:aa:01");
+  const auto client_mac = mac::MacAddress::parse("02:00:00:00:bb:02");
+  const mac::SymmetricKey key{0x1234, 0x5678};
+  const auto make_or = [] {
+    return std::make_unique<core::OrthogonalScheduler>(
+        core::OrthogonalScheduler::identity(
+            core::SizeRanges::paper_default()));
+  };
+  net::AccessPoint ap{simulator, medium, sim::Position{0, 0}, bssid,
+                      /*channel=*/6, net::ApConfig{}, util::Rng{1}, make_or};
+  net::WirelessClient client{simulator, medium, sim::Position{7, 2},
+                             client_mac, bssid, 6, key, util::Rng{2},
+                             make_or()};
+  ap.associate(client_mac, key);
+  attack::Sniffer sniffer{bssid};
+  medium.attach(sniffer, sim::Position{-5, 10}, 6);
+
+  obs::PacketTrace trace;
+  client.set_packet_trace(&trace);
+  ap.set_packet_trace(&trace);
+  arbiter.set_packet_trace(&trace);
+  sniffer.set_packet_trace(&trace);
+
+  client.request_virtual_interfaces(3);
+  simulator.run();
+
+  const core::tuning::TunedConfiguration tuned =
+      core::tuning::TunedConfiguration::identity(
+          "retuned", core::SizeRanges::paper_default());
+  ASSERT_TRUE(ap.push_tuned_configuration(client_mac, tuned));
+  simulator.run();
+
+  const std::uint64_t before = trace.last_frame_id();
+  simulator.schedule_at(util::TimePoint::from_microseconds(2'000'000),
+                        [&client] {
+                          client.send_packet(mac::payload_of(512));
+                        });
+  simulator.run();
+
+  EXPECT_GT(trace.last_frame_id(), before);
+  bool completed_after_push = false;
+  for (const obs::FrameSpans& frame : trace.complete_frames()) {
+    completed_after_push |= frame.frame_id > before;
+  }
+  EXPECT_TRUE(completed_after_push);
+
+  medium.detach(sniffer);
+}
+
+}  // namespace

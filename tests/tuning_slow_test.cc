@@ -45,10 +45,18 @@ TunerSpec acceptance_spec() {
 TEST(ParameterTunerSlowTest, SweepIsBitIdenticalAndBeatsTable5Preset) {
   ParameterTuner tuner{acceptance_spec()};
 
-  // Bit-identity: the report must not depend on worker count.
+  // Bit-identity: the report must not depend on worker count — and
+  // telemetry is observation-only, so full collection must not move it
+  // by a byte either, while the merged metrics stay thread-independent.
   const TuningReport report = tuner.run(1);
   EXPECT_EQ(report.to_json(), tuner.run(2).to_json());
+  tuner.set_telemetry(obs::TelemetryConfig::enabled());
   EXPECT_EQ(report.to_json(), tuner.run(8).to_json());
+  const std::string telemetry = tuner.telemetry().to_json();
+  EXPECT_FALSE(tuner.telemetry().empty());
+  EXPECT_EQ(report.to_json(), tuner.run(2).to_json());
+  EXPECT_EQ(telemetry, tuner.telemetry().to_json());
+  tuner.set_telemetry(obs::TelemetryConfig{});
 
   // The sweep contains the Table V preset itself (the baseline is always
   // measured, never assumed) and selected a point.

@@ -8,6 +8,7 @@
 // least four hardware threads, since a 1-core container cannot speed
 // anything up.
 //   $ ./bench/bench_campaign_throughput --json <path>   # timings + report
+//   $ ./bench/bench_campaign_throughput --dense-smoke   # 10k-station gate
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -45,6 +46,53 @@ double best_rate(runtime::CampaignEngine& engine, std::size_t threads,
                     static_cast<double>(sessions) / std::max(seconds, 1e-9));
   }
   return best;
+}
+
+/// The 10k-station CI gate: one dense-wlan-10k cell, generated and scored
+/// end-to-end through the campaign engine (undefended + reshaped), under a
+/// wall-clock budget. The scenario exists to prove the refactored
+/// substrate can hold a cell this wide at all — the gate is completion in
+/// bounded time, not throughput.
+int dense_smoke() {
+  constexpr double kBudgetSeconds = 120.0;
+
+  runtime::CampaignSpec spec;
+  spec.seed = 20110620;
+  spec.training.seed = 20110620;
+  spec.training.window = util::Duration::seconds(5.0);
+  spec.training.train_sessions_per_app = 2;
+  spec.training.train_session_duration = util::Duration::seconds(30.0);
+  spec.training.test_sessions_per_app = 1;
+  spec.training.test_session_duration = util::Duration::seconds(30.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(runtime::dense_wlan_10k());
+  spec.shards = 1;
+
+  runtime::CampaignEngine engine{spec};
+  const auto start = std::chrono::steady_clock::now();
+  const runtime::CampaignReport report = engine.run(0);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t sessions = 0;
+  for (const runtime::CellResult& cell : report.cells) {
+    sessions += cell.session_count;
+  }
+  std::cout << "Dense smoke: " << report.cells.size() << " cells, "
+            << sessions << " sessions (10k-station cell), " << seconds
+            << " s (budget " << kBudgetSeconds << " s)\n";
+  const bool in_budget = seconds < kBudgetSeconds;
+  const bool scored = sessions >= 10000 &&
+                      report.aggregate("OR", "dense-wlan-10k")
+                              .evaluation.confusion.total() > 0;
+  std::cout << "  [" << (in_budget ? "PASS" : "FAIL")
+            << "] completed under wall-clock budget\n"
+            << "  [" << (scored ? "PASS" : "FAIL")
+            << "] 10k-station cell generated and scored\n";
+  return in_budget && scored ? 0 : 1;
 }
 
 int run(const std::string& json_path) {
@@ -153,5 +201,8 @@ int run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (reshape::bench::has_flag(argc, argv, "--dense-smoke")) {
+    return dense_smoke();
+  }
   return run(reshape::bench::json_path_from_args(argc, argv));
 }

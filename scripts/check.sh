@@ -51,6 +51,18 @@ cmake --build "$BUILD_DIR" -j
 # selection/latency trajectory of the tuning subsystem.
 "./$BUILD_DIR/bench_parameter_tuning" --smoke --json BENCH_tuning.json
 
+# The campaign-throughput bench is the hot-path perf record: the campaign
+# section of BENCH_campaign.json is deterministic (its diff across PRs is
+# a report change), the timing section is the sessions/sec trajectory,
+# and the bench's own gates assert byte-identical reports across thread
+# counts and with telemetry on.
+"./$BUILD_DIR/bench_campaign_throughput" --json BENCH_campaign.json
+
+# The 10k-station scale gate: one dense-wlan-10k cell must generate,
+# arbitrate, and score to completion under the smoke's wall-clock budget
+# on every leg.
+"./$BUILD_DIR/bench_campaign_throughput" --dense-smoke
+
 # A sample telemetry document (metrics + packet trace) from the live
 # example session: keeps the exporter surface exercised end-to-end and
 # gives CI an artifact to upload per leg. Pretty-print one frame's span

@@ -7,6 +7,11 @@ PacketTrace JSON ({"capacity":...,"events":[...]}).
 
   scripts/trace_dump.py telemetry.json             # per-frame summary
   scripts/trace_dump.py telemetry.json --frame 17  # one frame's span chain
+  scripts/trace_dump.py telemetry.json --profile   # per-phase lap table only
+
+Documents that carry a "profile" section (campaign telemetry exports)
+also get a per-phase lap table — wall/CPU time per phase with per-call
+averages, the campaign counterpart of the per-frame span chain.
 
 Standard library only; no third-party dependencies.
 """
@@ -23,13 +28,41 @@ def mac_str(aux):
     return ":".join(f"{(aux >> (8 * i)) & 0xFF:02x}" for i in range(5, -1, -1))
 
 
-def load_trace(path):
+def load_doc(path):
     with open(path, encoding="utf-8") as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def trace_of(doc, path):
     trace = doc.get("trace", doc)
     if "events" not in trace:
         raise SystemExit(f"{path}: no trace section (run with OBS_TRACE on?)")
     return trace
+
+
+def print_profile(profile):
+    """Per-phase lap table from a PhaseProfiler export: accumulated wall
+    and thread-CPU time per phase, with per-call averages. Phases nest by
+    name ("cells" contains every "cell/<id>"; "features" laps run inside
+    cells), so the table is sorted to keep families adjacent."""
+    if not profile:
+        print("profile section is empty (profiling disabled for the run?)")
+        return
+    rows = []
+    for phase in sorted(profile):
+        sample = profile[phase]
+        calls = sample.get("calls", 0)
+        wall_us = sample.get("wall_us", 0)
+        cpu_us = sample.get("cpu_us", 0)
+        rows.append([
+            phase, calls,
+            f"{wall_us / 1000:.3f}", f"{cpu_us / 1000:.3f}",
+            f"{wall_us / calls:.1f}" if calls else "-",
+            f"{100 * cpu_us / wall_us:.0f}%" if wall_us else "-",
+        ])
+    print(f"{len(rows)} phases")
+    print_table(rows, ["phase", "calls", "wall_ms", "cpu_ms",
+                       "wall_us/call", "cpu/wall"])
 
 
 def spans(events):
@@ -79,9 +112,19 @@ def main():
                         help="dump one frame's event chain instead")
     parser.add_argument("--all", action="store_true",
                         help="include incomplete/dropped frames")
+    parser.add_argument("--profile", action="store_true",
+                        help="print only the per-phase lap table")
     args = parser.parse_args()
 
-    trace = load_trace(args.path)
+    doc = load_doc(args.path)
+    if args.profile:
+        if "profile" not in doc:
+            raise SystemExit(f"{args.path}: no profile section "
+                             "(campaign run with profiling off?)")
+        print_profile(doc["profile"])
+        return
+
+    trace = trace_of(doc, args.path)
     decomposed = spans(trace["events"])
 
     if args.frame is not None:
@@ -121,6 +164,9 @@ def main():
          for r in rows],
         ["frame", "station", "queue_us", "backoff_us", "air_us",
          "e2e_us", "pad_B", "state"])
+    if "profile" in doc:
+        print()
+        print_profile(doc["profile"])
 
 
 if __name__ == "__main__":

@@ -15,19 +15,6 @@ namespace {
 
 constexpr int kClasses = static_cast<int>(traffic::kAppCount);
 
-/// The records of `flow` in [start, end) as a standalone trace (absolute
-/// timestamps kept — windowing aligns to the first record either way).
-traffic::Trace epoch_slice(const traffic::Trace& flow, util::TimePoint start,
-                           util::TimePoint end) {
-  traffic::Trace out{flow.app()};
-  const auto records = flow.slice(start, end);
-  out.reserve(records.size());
-  for (const traffic::PacketRecord& r : records) {
-    out.push_back(r);
-  }
-  return out;
-}
-
 /// Majority label over predictions; ties break toward the smaller label
 /// (deterministic, matching KnnClassifier's convention).
 int majority_label(std::span<const int> predictions) {
@@ -192,8 +179,11 @@ std::vector<EpochScore> AdaptiveAttacker::run_session(
     };
     std::vector<FlowRows> epoch_rows;
     for (std::size_t i = 0; i < flows.size(); ++i) {
-      const traffic::Trace sub =
-          epoch_slice(flows[i].flow, score.start, score.end);
+      // Zero-copy epoch slice: a borrowed column view over [start, end).
+      // Windowing aligns to the view's first record, exactly as it did
+      // when the slice was materialised as a standalone trace.
+      const traffic::TraceView sub =
+          flows[i].flow.slice(score.start, score.end);
       if (sub.empty()) {
         continue;
       }

@@ -18,11 +18,29 @@ ClassifierAttack::ClassifierAttack(AttackConfig config,
 
 std::vector<std::vector<double>> feature_rows_of(const traffic::Trace& flow,
                                                  const AttackConfig& config) {
-  const auto windows = features::extract_all_windows(
-      flow, config.window, config.min_packets_per_window);
+  return feature_rows_of(flow.records(), config);
+}
+
+std::vector<std::vector<double>> feature_rows_of(
+    const traffic::Trace& flow, const AttackConfig& config,
+    std::vector<features::WindowFeatures>& windows_scratch) {
+  return feature_rows_of(flow.records(), config, windows_scratch);
+}
+
+std::vector<std::vector<double>> feature_rows_of(traffic::TraceView flow,
+                                                 const AttackConfig& config) {
+  std::vector<features::WindowFeatures> windows;
+  return feature_rows_of(flow, config, windows);
+}
+
+std::vector<std::vector<double>> feature_rows_of(
+    traffic::TraceView flow, const AttackConfig& config,
+    std::vector<features::WindowFeatures>& windows_scratch) {
+  features::extract_all_windows_into(windows_scratch, flow, config.window,
+                                     config.min_packets_per_window);
   std::vector<std::vector<double>> rows;
-  rows.reserve(windows.size());
-  for (const features::WindowFeatures& w : windows) {
+  rows.reserve(windows_scratch.size());
+  for (const features::WindowFeatures& w : windows_scratch) {
     rows.push_back(
         features::project(config.log_compress ? features::log_compress(w) : w,
                           config.feature_set));
@@ -111,10 +129,19 @@ void ClassifierAttack::train(std::span<const traffic::Trace> clean_traces) {
 
 std::vector<int> ClassifierAttack::classify_flow(
     const traffic::Trace& flow) const {
-  util::require(trained_, "ClassifierAttack::classify_flow: not trained");
+  const auto rows = feature_rows(flow);
+  return classify_rows(rows);
+}
+
+std::vector<int> ClassifierAttack::classify_rows(
+    std::span<const std::vector<double>> rows) const {
+  util::require(trained_, "ClassifierAttack::classify_rows: not trained");
   std::vector<int> out;
-  for (const auto& row : feature_rows(flow)) {
-    out.push_back(classifier_->predict(scaler_.transform(row)));
+  out.reserve(rows.size());
+  std::vector<double> scaled;  // reused across windows
+  for (const auto& row : rows) {
+    scaler_.transform_into(row, scaled);
+    out.push_back(classifier_->predict(scaled));
   }
   return out;
 }

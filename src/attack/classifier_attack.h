@@ -40,6 +40,8 @@ struct AttackConfig {
   /// Log-compress counts and interarrival features before scaling (see
   /// features::log_compress).
   bool log_compress = true;
+
+  friend bool operator==(const AttackConfig&, const AttackConfig&) = default;
 };
 
 /// The per-window feature rows of one flow under the configured
@@ -48,6 +50,20 @@ struct AttackConfig {
 /// attacker so both adversaries see byte-identical inputs.
 [[nodiscard]] std::vector<std::vector<double>> feature_rows_of(
     const traffic::Trace& flow, const AttackConfig& config);
+
+/// Same, extracting through a caller-owned window buffer (cleared per
+/// call) so per-worker arenas amortize the allocation across flows.
+[[nodiscard]] std::vector<std::vector<double>> feature_rows_of(
+    const traffic::Trace& flow, const AttackConfig& config,
+    std::vector<features::WindowFeatures>& windows_scratch);
+
+/// Same, over a borrowed column view — epoch and window slices feed the
+/// extractor without ever materialising a sub-trace.
+[[nodiscard]] std::vector<std::vector<double>> feature_rows_of(
+    traffic::TraceView flow, const AttackConfig& config);
+[[nodiscard]] std::vector<std::vector<double>> feature_rows_of(
+    traffic::TraceView flow, const AttackConfig& config,
+    std::vector<features::WindowFeatures>& windows_scratch);
 
 /// A trained attacker: scaler + classifier behind one interface.
 class ClassifierAttack {
@@ -64,6 +80,12 @@ class ClassifierAttack {
   /// usable window (empty when the flow never has enough packets).
   [[nodiscard]] std::vector<int> classify_flow(
       const traffic::Trace& flow) const;
+
+  /// Classifies precomputed (unscaled) feature rows — the output of
+  /// feature_rows_of under this attack's config. Lets callers scoring the
+  /// same flows with several attackers extract each flow's windows once.
+  [[nodiscard]] std::vector<int> classify_rows(
+      std::span<const std::vector<double>> rows) const;
 
   /// Scores a set of observed flows against their ground-truth labels,
   /// accumulating one confusion entry per window.

@@ -1,6 +1,7 @@
 #include "attack/sniffer.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/check.h"
 #include "util/stats.h"
@@ -25,60 +26,79 @@ void Sniffer::on_frame(const mac::Frame& frame, double rssi_dbm) {
   if (!frame.is_data()) {
     return;  // handshake ciphertext is opaque; only data frames are kept
   }
-  if (station_key(frame).is_null()) {
+  const mac::MacAddress key = station_key(frame);
+  if (key.is_null()) {
     return;
   }
   if (trace_ != nullptr) {
     // aux carries the on-air station key (virtual MAC as u64): the trace
     // is the only place the capture-side identity meets the span chain.
     trace_->record(frame.trace_id, obs::Hop::kSniffed, frame.timestamp,
-                   static_cast<std::int64_t>(station_key(frame).to_u64()));
+                   static_cast<std::int64_t>(key.to_u64()));
   }
-  captures_.push_back(CapturedFrame{frame, rssi_dbm});
+  captures_.time_us.push_back(frame.timestamp.count_us());
+  captures_.size_bytes.push_back(frame.size_bytes);
+  captures_.station.push_back(key.to_u64());
+  captures_.direction.push_back(frame.source == bssid_
+                                    ? mac::Direction::kDownlink
+                                    : mac::Direction::kUplink);
+  captures_.rssi_dbm.push_back(rssi_dbm);
 }
 
 std::vector<mac::MacAddress> Sniffer::observed_stations() const {
+  // Sorting the u64 keys sorts the addresses: to_u64 packs the octets
+  // most-significant-first, matching MacAddress's lexicographic order.
+  std::vector<std::uint64_t> keys{captures_.station};
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   std::vector<mac::MacAddress> out;
-  for (const CapturedFrame& c : captures_) {
-    out.push_back(station_key(c.frame));
+  out.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    out.push_back(mac::MacAddress::from_u64(key));
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 traffic::Trace Sniffer::flow_of(const mac::MacAddress& station,
                                 traffic::AppType label) const {
+  const std::uint64_t key = station.to_u64();
+  // Counting pass over the flat key column first: one cheap scan buys an
+  // exact reserve, so dense flows never reallocate while filling.
+  std::size_t matches = 0;
+  for (const std::uint64_t s : captures_.station) {
+    matches += s == key ? 1 : 0;
+  }
   traffic::Trace flow{label};
-  for (const CapturedFrame& c : captures_) {
-    if (station_key(c.frame) != station) {
+  flow.reserve(matches);
+  for (std::size_t i = 0; i < captures_.size(); ++i) {
+    if (captures_.station[i] != key) {
       continue;
     }
-    traffic::PacketRecord r;
-    r.time = c.frame.timestamp;
-    r.size_bytes = c.frame.size_bytes;
-    r.direction = c.frame.source == bssid_ ? mac::Direction::kDownlink
-                                           : mac::Direction::kUplink;
-    flow.push_back(r);
+    flow.push_back(util::TimePoint::from_microseconds(captures_.time_us[i]),
+                   captures_.size_bytes[i], captures_.direction[i]);
   }
   return flow;
 }
 
 std::vector<std::pair<mac::MacAddress, double>> Sniffer::mean_rssi() const {
+  // RSSI identifies the *transmitter*; downlink frames all come from the
+  // AP, so only uplink frames reveal a station's power signature. Stats
+  // accumulate in capture order per station (running means are
+  // order-sensitive), collected via an index map so a 10k-station cell
+  // stays O(frames), then sorted by address for byte-stable reports.
   std::vector<std::pair<mac::MacAddress, util::RunningStats>> stats;
-  for (const CapturedFrame& c : captures_) {
-    // RSSI identifies the *transmitter*; downlink frames all come from the
-    // AP, so only uplink frames reveal a station's power signature.
-    if (c.frame.destination != bssid_) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (std::size_t i = 0; i < captures_.size(); ++i) {
+    if (captures_.direction[i] != mac::Direction::kUplink) {
       continue;
     }
-    auto it = std::find_if(stats.begin(), stats.end(), [&](const auto& entry) {
-      return entry.first == c.frame.source;
-    });
-    if (it == stats.end()) {
-      it = stats.emplace(stats.end(), c.frame.source, util::RunningStats{});
+    const std::uint64_t key = captures_.station[i];
+    const auto [it, inserted] = index.try_emplace(key, stats.size());
+    if (inserted) {
+      stats.emplace_back(mac::MacAddress::from_u64(key),
+                         util::RunningStats{});
     }
-    it->second.add(c.rssi_dbm);
+    stats[it->second].second.add(captures_.rssi_dbm[i]);
   }
   std::sort(stats.begin(), stats.end(), [](const auto& a, const auto& b) {
     return a.first < b.first;

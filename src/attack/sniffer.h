@@ -6,6 +6,13 @@
 // because that is the identifier an adversary can use to group packets
 // when traffic reshaping spreads one user across several virtual MACs.
 // Per-frame RSSI is retained for the §V-A power-analysis attack.
+//
+// Storage is struct-of-arrays: the capture log keeps five parallel
+// columns (time, size, station key, direction, RSSI) instead of whole
+// mac::Frame structs. A dense cell captures hundreds of thousands of
+// frames per session; the columns hold exactly the observables the
+// attack pipeline reads, stream contiguously when flows are isolated,
+// and never drag a per-frame payload vector along.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +27,36 @@
 
 namespace reshape::attack {
 
-/// Everything the sniffer keeps about one captured frame.
-struct CapturedFrame {
-  mac::Frame frame;
-  double rssi_dbm = 0.0;
+/// Everything the sniffer keeps, as parallel columns — entry i of every
+/// column describes the i-th kept capture, in air order. The station key
+/// and direction are resolved against the observed BSSID at capture time
+/// (they are pure functions of the frame's addresses), so downstream
+/// readers scan flat integer columns instead of re-deriving them.
+struct CaptureColumns {
+  std::vector<std::int64_t> time_us;       // on-air timestamps (µs)
+  std::vector<std::uint32_t> size_bytes;   // on-air frame sizes
+  std::vector<std::uint64_t> station;      // client-side MAC key, as u64
+  std::vector<mac::Direction> direction;   // relative to the observed cell
+  std::vector<double> rssi_dbm;            // per-frame received power
+
+  [[nodiscard]] std::size_t size() const { return time_us.size(); }
+  [[nodiscard]] bool empty() const { return time_us.empty(); }
+
+  void reserve(std::size_t n) {
+    time_us.reserve(n);
+    size_bytes.reserve(n);
+    station.reserve(n);
+    direction.reserve(n);
+    rssi_dbm.reserve(n);
+  }
+
+  void clear() {
+    time_us.clear();
+    size_bytes.clear();
+    station.clear();
+    direction.clear();
+    rssi_dbm.clear();
+  }
 };
 
 /// A passive per-channel capture device.
@@ -38,9 +71,7 @@ class Sniffer : public sim::RadioListener {
   [[nodiscard]] std::uint64_t frames_captured() const {
     return captures_.size();
   }
-  [[nodiscard]] const std::vector<CapturedFrame>& captures() const {
-    return captures_;
-  }
+  [[nodiscard]] const CaptureColumns& captures() const { return captures_; }
 
   /// The distinct client-side MAC addresses observed, sorted by address —
   /// report order is byte-stable across standard-library implementations.
@@ -69,7 +100,7 @@ class Sniffer : public sim::RadioListener {
   [[nodiscard]] mac::MacAddress station_key(const mac::Frame& frame) const;
 
   mac::MacAddress bssid_;
-  std::vector<CapturedFrame> captures_;
+  CaptureColumns captures_;
   obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
 };
 

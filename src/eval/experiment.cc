@@ -111,16 +111,60 @@ void ExperimentHarness::train() {
 }
 
 void ExperimentHarness::score_flows(std::span<const traffic::Trace> flows,
-                                    DefenseEvaluation& out) const {
+                                    DefenseEvaluation& out,
+                                    EvalScratch* scratch) const {
+  std::vector<features::WindowFeatures> local_windows;
+  std::vector<features::WindowFeatures>& windows =
+      scratch != nullptr ? scratch->windows : local_windows;
+  obs::PhaseProfiler* profiler =
+      scratch != nullptr ? scratch->profiler : nullptr;
   // The paper reports "the highest classification accuracy" its attack
   // system (SVM + NN) achieves — the defender's worst case. Run every
-  // attacker over the defended flows and keep the strongest.
+  // attacker over the defended flows and keep the strongest. All
+  // attackers share one AttackConfig (train() builds them that way), so
+  // each flow's W-windowing + feature extraction — the dominant scoring
+  // cost — runs once and the rows are shared.
+  std::vector<ml::ConfusionMatrix> confusions(
+      attacks_.size(),
+      ml::ConfusionMatrix{static_cast<int>(traffic::kAppCount)});
+  // Feature-extraction laps are accumulated locally and flushed once —
+  // a per-flow PhaseProfiler::Scope would take the profiler mutex on
+  // every flow of every cell, which is measurable against the <5%
+  // telemetry-overhead budget.
+  obs::PhaseSample features_sample;
+  for (const traffic::Trace& flow : flows) {
+    const int truth = static_cast<int>(traffic::app_index(flow.app()));
+    std::vector<std::vector<double>> rows;
+    if (profiler != nullptr) {
+      const std::int64_t wall = obs::wall_clock_us();
+      const std::int64_t cpu = obs::thread_cpu_us();
+      rows = attack::feature_rows_of(flow, attacks_.front().attack->config(),
+                                     windows);
+      features_sample.wall_us += obs::wall_clock_us() - wall;
+      features_sample.cpu_us += obs::thread_cpu_us() - cpu;
+      ++features_sample.calls;
+    } else {
+      rows = attack::feature_rows_of(flow, attacks_.front().attack->config(),
+                                     windows);
+    }
+    for (std::size_t a = 0; a < attacks_.size(); ++a) {
+      util::internal_check(
+          attacks_[a].attack->config() == attacks_.front().attack->config(),
+          "ExperimentHarness::score_flows: attackers disagree on windowing");
+      for (const int predicted : attacks_[a].attack->classify_rows(rows)) {
+        confusions[a].add(truth, predicted);
+      }
+    }
+  }
+  if (profiler != nullptr && features_sample.calls > 0) {
+    profiler->add("features", features_sample);
+  }
   bool first = true;
-  for (const NamedAttack& attacker : attacks_) {
-    ml::ConfusionMatrix confusion = attacker.attack->evaluate(flows);
+  for (std::size_t a = 0; a < attacks_.size(); ++a) {
+    const ml::ConfusionMatrix& confusion = confusions[a];
     if (first || confusion.mean_accuracy() >
                      static_cast<double>(out.mean_accuracy) / 100.0) {
-      out.classifier_name = attacker.name;
+      out.classifier_name = attacks_[a].name;
       out.confusion = confusion;
       out.mean_accuracy = 100.0 * confusion.mean_accuracy();
       first = false;
@@ -156,8 +200,8 @@ DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
 
 DefenseEvaluation ExperimentHarness::evaluate_sessions(
     const DefenseFactory& factory, std::string defense_name,
-    std::span<const traffic::Trace> sessions,
-    std::uint64_t defense_seed) const {
+    std::span<const traffic::Trace> sessions, std::uint64_t defense_seed,
+    EvalScratch* scratch) const {
   util::require(trained(),
                 "ExperimentHarness::evaluate_sessions: call train() first");
 
@@ -192,7 +236,7 @@ DefenseEvaluation ExperimentHarness::evaluate_sessions(
       ++apps_present;
     }
   }
-  score_flows(flows, out);
+  score_flows(flows, out, scratch);
   out.mean_overhead =
       apps_present == 0 ? 0.0
                         : overhead_sum / static_cast<double>(apps_present);

@@ -27,6 +27,7 @@
 #include "eval/session_eval.h"
 #include "features/features.h"
 #include "ml/metrics.h"
+#include "obs/profiler.h"
 #include "traffic/app_model.h"
 #include "traffic/app_type.h"
 #include "traffic/trace.h"
@@ -45,6 +46,17 @@ struct ExperimentConfig {
   util::Duration test_session_duration = util::Duration::seconds(90.0);
   features::FeatureSet feature_set = features::FeatureSet::kAll;
   traffic::SessionJitter session_jitter{};
+};
+
+/// Reusable scratch one evaluation worker threads through repeated
+/// evaluate_sessions() calls: the window-feature buffer grows to the
+/// largest flow once and is reused for every later extraction instead of
+/// reallocating per flow. Purely an allocation cache — results are
+/// byte-identical with or without it. The optional profiler receives one
+/// "features" lap per extracted flow (host timings, telemetry-only).
+struct EvalScratch {
+  std::vector<features::WindowFeatures> windows;
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Everything a table row needs about one defense.
@@ -89,11 +101,13 @@ class ExperimentHarness {
   /// `defense_seed` via eval::session_defense_seed, so a cell's result
   /// depends only on its sessions and seed — any engine evaluating the
   /// same (factory, sessions, seed) triple gets this exact result.
-  /// Requires trained(); const and thread-safe.
+  /// Requires trained(); const and thread-safe. `scratch` (optional) is
+  /// a worker-owned allocation cache — pass the same one across calls on
+  /// one thread; never share it between threads.
   [[nodiscard]] DefenseEvaluation evaluate_sessions(
       const DefenseFactory& factory, std::string defense_name,
-      std::span<const traffic::Trace> sessions,
-      std::uint64_t defense_seed) const;
+      std::span<const traffic::Trace> sessions, std::uint64_t defense_seed,
+      EvalScratch* scratch = nullptr) const;
 
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] bool trained() const { return !attacks_.empty(); }
@@ -126,7 +140,7 @@ class ExperimentHarness {
   /// Runs every trained attacker over the flows and fills the confusion /
   /// accuracy / FP fields of `out` with the strongest one's numbers.
   void score_flows(std::span<const traffic::Trace> flows,
-                   DefenseEvaluation& out) const;
+                   DefenseEvaluation& out, EvalScratch* scratch) const;
 
   ExperimentConfig config_;
   std::vector<NamedAttack> attacks_;

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "util/check.h"
-#include "util/stats.h"
 
 namespace reshape::features {
 
@@ -35,27 +34,27 @@ const std::vector<std::string>& WindowFeatures::names() {
   return kNames;
 }
 
-namespace {
+void IncrementalWindowExtractor::DirectionAccumulator::clear() {
+  sizes = util::RunningStats{};
+  gaps = util::RunningStats{};
+  has_previous = false;
+}
 
-DirectionFeatures direction_features(
-    std::span<const traffic::PacketRecord> window, mac::Direction dir) {
-  util::RunningStats sizes;
-  util::RunningStats gaps;
-  std::optional<util::TimePoint> previous;
-  for (const traffic::PacketRecord& r : window) {
-    if (r.direction != dir) {
-      continue;
+void IncrementalWindowExtractor::DirectionAccumulator::add(
+    std::int64_t t_us, std::uint32_t size_bytes) {
+  sizes.add(static_cast<double>(size_bytes));
+  if (has_previous) {
+    const util::Duration gap = util::Duration::microseconds(t_us - previous_us);
+    if (gap <= kIdleGapFilter) {
+      gaps.add(gap.to_seconds());
     }
-    sizes.add(static_cast<double>(r.size_bytes));
-    if (previous.has_value()) {
-      const util::Duration gap = r.time - *previous;
-      if (gap <= kIdleGapFilter) {
-        gaps.add(gap.to_seconds());
-      }
-    }
-    previous = r.time;
   }
+  previous_us = t_us;
+  has_previous = true;
+}
 
+DirectionFeatures IncrementalWindowExtractor::DirectionAccumulator::features()
+    const {
   DirectionFeatures f;
   f.packet_count = static_cast<double>(sizes.count());
   if (!sizes.empty()) {
@@ -71,40 +70,121 @@ DirectionFeatures direction_features(
   return f;
 }
 
-}  // namespace
+IncrementalWindowExtractor::IncrementalWindowExtractor(util::Duration w,
+                                                       std::size_t min_packets)
+    : window_us_{w.count_us()}, min_packets_{min_packets} {
+  util::require(window_us_ > 0,
+                "IncrementalWindowExtractor: window must be positive");
+}
 
-std::optional<WindowFeatures> extract_window(
-    std::span<const traffic::PacketRecord> window) {
+std::optional<WindowFeatures> IncrementalWindowExtractor::emit() {
+  const std::size_t packets = down_.sizes.count() + up_.sizes.count();
+  std::optional<WindowFeatures> out;
+  if (packets >= min_packets_ && packets > 0) {
+    WindowFeatures f;
+    f.downlink = down_.features();
+    f.uplink = up_.features();
+    out = f;
+  }
+  down_.clear();
+  up_.clear();
+  return out;
+}
+
+std::optional<WindowFeatures> IncrementalWindowExtractor::push(
+    util::TimePoint time, std::uint32_t size_bytes, mac::Direction direction) {
+  const std::int64_t t_us = time.count_us();
+  std::optional<WindowFeatures> completed;
+  if (!anchored_) {
+    anchored_ = true;
+    start_us_ = t_us;
+    window_index_ = 0;
+  } else {
+    const std::int64_t k = (t_us - start_us_) / window_us_;
+    if (k != window_index_) {
+      completed = emit();
+      window_index_ = k;
+    }
+  }
+  (direction == mac::Direction::kDownlink ? down_ : up_).add(t_us, size_bytes);
+  return completed;
+}
+
+std::optional<WindowFeatures> IncrementalWindowExtractor::finish() {
+  if (!anchored_) {
+    return std::nullopt;
+  }
+  std::optional<WindowFeatures> out = emit();
+  anchored_ = false;
+  return out;
+}
+
+void IncrementalWindowExtractor::reset() {
+  anchored_ = false;
+  down_.clear();
+  up_.clear();
+}
+
+std::optional<WindowFeatures> extract_window(traffic::TraceView window) {
   if (window.empty()) {
     return std::nullopt;
   }
-  WindowFeatures f;
-  f.downlink = direction_features(window, mac::Direction::kDownlink);
-  f.uplink = direction_features(window, mac::Direction::kUplink);
-  return f;
+  // One pass per direction over the columns, in record order — the same
+  // util::RunningStats add sequence as a per-record AoS scan.
+  const auto times = window.times_us();
+  const auto sizes = window.sizes_bytes();
+  const auto dirs = window.directions();
+  WindowFeatures out;
+  for (const mac::Direction dir :
+       {mac::Direction::kDownlink, mac::Direction::kUplink}) {
+    IncrementalWindowExtractor::DirectionAccumulator acc;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (dirs[i] == dir) {
+        acc.add(times[i], sizes[i]);
+      }
+    }
+    (dir == mac::Direction::kDownlink ? out.downlink : out.uplink) =
+        acc.features();
+  }
+  return out;
+}
+
+std::vector<WindowFeatures> extract_all_windows(traffic::TraceView records,
+                                                util::Duration w,
+                                                std::size_t min_packets) {
+  std::vector<WindowFeatures> out;
+  extract_all_windows_into(out, records, w, min_packets);
+  return out;
 }
 
 std::vector<WindowFeatures> extract_all_windows(const traffic::Trace& trace,
                                                 util::Duration w,
                                                 std::size_t min_packets) {
+  return extract_all_windows(trace.view(), w, min_packets);
+}
+
+void extract_all_windows_into(std::vector<WindowFeatures>& out,
+                              traffic::TraceView records, util::Duration w,
+                              std::size_t min_packets) {
   util::require(w > util::Duration{},
                 "extract_all_windows: window must be positive");
-  std::vector<WindowFeatures> out;
-  if (trace.empty()) {
-    return out;
+  out.clear();
+  if (records.empty()) {
+    return;
   }
-  const util::TimePoint start = trace.start_time();
-  const util::TimePoint end = trace.end_time();
-  for (util::TimePoint t0 = start; t0 <= end; t0 += w) {
-    const auto window = trace.slice(t0, t0 + w);
-    if (window.size() < min_packets) {
-      continue;
-    }
-    if (auto f = extract_window(window)) {
+  const auto times = records.times_us();
+  const auto sizes = records.sizes_bytes();
+  const auto dirs = records.directions();
+  IncrementalWindowExtractor extractor{w, min_packets};
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (auto f = extractor.push(util::TimePoint::from_microseconds(times[i]),
+                                sizes[i], dirs[i])) {
       out.push_back(*f);
     }
   }
-  return out;
+  if (auto f = extractor.finish()) {
+    out.push_back(*f);
+  }
 }
 
 std::optional<WindowFeatures> extract_whole(const traffic::Trace& trace) {

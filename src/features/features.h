@@ -6,16 +6,25 @@
 // Windows of length W (the eavesdropping duration) are cut from a trace;
 // idle gaps longer than 5 seconds are excluded from interarrival
 // statistics, matching the paper's §IV-B processing.
+//
+// Extraction is single-pass over the struct-of-arrays columns: one
+// IncrementalWindowExtractor consumes (time, size, direction) per arrival
+// and emits a window the moment its boundary is crossed. The batch
+// extract_all_windows and the sniffer/adaptive per-arrival path share
+// that accumulator, so both produce bit-identical doubles to the
+// original slice-per-window implementation (same util::RunningStats add
+// order, same values).
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "traffic/trace.h"
+#include "util/stats.h"
 #include "util/time.h"
 
 namespace reshape::features {
@@ -78,16 +87,75 @@ enum class FeatureSet : std::uint8_t {
 /// Number of dimensions project() returns for the subset.
 [[nodiscard]] std::size_t feature_count(FeatureSet set);
 
-/// Computes features over one span of records (one window). Returns
-/// std::nullopt when the span is empty (nothing to classify).
-[[nodiscard]] std::optional<WindowFeatures> extract_window(
-    std::span<const traffic::PacketRecord> window);
+/// Streaming per-arrival feature accumulator.
+///
+/// Windows of length `w` are aligned to the first pushed record; each
+/// push() assigns the arrival to its window and returns the completed
+/// window's features when a boundary is crossed (empty windows and
+/// windows below `min_packets` emit nothing, matching the batch path).
+/// finish() flushes the in-progress window; reset() forgets everything
+/// (the next push re-anchors the alignment — the adaptive loop resets
+/// per epoch). Records must arrive time-ordered.
+class IncrementalWindowExtractor {
+ public:
+  explicit IncrementalWindowExtractor(util::Duration w,
+                                      std::size_t min_packets = 2);
 
-/// Cuts `trace` into consecutive windows of length `w` (aligned to the
-/// trace's start) and extracts features for every non-empty window that
-/// contains at least `min_packets` packets.
+  std::optional<WindowFeatures> push(util::TimePoint time,
+                                     std::uint32_t size_bytes,
+                                     mac::Direction direction);
+  std::optional<WindowFeatures> push(const traffic::PacketRecord& r) {
+    return push(r.time, r.size_bytes, r.direction);
+  }
+
+  /// Emits the final in-progress window (if it qualifies).
+  [[nodiscard]] std::optional<WindowFeatures> finish();
+
+  void reset();
+
+  /// Per-direction Welford accumulators (public: extract_window reuses
+  /// them so the whole-window path shares the exact add sequence).
+  struct DirectionAccumulator {
+    util::RunningStats sizes;
+    util::RunningStats gaps;
+    std::int64_t previous_us = 0;
+    bool has_previous = false;
+
+    void clear();
+    void add(std::int64_t t_us, std::uint32_t size_bytes);
+    [[nodiscard]] DirectionFeatures features() const;
+  };
+
+ private:
+  [[nodiscard]] std::optional<WindowFeatures> emit();
+
+  std::int64_t window_us_;
+  std::size_t min_packets_;
+  bool anchored_ = false;
+  std::int64_t start_us_ = 0;     // first record's timestamp (alignment)
+  std::int64_t window_index_ = 0; // window currently accumulating
+  DirectionAccumulator down_;
+  DirectionAccumulator up_;
+};
+
+/// Computes features over one window view. Returns std::nullopt when the
+/// view is empty (nothing to classify).
+[[nodiscard]] std::optional<WindowFeatures> extract_window(
+    traffic::TraceView window);
+
+/// Cuts the records into consecutive windows of length `w` (aligned to
+/// the first record) and extracts features for every non-empty window
+/// with at least `min_packets` packets. Single pass over the columns.
+[[nodiscard]] std::vector<WindowFeatures> extract_all_windows(
+    traffic::TraceView records, util::Duration w, std::size_t min_packets = 2);
 [[nodiscard]] std::vector<WindowFeatures> extract_all_windows(
     const traffic::Trace& trace, util::Duration w, std::size_t min_packets = 2);
+
+/// Same, appending into a caller-owned buffer (cleared first) so per-cell
+/// arenas can reuse the allocation across flows.
+void extract_all_windows_into(std::vector<WindowFeatures>& out,
+                              traffic::TraceView records, util::Duration w,
+                              std::size_t min_packets = 2);
 
 /// Whole-trace feature summary (used by the Table I reproduction, which
 /// reports per-interface averages over a long capture).

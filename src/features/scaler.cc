@@ -71,10 +71,17 @@ void MinMaxScaler::fit(std::span<const std::vector<double>> rows) {
 }
 
 std::vector<double> MinMaxScaler::transform(std::span<const double> row) const {
+  std::vector<double> out;
+  transform_into(row, out);
+  return out;
+}
+
+void MinMaxScaler::transform_into(std::span<const double> row,
+                                  std::vector<double>& out) const {
   util::require(fitted(), "MinMaxScaler::transform: not fitted");
   util::require(row.size() == mins_.size(),
                 "MinMaxScaler::transform: dimensionality mismatch");
-  std::vector<double> out(row.size());
+  out.resize(row.size());
   for (std::size_t d = 0; d < row.size(); ++d) {
     const double span = maxs_[d] - mins_[d];
     // Clamp to the training range: a single dimension outside the span
@@ -84,7 +91,6 @@ std::vector<double> MinMaxScaler::transform(std::span<const double> row) const {
                  ? std::clamp((row[d] - mins_[d]) / span, 0.0, 1.0)
                  : 0.0;
   }
-  return out;
 }
 
 std::vector<std::vector<double>> MinMaxScaler::transform_all(

@@ -62,6 +62,11 @@ class MinMaxScaler {
   [[nodiscard]] std::vector<double> transform(
       std::span<const double> row) const;
 
+  /// Scales one row into a caller-owned buffer (resized to fit) so
+  /// per-window classification loops reuse one allocation.
+  void transform_into(std::span<const double> row,
+                      std::vector<double>& out) const;
+
   /// Scales many rows.
   [[nodiscard]] std::vector<std::vector<double>> transform_all(
       std::span<const std::vector<double>> rows) const;

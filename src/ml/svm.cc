@@ -1,6 +1,7 @@
 #include "ml/svm.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "util/check.h"
@@ -146,9 +147,11 @@ SvmClassifier::BinaryMachine SvmClassifier::train_pair(const Dataset& data,
   m.class_a = class_a;
   m.class_b = class_b;
   m.bias = bias;
+  m.dim = x.front().size();
   for (std::size_t i = 0; i < n; ++i) {
     if (alpha[i] > 1e-9) {
-      m.support_vectors.push_back(x[i]);
+      m.support_vectors.insert(m.support_vectors.end(), x[i].begin(),
+                               x[i].end());
       m.alpha_y.push_back(alpha[i] * y[i]);
     }
   }
@@ -177,16 +180,30 @@ void SvmClassifier::fit(const Dataset& data) {
 double SvmClassifier::evaluate(const BinaryMachine& m,
                                std::span<const double> row) const {
   double acc = m.bias;
-  for (std::size_t i = 0; i < m.support_vectors.size(); ++i) {
-    acc += m.alpha_y[i] * kernel(m.support_vectors[i], row);
+  for (std::size_t i = 0; i < m.count(); ++i) {
+    acc += m.alpha_y[i] * kernel(m.vector(i), row);
   }
   return acc;
 }
 
 int SvmClassifier::predict(std::span<const double> row) const {
   util::require(trained(), "SvmClassifier::predict: not trained");
-  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
-  std::vector<double> margins(static_cast<std::size_t>(num_classes_), 0.0);
+  // One-vs-one tallies are tiny; keep them off the heap (predict runs
+  // once per window on the campaign hot path and must stay thread-safe,
+  // so no member scratch either).
+  constexpr int kStackClasses = 32;
+  std::array<int, kStackClasses> stack_votes{};
+  std::array<double, kStackClasses> stack_margins{};
+  std::vector<int> heap_votes;
+  std::vector<double> heap_margins;
+  int* votes = stack_votes.data();
+  double* margins = stack_margins.data();
+  if (num_classes_ > kStackClasses) {
+    heap_votes.assign(static_cast<std::size_t>(num_classes_), 0);
+    heap_margins.assign(static_cast<std::size_t>(num_classes_), 0.0);
+    votes = heap_votes.data();
+    margins = heap_margins.data();
+  }
   for (const BinaryMachine& m : machines_) {
     const double v = evaluate(m, row);
     const int winner = v >= 0.0 ? m.class_a : m.class_b;
@@ -220,7 +237,7 @@ double SvmClassifier::decision_value(int a, int b,
 std::size_t SvmClassifier::support_vector_count() const {
   std::size_t acc = 0;
   for (const BinaryMachine& m : machines_) {
-    acc += m.support_vectors.size();
+    acc += m.count();
   }
   return acc;
 }

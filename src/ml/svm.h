@@ -60,9 +60,18 @@ class SvmClassifier final : public Classifier {
   struct BinaryMachine {
     int class_a = 0;  // positive label
     int class_b = 0;  // negative label
-    std::vector<std::vector<double>> support_vectors;
+    // Support vectors flattened row-major (dim doubles each): the predict
+    // hot loop streams every SV of every pairwise machine per window, so
+    // they live contiguously instead of as one heap block per vector.
+    std::size_t dim = 0;
+    std::vector<double> support_vectors;
     std::vector<double> alpha_y;  // alpha_i * y_i per support vector
     double bias = 0.0;
+
+    [[nodiscard]] std::size_t count() const { return alpha_y.size(); }
+    [[nodiscard]] std::span<const double> vector(std::size_t i) const {
+      return std::span<const double>{support_vectors}.subspan(i * dim, dim);
+    }
   };
 
   [[nodiscard]] double kernel(std::span<const double> a,

@@ -108,6 +108,9 @@ CampaignEngine::CampaignEngine(CampaignSpec spec)
     util::require(!defense.name.empty() && defense.factory != nullptr,
                   "CampaignEngine: defense needs a name and a factory");
   }
+  const std::size_t workload_slots = spec_.scenarios.size() * spec_.shards;
+  workload_once_ = std::make_unique<std::once_flag[]>(workload_slots);
+  workloads_.resize(workload_slots);
 }
 
 std::size_t CampaignEngine::cell_count() const {
@@ -120,7 +123,8 @@ CellGrid CampaignEngine::grid() const {
   return CellGrid{spec_.defenses.size(), spec_.scenarios.size(), spec_.shards};
 }
 
-CellResult CampaignEngine::run_cell(std::size_t cell_id) const {
+CellResult CampaignEngine::run_cell(std::size_t cell_id,
+                                    WorkerArena& arena) const {
   const CellGrid g = grid();
   const CellGrid::Cell cell = g.decompose(cell_id);
   CellStreams streams = cell_streams(spec_.seed, g, cell_id);
@@ -132,11 +136,21 @@ CellResult CampaignEngine::run_cell(std::size_t cell_id) const {
 
   const Scenario& scenario = spec_.scenarios[cell.scenario];
   const DefenseSpec& defense = spec_.defenses[cell.defense];
-  const std::vector<traffic::Trace> sessions =
-      scenario.generate(streams.workload);
+  // First cell on a (scenario, shard) materializes the workload; the
+  // other defenses (and later run() calls) reuse it. streams.workload is
+  // keyed on exactly that pair, so the cached sessions are the ones this
+  // cell would have generated.
+  const std::size_t workload_slot = g.workload_id(cell);
+  std::call_once(workload_once_[workload_slot], [&] {
+    workloads_[workload_slot] =
+        std::make_shared<const std::vector<traffic::Trace>>(
+            scenario.generate(streams.workload));
+  });
+  const std::vector<traffic::Trace>& sessions = *workloads_[workload_slot];
   result.session_count = sessions.size();
   result.evaluation = harness_.evaluate_sessions(
-      defense.factory, defense.name, sessions, streams.defense_seed);
+      defense.factory, defense.name, sessions, streams.defense_seed,
+      &arena.eval);
   return result;
 }
 
@@ -155,14 +169,15 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
       telemetry_config_.metrics ? cells : 0);
   run_cells(
       cells, threads,
-      [&](std::size_t cell_id) {
-        results[cell_id] = run_cell(cell_id);
+      std::function<void(std::size_t, WorkerArena&)>{
+          [&](std::size_t cell_id, WorkerArena& arena) {
+        results[cell_id] = run_cell(cell_id, arena);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, spec_, results[cell_id]);
           cell_metrics[cell_id] = registry.snapshot();
         }
-      },
+      }},
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
     telemetry_.merge(snapshot);

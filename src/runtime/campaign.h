@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,7 +31,8 @@
 
 namespace reshape::runtime {
 
-struct CellGrid;  // evaluation_backend.h
+struct CellGrid;     // evaluation_backend.h
+struct WorkerArena;  // evaluation_backend.h
 
 /// One defense under evaluation.
 struct DefenseSpec {
@@ -138,13 +141,25 @@ class CampaignEngine {
 
  private:
   [[nodiscard]] CellGrid grid() const;
-  [[nodiscard]] CellResult run_cell(std::size_t cell_id) const;
+  [[nodiscard]] CellResult run_cell(std::size_t cell_id,
+                                    WorkerArena& arena) const;
 
   CampaignSpec spec_;
   eval::ExperimentHarness harness_;
   obs::TelemetryConfig telemetry_config_{};
   obs::MetricsSnapshot telemetry_;
   obs::PhaseProfiler profiler_;
+
+  // Workload memoization. A cell's sessions are a pure function of
+  // (seed, scenario, shard) — the workload stream is keyed on exactly
+  // that, never on the defense — so every defense row of the grid reuses
+  // one materialization, and repeated run() calls regenerate nothing.
+  // Traffic generation dominates cell cost (it burns the RNG draws), so
+  // this is the difference between re-simulating the paper's workload
+  // per defense and sampling it once per (scenario, shard).
+  mutable std::unique_ptr<std::once_flag[]> workload_once_;
+  mutable std::vector<std::shared_ptr<const std::vector<traffic::Trace>>>
+      workloads_;
 };
 
 }  // namespace reshape::runtime

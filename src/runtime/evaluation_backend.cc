@@ -30,22 +30,34 @@ CellStreams cell_streams(std::uint64_t seed, const CellGrid& grid,
 void run_cells(std::size_t cells, std::size_t threads,
                const std::function<void(std::size_t)>& run_one,
                obs::PhaseProfiler* profiler) {
+  run_cells(
+      cells, threads,
+      std::function<void(std::size_t, WorkerArena&)>{
+          [&run_one](std::size_t c, WorkerArena&) { run_one(c); }},
+      profiler);
+}
+
+void run_cells(std::size_t cells, std::size_t threads,
+               const std::function<void(std::size_t, WorkerArena&)>& run_one,
+               obs::PhaseProfiler* profiler) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) {
       threads = 1;
     }
   }
-  const auto timed = [&run_one, profiler](std::size_t c) {
+  const auto timed = [&run_one, profiler](std::size_t c, WorkerArena& arena) {
     const auto pooled = obs::PhaseProfiler::time(profiler, "cells");
     const auto per_cell =
         obs::PhaseProfiler::time(profiler, "cell/" + std::to_string(c));
-    run_one(c);
+    run_one(c, arena);
   };
 
   if (threads <= 1 || cells <= 1) {
+    WorkerArena arena;
+    arena.eval.profiler = profiler;
     for (std::size_t c = 0; c < cells; ++c) {
-      timed(c);
+      timed(c, arena);
     }
     return;
   }
@@ -55,13 +67,15 @@ void run_cells(std::size_t cells, std::size_t threads,
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const auto worker = [&] {
+    WorkerArena arena;  // private to this worker, reused across its cells
+    arena.eval.profiler = profiler;
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= cells || abort.load(std::memory_order_relaxed)) {
         return;
       }
       try {
-        timed(c);
+        timed(c, arena);
       } catch (...) {
         abort.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock{error_mutex};

@@ -74,6 +74,14 @@ struct CellStreams {
                                        const CellGrid& grid,
                                        std::size_t cell_id);
 
+/// Per-worker allocation cache, owned by one pool worker and threaded
+/// through every cell that worker runs: buffers grow to the largest cell
+/// once instead of reallocating per cell. Purely an allocation cache —
+/// cell results never depend on which worker (or arena) ran them.
+struct WorkerArena {
+  eval::EvalScratch eval;
+};
+
 /// Runs `run_one(cell_id)` for every cell on `threads` workers (0 =
 /// hardware concurrency). Aborts remaining cells on the first exception
 /// and rethrows it after the pool drains. `run_one` must be thread-safe
@@ -82,6 +90,12 @@ struct CellStreams {
 /// total — host timings only, never part of the deterministic reports.
 void run_cells(std::size_t cells, std::size_t threads,
                const std::function<void(std::size_t)>& run_one,
+               obs::PhaseProfiler* profiler = nullptr);
+
+/// Same pool, passing each worker's private WorkerArena (profiler wired
+/// into arena.eval) so engines can reuse allocations across cells.
+void run_cells(std::size_t cells, std::size_t threads,
+               const std::function<void(std::size_t, WorkerArena&)>& run_one,
                obs::PhaseProfiler* profiler = nullptr);
 
 /// The clean bootstrap corpus an adaptive adversary profiles before the

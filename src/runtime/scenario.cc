@@ -5,6 +5,7 @@
 #include <deque>
 #include <iterator>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "core/online/streaming_reshaper.h"
@@ -53,7 +54,7 @@ class ArbitratedAir {
       const auto [stream, original] = t.fifo.front();
       t.fifo.pop_front();
       collected_[stream].push_back(
-          {frame.timestamp, frame.size_bytes, original->direction});
+          {frame.timestamp, frame.size_bytes, original.direction});
     });
     arbiter_.set_drop_hook(
         [this](const mac::Frame&, const sim::RadioListener* tx) {
@@ -64,22 +65,23 @@ class ArbitratedAir {
   /// Registers a transmitter at `position`; returns its handle.
   std::size_t add_transmitter(sim::Position position) {
     transmitters_.push_back(Transmitter{{}, position, {}});
+    index_.emplace(&transmitters_.back().identity, transmitters_.size() - 1);
     return transmitters_.size() - 1;
   }
 
-  /// Schedules `record` (which must outlive run()) for transmission by
-  /// `transmitter` at its original timestamp, observed into `stream`.
+  /// Schedules `record` (carried by value — trace views hand out
+  /// per-iteration temporaries) for transmission by `transmitter` at its
+  /// original timestamp, observed into `stream`.
   void schedule(std::size_t transmitter, std::size_t stream,
-                const traffic::PacketRecord& record) {
-    simulator_.schedule_at(
-        record.time, [this, transmitter, stream, r = &record] {
-          Transmitter& t = transmitters_[transmitter];
-          t.fifo.emplace_back(stream, r);
-          mac::Frame frame;
-          frame.size_bytes = r->size_bytes;
-          frame.channel = kChannel;
-          arbiter_.enqueue(std::move(frame), t.position, &t.identity);
-        });
+                traffic::PacketRecord record) {
+    simulator_.schedule_at(record.time, [this, transmitter, stream, record] {
+      Transmitter& t = transmitters_[transmitter];
+      t.fifo.emplace_back(stream, record);
+      mac::Frame frame;
+      frame.size_bytes = record.size_bytes;
+      frame.channel = kChannel;
+      arbiter_.enqueue(std::move(frame), t.position, &t.identity);
+    });
   }
 
   /// Drains the simulator and returns each stream's observed records,
@@ -100,16 +102,17 @@ class ArbitratedAir {
   struct Transmitter {
     StationIdentity identity;
     sim::Position position;
-    std::deque<std::pair<std::size_t, const traffic::PacketRecord*>> fifo;
+    std::deque<std::pair<std::size_t, traffic::PacketRecord>> fifo;
   };
 
   [[nodiscard]] Transmitter& transmitter_of(const sim::RadioListener* id) {
-    for (Transmitter& t : transmitters_) {
-      if (&t.identity == id) {
-        return t;
-      }
+    // Hook-path lookup: O(1) via the identity index — a linear scan here
+    // is O(frames x stations) and dominates 10k-station cells.
+    const auto it = index_.find(id);
+    if (it == index_.end()) {
+      throw std::logic_error{"ArbitratedAir: unknown transmitter identity"};
     }
-    throw std::logic_error{"ArbitratedAir: unknown transmitter identity"};
+    return transmitters_[it->second];
   }
 
   [[nodiscard]] static sim::channel::DcfParams contended_params(
@@ -124,6 +127,7 @@ class ArbitratedAir {
   sim::Medium medium_;
   sim::channel::ChannelArbiter arbiter_;
   std::deque<Transmitter> transmitters_;  // deque: stable identity addresses
+  std::unordered_map<const sim::RadioListener*, std::size_t> index_;
   std::vector<std::vector<traffic::PacketRecord>> collected_;
 };
 
@@ -394,6 +398,45 @@ Scenario contended_cell_arena(std::string name, std::string description,
 
 }  // namespace
 
+Scenario dense_wlan_10k(std::size_t stations, util::Duration horizon) {
+  util::require(stations > 0, "dense_wlan_10k: need >= 1 station");
+  util::require(horizon > util::Duration{},
+                "dense_wlan_10k: horizon must be positive");
+  return Scenario{
+      "dense-wlan-10k",
+      "the scale exercise: thousands of stations each awake for one short "
+      "sparse burst at a staggered offset, all arbitrated through one cell",
+      [=](util::Rng& rng) {
+        // Each station wakes once for a short chatting/gaming burst at a
+        // staggered offset inside the horizon. Sparse apps only: the
+        // scenario scales the *station count* (contender heap, flow
+        // isolation, per-station streams), not raw packet volume, so a
+        // 10k-station cell stays a handful of frames per station.
+        std::vector<traffic::Trace> originals;
+        originals.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          util::Rng station_rng = rng.fork(s);
+          const traffic::AppType app = station_rng.uniform_int(0, 1) == 0
+                                           ? traffic::AppType::kChatting
+                                           : traffic::AppType::kGaming;
+          const double burst_s = station_rng.uniform_real(1.2, 2.6);
+          const double latest = std::max(0.0, horizon.to_seconds() - burst_s);
+          const util::Duration offset =
+              util::Duration::seconds(station_rng.uniform_real(0.0, latest));
+          const traffic::Trace burst = traffic::generate_trace(
+              app, util::Duration::seconds(burst_s), station_rng);
+          traffic::Trace shifted{burst.app()};
+          shifted.reserve(burst.size());
+          for (const traffic::PacketRecord& r : burst.records()) {
+            shifted.push_back(r.time + offset, r.size_bytes, r.direction);
+          }
+          originals.push_back(std::move(shifted));
+        }
+        // Default DcfParams bitrate: the cell arbitrates at 54 Mbit/s.
+        return arbitrate_one_cell(originals, 54.0, rng);
+      }};
+}
+
 Scenario contended_cell(std::size_t stations, util::Duration duration,
                         double bitrate_mbps) {
   return contended_cell_arena(
@@ -539,6 +582,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(iot_telemetry(12, minute));
     r.add(voip_browsing_mix(3, 3, util::Duration::seconds(120.0)));
     r.add(dense_wlan(10, minute));
+    r.add(dense_wlan_10k());
     r.add(bulk_transfer_heavy(8, minute));
     r.add(live_reshaping(6, minute));
     r.add(contended_cell(8, minute));

@@ -91,6 +91,16 @@ class Scenario {
 [[nodiscard]] Scenario dense_wlan(std::size_t stations,
                                   util::Duration duration);
 
+/// The scale exercise a per-packet object layout could not run: `stations`
+/// stations (default 10000) each wake for one short sparse chatting/gaming
+/// burst at a staggered offset inside `horizon`, all arbitrated through
+/// one DCF cell at the default bitrate. Total frames stay bounded (a
+/// handful per station), so the cost that scales is the station count —
+/// contender heap, flow isolation, per-station streams.
+[[nodiscard]] Scenario dense_wlan_10k(
+    std::size_t stations = 10000,
+    util::Duration horizon = util::Duration::seconds(60.0));
+
 /// Bulk-transfer-heavy traffic: downloading / uploading / BitTorrent /
 /// video stations with exaggerated rate spread between sessions.
 [[nodiscard]] Scenario bulk_transfer_heavy(std::size_t stations,

@@ -1,7 +1,6 @@
 #include "sim/channel/channel_arbiter.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "util/check.h"
@@ -38,6 +37,16 @@ DcfParams DcfParams::uncontended(double bitrate_mbps) {
   return params;
 }
 
+namespace {
+// Min-heap (std::push_heap/pop_heap build max-heaps; invert).
+struct CoordinateLater {
+  bool operator()(const std::pair<std::int64_t, std::uint32_t>& a,
+                  const std::pair<std::int64_t, std::uint32_t>& b) const {
+    return a.first > b.first;
+  }
+};
+}  // namespace
+
 ChannelArbiter::ChannelArbiter(Simulator& simulator, Medium& medium,
                                int channel, DcfParams params, util::Rng rng)
     : simulator_{simulator},
@@ -58,22 +67,29 @@ ChannelArbiter::ChannelArbiter(Simulator& simulator, Medium& medium,
 
 ChannelArbiter::~ChannelArbiter() { medium_.uninstall_arbiter(*this); }
 
-ChannelArbiter::Station& ChannelArbiter::station_of(const RadioListener* id) {
-  for (Station& station : stations_) {
-    if (station.id == id) {
-      return station;
-    }
+std::size_t ChannelArbiter::station_index_of(const RadioListener* id) {
+  const auto [it, inserted] = station_index_.try_emplace(id, stations_.size());
+  if (inserted) {
+    // Keyed substream per registration index: the station's backoff draws
+    // depend only on the arbiter seed and its first-transmission order,
+    // never on how other stations interleave.
+    stations_.push_back(Station{id, {}, 0, false, false, params_.cw_min, 0,
+                                rng_.fork(stations_.size()), {}});
   }
-  // Keyed substream per registration index: the station's backoff draws
-  // depend only on the arbiter seed and its first-transmission order,
-  // never on how other stations interleave.
-  stations_.push_back(Station{id, {}, -1, params_.cw_min, 0,
-                              rng_.fork(stations_.size()), {}});
-  return stations_.back();
+  return it->second;
 }
 
 util::Duration ChannelArbiter::occupancy_of(const mac::Frame& frame) const {
   return mac::airtime(frame.size_bytes, params_.bitrate_mbps);
+}
+
+void ChannelArbiter::mark_undrawn(std::size_t station_index) {
+  Station& station = stations_[station_index];
+  if (station.drawn || station.queued_for_draw) {
+    return;
+  }
+  station.queued_for_draw = true;
+  undrawn_.push_back(static_cast<std::uint32_t>(station_index));
 }
 
 void ChannelArbiter::enqueue(mac::Frame frame, Position tx_position,
@@ -91,10 +107,12 @@ void ChannelArbiter::enqueue(mac::Frame frame, Position tx_position,
   if (trace_ != nullptr) {
     trace_->record(frame.trace_id, obs::Hop::kChannelEnqueue, now);
   }
-  Station& station = station_of(transmitter);
+  const std::size_t index = station_index_of(transmitter);
+  Station& station = stations_[index];
   station.queue.push_back(Pending{std::move(frame), tx_position, now});
   station.stats.max_queue_depth =
       std::max(station.stats.max_queue_depth, station.queue.size());
+  mark_undrawn(index);
   schedule_decision();
 }
 
@@ -109,44 +127,47 @@ void ChannelArbiter::schedule_decision() {
     // restart peers' backoff on a foreign arrival, so countdown progress
     // — including the sub-slot fraction — must survive interruptions
     // (arrivals spaced closer than one slot would otherwise freeze every
-    // peer's countdown and starve the channel).
+    // peer's countdown and starve the channel). Crediting is one bump of
+    // the shared slot offset; per-station remainders are read back as
+    // max(0, coordinate - offset).
     util::TimePoint resume = countdown_origin_;
     if (params_.slot > util::Duration{} && now > countdown_origin_) {
       const std::int64_t elapsed = (now - countdown_origin_) / params_.slot;
-      for (Station& station : stations_) {
-        if (!station.queue.empty() && station.backoff_slots > 0) {
-          station.backoff_slots =
-              std::max<std::int64_t>(0, station.backoff_slots - elapsed);
-        }
-      }
+      offset_ += elapsed;
       resume = countdown_origin_ + params_.slot * elapsed;
     }
     start = std::max(resume, busy_until_ + params_.difs);
   }
   counting_ = false;
 
-  std::int64_t min_slots = std::numeric_limits<std::int64_t>::max();
-  for (Station& station : stations_) {
+  // Draw coordinates for stations that (re)entered contention.
+  for (const std::uint32_t index : undrawn_) {
+    Station& station = stations_[index];
+    station.queued_for_draw = false;
     if (station.queue.empty()) {
-      continue;
+      continue;  // emptied before the decision; redraws on next arrival
     }
-    if (station.backoff_slots < 0) {
-      station.backoff_slots = station.rng.uniform_int(0, station.cw);
-    }
-    min_slots = std::min(min_slots, station.backoff_slots);
+    station.coordinate = offset_ + station.rng.uniform_int(0, station.cw);
+    station.drawn = true;
+    countdown_heap_.emplace_back(station.coordinate, index);
+    std::push_heap(countdown_heap_.begin(), countdown_heap_.end(),
+                   CoordinateLater{});
   }
-  if (min_slots == std::numeric_limits<std::int64_t>::max()) {
+  undrawn_.clear();
+
+  if (countdown_heap_.empty()) {
     return;  // nothing pending
   }
 
+  const std::int64_t min_slots =
+      std::max<std::int64_t>(0, countdown_heap_.front().first - offset_);
   countdown_origin_ = start;
   counting_ = true;
-  const std::uint64_t generation = generation_;
   // The resumed origin may sit up to one slot in the past; a station
   // whose countdown already expired (or a zero-backoff newcomer on an
   // idle channel) transmits now, never in the simulated past.
-  simulator_.schedule_at(std::max(start + params_.slot * min_slots, now),
-                         [this, generation] { decide(generation); });
+  simulator_.schedule_event(std::max(start + params_.slot * min_slots, now),
+                            *this, generation_);
 }
 
 void ChannelArbiter::decide(std::uint64_t generation) {
@@ -155,29 +176,27 @@ void ChannelArbiter::decide(std::uint64_t generation) {
   }
   counting_ = false;
 
-  std::int64_t min_slots = std::numeric_limits<std::int64_t>::max();
-  for (const Station& station : stations_) {
-    if (!station.queue.empty()) {
-      min_slots = std::min(min_slots, station.backoff_slots);
-    }
-  }
-  util::internal_check(min_slots != std::numeric_limits<std::int64_t>::max() &&
-                           min_slots >= 0,
+  util::internal_check(!countdown_heap_.empty() && undrawn_.empty(),
                        "ChannelArbiter::decide: no pending station");
-
+  // All stations whose countdown expires at this decision win together;
+  // losers keep their remainder (coordinate - offset) frozen on the heap.
+  const std::int64_t expiry =
+      std::max(offset_, countdown_heap_.front().first);
   std::vector<std::size_t> winners;
-  for (std::size_t i = 0; i < stations_.size(); ++i) {
-    Station& station = stations_[i];
-    if (station.queue.empty()) {
-      continue;
-    }
-    station.backoff_slots -= min_slots;  // losers keep the remainder frozen
-    if (station.backoff_slots == 0) {
-      winners.push_back(i);
-    }
+  while (!countdown_heap_.empty() && countdown_heap_.front().first <= expiry) {
+    std::pop_heap(countdown_heap_.begin(), countdown_heap_.end(),
+                  CoordinateLater{});
+    const std::uint32_t index = countdown_heap_.back().second;
+    countdown_heap_.pop_back();
+    stations_[index].drawn = false;
+    winners.push_back(index);
   }
+  offset_ = expiry;
   util::internal_check(!winners.empty(),
                        "ChannelArbiter::decide: countdown without winner");
+  // Registration order: stats, hooks, and drop notifications fire in a
+  // station-stable order regardless of heap pop order on ties.
+  std::sort(winners.begin(), winners.end());
 
   if (winners.size() == 1) {
     transmit_head(winners.front());
@@ -190,7 +209,8 @@ void ChannelArbiter::decide(std::uint64_t generation) {
   const util::TimePoint now = simulator_.now();
   util::Duration occupancy;
   for (const std::size_t i : winners) {
-    occupancy = std::max(occupancy, occupancy_of(stations_[i].queue.front().frame));
+    occupancy =
+        std::max(occupancy, occupancy_of(stations_[i].queue.front().frame));
   }
   busy_until_ = now + occupancy + params_.sifs;
   busy_accum_ += occupancy;
@@ -200,7 +220,6 @@ void ChannelArbiter::decide(std::uint64_t generation) {
     Station& station = stations_[i];
     ++station.stats.collisions;
     ++station.retries;
-    station.backoff_slots = -1;  // redraw at the next countdown
     if (station.retries > params_.retry_limit) {
       ++station.stats.frames_dropped;
       dropped.emplace_back(std::move(station.queue.front().frame), station.id);
@@ -210,6 +229,9 @@ void ChannelArbiter::decide(std::uint64_t generation) {
     } else {
       ++station.stats.retries;
       station.cw = std::min(2 * station.cw + 1, params_.cw_max);
+    }
+    if (!station.queue.empty()) {
+      mark_undrawn(i);  // redraw at the next countdown
     }
   }
   if (trace_ != nullptr) {
@@ -229,9 +251,14 @@ void ChannelArbiter::transmit_head(std::size_t station_index) {
   Station& station = stations_[station_index];
   Pending pending = std::move(station.queue.front());
   station.queue.pop_front();
-  station.backoff_slots = -1;
   station.retries = 0;
   station.cw = params_.cw_min;
+  if (!station.queue.empty()) {
+    // Redraw before the hooks below: a re-entrant enqueue runs
+    // schedule_decision, which must already see this station as a
+    // contender for its next frame.
+    mark_undrawn(station_index);
+  }
 
   const util::TimePoint now = simulator_.now();
   const util::Duration on_air = occupancy_of(pending.frame);
@@ -265,12 +292,11 @@ void ChannelArbiter::transmit_head(std::size_t station_index) {
 
 const ChannelStats* ChannelArbiter::stats_of(
     const RadioListener* transmitter) const {
-  for (const Station& station : stations_) {
-    if (station.id == transmitter) {
-      return &station.stats;
-    }
+  const auto it = station_index_.find(transmitter);
+  if (it == station_index_.end()) {
+    return nullptr;
   }
-  return nullptr;
+  return &stations_[it->second].stats;
 }
 
 ChannelStats ChannelArbiter::totals() const {

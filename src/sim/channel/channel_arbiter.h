@@ -28,11 +28,21 @@
 //     util::Rng::fork of the arbiter seed by first-transmission order, so
 //     a contention scenario replays bit-identically for any campaign
 //     sharding or thread count.
+//
+// Scale: the contention loop is O(log n) per channel-access decision, not
+// O(stations). Backoff countdowns live on a global *slot offset* — a
+// station's draw becomes an absolute coordinate (offset at draw + slots),
+// crediting elapsed idle slots to all stations is one offset bump, and
+// the next winner is the min of a binary heap of coordinates. Station
+// lookup is a dense hash index, and decision events dispatch through the
+// typed (allocation-free) sim::EventHandler path. A 10k-station cell is
+// a registry scenario, not a hang.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "mac/frame.h"
@@ -85,7 +95,7 @@ struct DcfParams {
 /// The medium and simulator must outlive the arbiter, and the arbiter
 /// must outlive any pending simulator events — run the simulator dry
 /// before tearing down, as with every other entity in the sim.
-class ChannelArbiter {
+class ChannelArbiter : private EventHandler {
  public:
   /// On-air notification: the frame exactly as broadcast (timestamp = the
   /// arbitrated on-air instant), its access delay (enqueue -> on-air),
@@ -161,15 +171,23 @@ class ChannelArbiter {
   struct Station {
     const RadioListener* id = nullptr;
     std::deque<Pending> queue;
-    std::int64_t backoff_slots = -1;  // -1: not drawn yet
-    std::uint32_t cw = 0;             // current contention window
-    std::uint32_t retries = 0;        // of the head frame
+    // Backoff coordinate on the global slot axis: offset-at-draw + drawn
+    // slots. Effective remaining slots = max(0, coordinate - offset_).
+    std::int64_t coordinate = 0;
+    bool drawn = false;       // a coordinate is live (station in the heap)
+    bool queued_for_draw = false;  // listed in undrawn_
+    std::uint32_t cw = 0;          // current contention window
+    std::uint32_t retries = 0;     // of the head frame
     util::Rng rng;
     ChannelStats stats;
   };
 
-  [[nodiscard]] Station& station_of(const RadioListener* id);
+  /// Index of the station for `id`, registering it on first use.
+  [[nodiscard]] std::size_t station_index_of(const RadioListener* id);
   [[nodiscard]] util::Duration occupancy_of(const mac::Frame& frame) const;
+
+  /// Marks a station as needing a backoff draw at the next decision.
+  void mark_undrawn(std::size_t station_index);
 
   /// Recomputes the next channel-access decision and (re)schedules it,
   /// superseding any outstanding decision event.
@@ -178,6 +196,11 @@ class ChannelArbiter {
   /// Fires at countdown expiry: transmits the winner or resolves a
   /// collision. Stale generations (state changed since scheduling) no-op.
   void decide(std::uint64_t generation);
+
+  /// Typed decision-event dispatch (sim::EventHandler).
+  void on_event(std::uint64_t generation, std::uint64_t) override {
+    decide(generation);
+  }
 
   void transmit_head(std::size_t station_index);
 
@@ -189,6 +212,13 @@ class ChannelArbiter {
   // Ordered by first transmission; deque so stats_of() pointers stay
   // valid while later stations register.
   std::deque<Station> stations_;
+  std::unordered_map<const RadioListener*, std::size_t> station_index_;
+  // Min-heap of (coordinate, station) over drawn pending stations; a
+  // station leaves only by winning/colliding at a decision, so entries
+  // never go stale.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> countdown_heap_;
+  std::vector<std::uint32_t> undrawn_;  // pending stations needing a draw
+  std::int64_t offset_ = 0;        // elapsed idle slots since the epoch
   std::uint64_t generation_ = 0;   // cancels superseded decision events
   bool counting_ = false;          // an idle countdown is in progress
   util::TimePoint countdown_origin_;

@@ -1,6 +1,6 @@
 #include "sim/event_queue.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/check.h"
 
@@ -9,21 +9,64 @@ namespace reshape::sim {
 void EventQueue::push(util::TimePoint when, Callback callback) {
   util::require(static_cast<bool>(callback),
                 "EventQueue::push: callback must be callable");
-  heap_.push(Entry{when, next_sequence_++, std::move(callback)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(callback);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(callback));
+  }
+  heap_.push_back(Entry{when.count_us(), next_sequence_++, nullptr, 0, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::push_event(util::TimePoint when, EventHandler& handler,
+                            std::uint64_t a, std::uint64_t b) {
+  heap_.push_back(Entry{when.count_us(), next_sequence_++, &handler, a, b});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 util::TimePoint EventQueue::next_time() const {
   util::require(!heap_.empty(), "EventQueue::next_time: queue is empty");
-  return heap_.top().when;
+  return util::TimePoint::from_microseconds(heap_.front().when_us);
+}
+
+EventQueue::Entry EventQueue::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+EventQueue::Callback EventQueue::take_slot(std::uint64_t slot) {
+  // Move the task out and free the slot *before* invocation, so firing
+  // code that schedules new events can reuse it immediately.
+  Callback task = std::move(slots_[slot]);
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  return task;
+}
+
+void EventQueue::dispatch_next() {
+  util::require(!heap_.empty(), "EventQueue::dispatch_next: queue is empty");
+  const Entry entry = pop_entry();
+  if (entry.handler != nullptr) {
+    entry.handler->on_event(entry.arg_a, entry.arg_b);
+    return;
+  }
+  Callback task = take_slot(entry.arg_b);
+  task();
 }
 
 EventQueue::Callback EventQueue::pop() {
   util::require(!heap_.empty(), "EventQueue::pop: queue is empty");
-  // priority_queue::top() is const&; the move is safe because we pop
-  // immediately after and never touch the moved-from entry.
-  Callback cb = std::move(const_cast<Entry&>(heap_.top()).callback);
-  heap_.pop();
-  return cb;
+  const Entry entry = pop_entry();
+  if (entry.handler != nullptr) {
+    return Callback{[handler = entry.handler, a = entry.arg_a,
+                     b = entry.arg_b] { handler->on_event(a, b); }};
+  }
+  return take_slot(entry.arg_b);
 }
 
 }  // namespace reshape::sim

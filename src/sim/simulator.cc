@@ -19,11 +19,16 @@ void Simulator::schedule_after(util::Duration delay,
   queue_.push(now_ + delay, std::move(callback));
 }
 
+void Simulator::schedule_event(util::TimePoint when, EventHandler& handler,
+                               std::uint64_t a, std::uint64_t b) {
+  util::require(when >= now_, "Simulator::schedule_event: time is in the past");
+  queue_.push_event(when, handler, a, b);
+}
+
 void Simulator::run() {
   while (!queue_.empty()) {
     now_ = queue_.next_time();
-    auto cb = queue_.pop();
-    cb();
+    queue_.dispatch_next();
     ++processed_;
   }
 }
@@ -31,8 +36,7 @@ void Simulator::run() {
 void Simulator::run_until(util::TimePoint deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     now_ = queue_.next_time();
-    auto cb = queue_.pop();
-    cb();
+    queue_.dispatch_next();
     ++processed_;
   }
   if (now_ < deadline) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/event_queue.h"
 #include "util/time.h"
@@ -27,6 +28,11 @@ class Simulator {
 
   /// Schedules `callback` after the given delay (delay must be >= 0).
   void schedule_after(util::Duration delay, EventQueue::Callback callback);
+
+  /// Schedules a typed (allocation-free) event: `handler.on_event(a, b)`
+  /// fires at `when`. Same time+sequence ordering as callbacks.
+  void schedule_event(util::TimePoint when, EventHandler& handler,
+                      std::uint64_t a = 0, std::uint64_t b = 0);
 
   /// Runs events until the queue drains.
   void run();

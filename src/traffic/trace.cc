@@ -11,29 +11,33 @@
 namespace reshape::traffic {
 
 void Trace::push_back(const PacketRecord& record) {
-  util::require(records_.empty() || records_.back().time <= record.time,
+  util::require(cols_.empty() || cols_.time_us.back() <= record.time.count_us(),
                 "Trace::push_back: records must be time-ordered");
-  records_.push_back(record);
+  cols_.push_back(record);
 }
 
 void Trace::append(const Trace& other) {
-  for (const PacketRecord& r : other.records_) {
-    push_back(r);
+  if (other.empty()) {
+    return;
   }
+  util::require(cols_.empty() ||
+                    cols_.time_us.back() <= other.cols_.time_us.front(),
+                "Trace::append: records must be time-ordered");
+  cols_.append(other.cols_);
 }
 
 util::TimePoint Trace::start_time() const {
-  util::require(!records_.empty(), "Trace::start_time: empty trace");
-  return records_.front().time;
+  util::require(!cols_.empty(), "Trace::start_time: empty trace");
+  return util::TimePoint::from_microseconds(cols_.time_us.front());
 }
 
 util::TimePoint Trace::end_time() const {
-  util::require(!records_.empty(), "Trace::end_time: empty trace");
-  return records_.back().time;
+  util::require(!cols_.empty(), "Trace::end_time: empty trace");
+  return util::TimePoint::from_microseconds(cols_.time_us.back());
 }
 
 util::Duration Trace::duration() const {
-  if (records_.size() < 2) {
+  if (cols_.size() < 2) {
     return util::Duration{};
   }
   return end_time() - start_time();
@@ -41,35 +45,36 @@ util::Duration Trace::duration() const {
 
 std::uint64_t Trace::total_bytes() const {
   std::uint64_t acc = 0;
-  for (const PacketRecord& r : records_) {
-    acc += r.size_bytes;
+  for (const std::uint32_t s : cols_.size_bytes) {
+    acc += s;
   }
   return acc;
 }
 
 std::size_t Trace::count(mac::Direction dir) const {
   return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [dir](const PacketRecord& r) { return r.direction == dir; }));
+      std::count(cols_.direction.begin(), cols_.direction.end(), dir));
 }
 
-std::span<const PacketRecord> Trace::slice(util::TimePoint t0,
-                                           util::TimePoint t1) const {
-  const auto lo = std::lower_bound(
-      records_.begin(), records_.end(), t0,
-      [](const PacketRecord& r, util::TimePoint t) { return r.time < t; });
-  const auto hi = std::lower_bound(
-      lo, records_.end(), t1,
-      [](const PacketRecord& r, util::TimePoint t) { return r.time < t; });
-  return {lo, hi};
+TraceView TraceView::slice(util::TimePoint t0, util::TimePoint t1) const {
+  const auto lo =
+      std::lower_bound(time_us_.begin(), time_us_.end(), t0.count_us());
+  const auto hi = std::lower_bound(lo, time_us_.end(), t1.count_us());
+  const auto offset = static_cast<std::size_t>(lo - time_us_.begin());
+  const auto count = static_cast<std::size_t>(hi - lo);
+  return subview(offset, count);
+}
+
+TraceView Trace::slice(util::TimePoint t0, util::TimePoint t1) const {
+  return cols_.view().slice(t0, t1);
 }
 
 Trace Trace::filter(mac::Direction dir) const {
   Trace out{app_};
   out.reserve(count(dir));
-  for (const PacketRecord& r : records_) {
-    if (r.direction == dir) {
-      out.push_back(r);
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_.direction[i] == dir) {
+      out.cols_.push_back(cols_.record(i));
     }
   }
   return out;
@@ -77,18 +82,19 @@ Trace Trace::filter(mac::Direction dir) const {
 
 std::vector<double> Trace::sizes() const {
   std::vector<double> out;
-  out.reserve(records_.size());
-  for (const PacketRecord& r : records_) {
-    out.push_back(static_cast<double>(r.size_bytes));
+  out.reserve(cols_.size());
+  for (const std::uint32_t s : cols_.size_bytes) {
+    out.push_back(static_cast<double>(s));
   }
   return out;
 }
 
 std::vector<double> Trace::sizes(mac::Direction dir) const {
   std::vector<double> out;
-  for (const PacketRecord& r : records_) {
-    if (r.direction == dir) {
-      out.push_back(static_cast<double>(r.size_bytes));
+  out.reserve(count(dir));
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_.direction[i] == dir) {
+      out.push_back(static_cast<double>(cols_.size_bytes[i]));
     }
   }
   return out;
@@ -100,7 +106,7 @@ Trace Trace::merge(std::span<const Trace> traces, AppType app) {
     std::size_t index;
   };
   const auto later = [](const Cursor& a, const Cursor& b) {
-    return (*a.trace)[a.index].time > (*b.trace)[b.index].time;
+    return a.trace->times_us()[a.index] > b.trace->times_us()[b.index];
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap{later};
 
@@ -117,7 +123,7 @@ Trace Trace::merge(std::span<const Trace> traces, AppType app) {
   while (!heap.empty()) {
     Cursor c = heap.top();
     heap.pop();
-    out.push_back((*c.trace)[c.index]);
+    out.cols_.push_back((*c.trace)[c.index]);
     if (++c.index < c.trace->size()) {
       heap.push(c);
     }
@@ -127,9 +133,10 @@ Trace Trace::merge(std::span<const Trace> traces, AppType app) {
 
 void Trace::save_csv(std::ostream& os) const {
   os << "time_us,size_bytes,direction\n";
-  for (const PacketRecord& r : records_) {
-    os << r.time.count_us() << ',' << r.size_bytes << ','
-       << (r.direction == mac::Direction::kDownlink ? "down" : "up") << '\n';
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    os << cols_.time_us[i] << ',' << cols_.size_bytes[i] << ','
+       << (cols_.direction[i] == mac::Direction::kDownlink ? "down" : "up")
+       << '\n';
   }
 }
 

@@ -1,9 +1,12 @@
 // Packet traces: the unit of data every experiment consumes.
 //
-// A PacketRecord is the MAC-layer observable of one data frame — the same
-// tuple an eavesdropper extracts from an encrypted 802.11 capture (time,
-// on-air size, direction). A Trace is a time-ordered sequence of records
-// plus the ground-truth application label used for scoring classifiers.
+// A Trace is a time-ordered packet sequence plus the ground-truth
+// application label used for scoring classifiers. Storage is
+// struct-of-arrays (see trace_view.h): three parallel columns instead of
+// an array of structs, so feature extraction, defenses, and the sniffer
+// stream over contiguous time/size/direction arrays. `records()` and
+// `slice()` hand out zero-copy TraceView windows; `operator[]` assembles
+// a PacketRecord value on demand.
 #pragma once
 
 #include <cstdint>
@@ -14,18 +17,10 @@
 
 #include "mac/frame.h"
 #include "traffic/app_type.h"
+#include "traffic/trace_view.h"
 #include "util/time.h"
 
 namespace reshape::traffic {
-
-/// One observed data frame.
-struct PacketRecord {
-  util::TimePoint time;                              // capture timestamp
-  std::uint32_t size_bytes = 0;                      // on-air frame size
-  mac::Direction direction = mac::Direction::kDownlink;
-
-  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
-};
 
 /// A time-ordered packet sequence with a ground-truth label.
 ///
@@ -37,18 +32,34 @@ class Trace {
 
   /// Appends a record; its timestamp must be >= the last record's.
   void push_back(const PacketRecord& record);
+  void push_back(util::TimePoint time, std::uint32_t size_bytes,
+                 mac::Direction direction) {
+    push_back(PacketRecord{time, size_bytes, direction});
+  }
 
   /// Appends all records of `other` (which must start no earlier than this
-  /// trace ends).
+  /// trace ends). Reserves from the source size and bulk-copies columns.
   void append(const Trace& other);
 
-  [[nodiscard]] bool empty() const { return records_.empty(); }
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const PacketRecord& operator[](std::size_t i) const {
-    return records_[i];
+  [[nodiscard]] bool empty() const { return cols_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cols_.size(); }
+  [[nodiscard]] PacketRecord operator[](std::size_t i) const {
+    return cols_.record(i);
   }
-  [[nodiscard]] std::span<const PacketRecord> records() const {
-    return records_;
+
+  /// Zero-copy struct-of-arrays view over all records.
+  [[nodiscard]] TraceView records() const { return cols_.view(); }
+  [[nodiscard]] TraceView view() const { return cols_.view(); }
+
+  /// Raw columns for single-column readers.
+  [[nodiscard]] std::span<const std::int64_t> times_us() const {
+    return cols_.time_us;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> sizes_bytes() const {
+    return cols_.size_bytes;
+  }
+  [[nodiscard]] std::span<const mac::Direction> directions() const {
+    return cols_.direction;
   }
 
   [[nodiscard]] AppType app() const { return app_; }
@@ -68,8 +79,7 @@ class Trace {
   [[nodiscard]] std::size_t count(mac::Direction dir) const;
 
   /// Records with time in [t0, t1), as a view (O(log n)).
-  [[nodiscard]] std::span<const PacketRecord> slice(util::TimePoint t0,
-                                                    util::TimePoint t1) const;
+  [[nodiscard]] TraceView slice(util::TimePoint t0, util::TimePoint t1) const;
 
   /// A new trace containing only the given direction.
   [[nodiscard]] Trace filter(mac::Direction dir) const;
@@ -78,8 +88,8 @@ class Trace {
   [[nodiscard]] std::vector<double> sizes() const;
   [[nodiscard]] std::vector<double> sizes(mac::Direction dir) const;
 
-  void reserve(std::size_t n) { records_.reserve(n); }
-  void clear() { records_.clear(); }
+  void reserve(std::size_t n) { cols_.reserve(n); }
+  void clear() { cols_.clear(); }
 
   /// Merges several time-sorted traces into one time-sorted trace labelled
   /// `app` (k-way merge, O(total log k)).
@@ -91,7 +101,7 @@ class Trace {
 
  private:
   AppType app_ = AppType::kBrowsing;
-  std::vector<PacketRecord> records_;
+  TraceColumns cols_;
 };
 
 }  // namespace reshape::traffic

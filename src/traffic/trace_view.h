@@ -1,0 +1,172 @@
+// Struct-of-arrays packet storage and zero-copy column views.
+//
+// A PacketRecord is the MAC-layer observable of one data frame — the same
+// tuple an eavesdropper extracts from an encrypted 802.11 capture (time,
+// on-air size, direction). Hot paths never materialise arrays of records:
+// TraceColumns owns three parallel arrays (time, size, direction) and
+// TraceView is a borrowed window over them. Readers either walk a single
+// column (`times_us()`, `sizes_bytes()`, `directions()`) or iterate the
+// view, which assembles PacketRecord values on the fly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "mac/frame.h"
+#include "util/time.h"
+
+namespace reshape::traffic {
+
+/// One observed data frame.
+struct PacketRecord {
+  util::TimePoint time;                              // capture timestamp
+  std::uint32_t size_bytes = 0;                      // on-air frame size
+  mac::Direction direction = mac::Direction::kDownlink;
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+/// Borrowed, immutable struct-of-arrays window over packet columns.
+///
+/// All three spans have identical length. Subviews and slices are O(1)
+/// span arithmetic (plus a binary search for time slices); no packet data
+/// is ever copied.
+class TraceView {
+ public:
+  TraceView() = default;
+  TraceView(std::span<const std::int64_t> time_us,
+            std::span<const std::uint32_t> size_bytes,
+            std::span<const mac::Direction> direction)
+      : time_us_{time_us}, size_bytes_{size_bytes}, direction_{direction} {}
+
+  [[nodiscard]] std::size_t size() const { return time_us_.size(); }
+  [[nodiscard]] bool empty() const { return time_us_.empty(); }
+
+  /// Raw columns (microsecond timestamps, on-air sizes, directions).
+  [[nodiscard]] std::span<const std::int64_t> times_us() const {
+    return time_us_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> sizes_bytes() const {
+    return size_bytes_;
+  }
+  [[nodiscard]] std::span<const mac::Direction> directions() const {
+    return direction_;
+  }
+
+  [[nodiscard]] util::TimePoint time(std::size_t i) const {
+    return util::TimePoint::from_microseconds(time_us_[i]);
+  }
+
+  /// Assembles record `i` by value (the columns stay untouched).
+  [[nodiscard]] PacketRecord operator[](std::size_t i) const {
+    return PacketRecord{util::TimePoint::from_microseconds(time_us_[i]),
+                        size_bytes_[i], direction_[i]};
+  }
+  [[nodiscard]] PacketRecord front() const { return (*this)[0]; }
+  [[nodiscard]] PacketRecord back() const { return (*this)[size() - 1]; }
+
+  /// The `count` records starting at `offset` (must be in range).
+  [[nodiscard]] TraceView subview(std::size_t offset, std::size_t count) const {
+    return TraceView{time_us_.subspan(offset, count),
+                     size_bytes_.subspan(offset, count),
+                     direction_.subspan(offset, count)};
+  }
+
+  /// Records with time in [t0, t1) — O(log n) on the time column.
+  [[nodiscard]] TraceView slice(util::TimePoint t0, util::TimePoint t1) const;
+
+  /// Proxy iterator: dereferences to a PacketRecord value. Range-for with
+  /// `const PacketRecord&` binds the per-step temporary as usual.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = PacketRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = PacketRecord;
+
+    iterator() = default;
+    iterator(const TraceView* view, std::size_t i) : view_{view}, i_{i} {}
+
+    PacketRecord operator*() const { return (*view_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    const TraceView* view_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator{this, 0}; }
+  [[nodiscard]] iterator end() const { return iterator{this, size()}; }
+
+ private:
+  std::span<const std::int64_t> time_us_;
+  std::span<const std::uint32_t> size_bytes_;
+  std::span<const mac::Direction> direction_;
+};
+
+/// Owning struct-of-arrays packet storage: three parallel columns.
+///
+/// This is the raw layout behind Trace (which adds the time-order
+/// invariant and the app label). push_back here is unchecked.
+struct TraceColumns {
+  std::vector<std::int64_t> time_us;
+  std::vector<std::uint32_t> size_bytes;
+  std::vector<mac::Direction> direction;
+
+  [[nodiscard]] std::size_t size() const { return time_us.size(); }
+  [[nodiscard]] bool empty() const { return time_us.empty(); }
+
+  void reserve(std::size_t n) {
+    time_us.reserve(n);
+    size_bytes.reserve(n);
+    direction.reserve(n);
+  }
+
+  void clear() {
+    time_us.clear();
+    size_bytes.clear();
+    direction.clear();
+  }
+
+  void push_back(const PacketRecord& r) {
+    time_us.push_back(r.time.count_us());
+    size_bytes.push_back(r.size_bytes);
+    direction.push_back(r.direction);
+  }
+
+  /// Bulk-appends all of `other`'s columns (no per-record checks).
+  void append(const TraceColumns& other) {
+    reserve(size() + other.size());
+    time_us.insert(time_us.end(), other.time_us.begin(), other.time_us.end());
+    size_bytes.insert(size_bytes.end(), other.size_bytes.begin(),
+                      other.size_bytes.end());
+    direction.insert(direction.end(), other.direction.begin(),
+                     other.direction.end());
+  }
+
+  [[nodiscard]] PacketRecord record(std::size_t i) const {
+    return PacketRecord{util::TimePoint::from_microseconds(time_us[i]),
+                        size_bytes[i], direction[i]};
+  }
+
+  [[nodiscard]] TraceView view() const {
+    return TraceView{time_us, size_bytes, direction};
+  }
+};
+
+}  // namespace reshape::traffic

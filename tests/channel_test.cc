@@ -106,9 +106,10 @@ struct ArbitratedCell {
   /// On-air timestamps of every captured uplink data frame, in air order.
   [[nodiscard]] std::vector<TimePoint> observed_uplink_times() const {
     std::vector<TimePoint> times;
-    for (const attack::CapturedFrame& c : sniffer.captures()) {
-      if (c.frame.destination == bssid) {
-        times.push_back(c.frame.timestamp);
+    const attack::CaptureColumns& captures = sniffer.captures();
+    for (std::size_t i = 0; i < captures.size(); ++i) {
+      if (captures.direction[i] == mac::Direction::kUplink) {
+        times.push_back(TimePoint::from_microseconds(captures.time_us[i]));
       }
     }
     return times;
@@ -533,19 +534,20 @@ TEST(SnifferUnderArbitrationTest, CapturesSerializedAirMatchingChannelStats) {
   EXPECT_EQ(sniffer.frames_captured(), totals.frames_sent);
   EXPECT_EQ(sniffer.frames_captured(), arbiter.frames_on_air());
 
-  const std::vector<attack::CapturedFrame>& captures = sniffer.captures();
+  const attack::CaptureColumns& captures = sniffer.captures();
   Duration captured_airtime;
   for (std::size_t i = 0; i < captures.size(); ++i) {
+    const TimePoint at = TimePoint::from_microseconds(captures.time_us[i]);
     const Duration on_air =
-        mac::airtime(captures[i].frame.size_bytes, params.bitrate_mbps);
+        mac::airtime(captures.size_bytes[i], params.bitrate_mbps);
     if (i > 0) {
+      const TimePoint prev =
+          TimePoint::from_microseconds(captures.time_us[i - 1]);
       // Strictly increasing and non-overlapping: the previous frame's
       // occupancy ends before (or exactly when) this one starts.
-      EXPECT_GT(captures[i].frame.timestamp, captures[i - 1].frame.timestamp);
-      EXPECT_GE(captures[i].frame.timestamp,
-                captures[i - 1].frame.timestamp +
-                    mac::airtime(captures[i - 1].frame.size_bytes,
-                                 params.bitrate_mbps));
+      EXPECT_GT(at, prev);
+      EXPECT_GE(at, prev + mac::airtime(captures.size_bytes[i - 1],
+                                        params.bitrate_mbps));
     }
     captured_airtime += on_air;
   }

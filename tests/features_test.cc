@@ -26,8 +26,8 @@ PacketRecord record(double t, std::uint32_t size,
 // ------------------------------------------------------ extract_window ---
 
 TEST(ExtractWindowTest, EmptyWindowIsNullopt) {
-  const std::vector<PacketRecord> empty;
-  EXPECT_FALSE(extract_window(empty).has_value());
+  const Trace empty;
+  EXPECT_FALSE(extract_window(empty.records()).has_value());
 }
 
 TEST(ExtractWindowTest, SizeStatisticsPerDirection) {

@@ -1,0 +1,234 @@
+// Golden-equivalence guards for the hot-path data-layout refactor.
+//
+// The feature pipeline replaced a slice-per-window loop with a
+// single-pass batch extractor and a streaming per-arrival accumulator.
+// These tests pin the refactor's core promise: on every registry
+// scenario, all three paths produce bit-for-bit identical doubles — the
+// same util::RunningStats add sequence, the same values, no "close
+// enough" tolerance. A drift of one ULP anywhere in the window math
+// would change classifier inputs and silently fork every report golden.
+//
+// Also here: a ChannelArbiter attribution regression (per-station
+// ChannelStats must match an on-air-hook tally keyed by transmitter
+// identity — the dense station index must never cross wires between
+// stations).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "features/features.h"
+#include "mac/frame.h"
+#include "runtime/scenario.h"
+#include "sim/channel/channel_arbiter.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+#include "traffic/trace.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace reshape {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------- feature-path equivalence ---
+
+/// The seed's original implementation, verbatim: cut consecutive windows
+/// by repeated time slicing and extract each window independently. This
+/// is the reference every optimised path must reproduce exactly.
+std::vector<features::WindowFeatures> reference_windows(
+    const traffic::Trace& trace, Duration w, std::size_t min_packets) {
+  std::vector<features::WindowFeatures> out;
+  if (trace.empty()) {
+    return out;
+  }
+  const TimePoint start = trace.start_time();
+  const TimePoint end = trace.end_time();
+  for (TimePoint t0 = start; t0 <= end; t0 += w) {
+    const traffic::TraceView window = trace.slice(t0, t0 + w);
+    if (window.size() < min_packets) {
+      continue;
+    }
+    if (auto f = features::extract_window(window)) {
+      out.push_back(*f);
+    }
+  }
+  return out;
+}
+
+/// The streaming path: one push per record, boundary emissions collected
+/// in arrival order, finish() flushing the tail window.
+std::vector<features::WindowFeatures> incremental_windows(
+    const traffic::Trace& trace, Duration w, std::size_t min_packets) {
+  features::IncrementalWindowExtractor extractor{w, min_packets};
+  std::vector<features::WindowFeatures> out;
+  for (const traffic::PacketRecord& r : trace.records()) {
+    if (auto f = extractor.push(r)) {
+      out.push_back(*f);
+    }
+  }
+  if (auto f = extractor.finish()) {
+    out.push_back(*f);
+  }
+  return out;
+}
+
+void expect_bit_identical(const std::vector<features::WindowFeatures>& got,
+                          const std::vector<features::WindowFeatures>& want,
+                          const char* path, const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << path << ": " << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::vector<double> g = got[i].to_vector();
+    const std::vector<double> e = want[i].to_vector();
+    ASSERT_EQ(g.size(), e.size());
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is the same double,
+      // not a nearby one.
+      EXPECT_EQ(g[k], e[k]) << path << ": " << context << " window " << i
+                            << " feature " << k << " ("
+                            << features::WindowFeatures::names()[k] << ")";
+    }
+  }
+}
+
+TEST(FeaturePathEquivalenceTest, AllRegistryScenariosBitIdentical) {
+  runtime::ScenarioRegistry& registry = runtime::ScenarioRegistry::global();
+  const Duration w = Duration::seconds(5.0);
+  constexpr std::size_t kMinPackets = 2;
+
+  util::Rng root{20110621};
+  std::size_t scenario_index = 0;
+  std::size_t flows_checked = 0;
+  for (const std::string& name : registry.names()) {
+    util::Rng cell_rng = root.fork(scenario_index++);
+    const std::vector<traffic::Trace> sessions =
+        registry.at(name).generate(cell_rng);
+    ASSERT_FALSE(sessions.empty()) << name;
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      const traffic::Trace& trace = sessions[s];
+      const std::string context =
+          name + " session " + std::to_string(s);
+      const std::vector<features::WindowFeatures> want =
+          reference_windows(trace, w, kMinPackets);
+      expect_bit_identical(
+          features::extract_all_windows(trace, w, kMinPackets), want,
+          "extract_all_windows", context);
+      expect_bit_identical(incremental_windows(trace, w, kMinPackets), want,
+                           "IncrementalWindowExtractor", context);
+      ++flows_checked;
+      if (::testing::Test::HasFailure()) {
+        return;  // one broken flow is enough diagnosis; don't spam 10k more
+      }
+    }
+  }
+  // The registry holds the 10k-station scenario, so this is not a toy
+  // corpus: the sweep must actually have covered thousands of flows.
+  EXPECT_GT(flows_checked, 10000u);
+}
+
+TEST(FeaturePathEquivalenceTest, WindowBoundaryRecordsAgree) {
+  // Records landing exactly on window boundaries are where an off-by-one
+  // between "slice [t0, t0+w)" and "boundary crossing" would hide.
+  const Duration w = Duration::seconds(1.0);
+  traffic::Trace trace{traffic::AppType::kBrowsing};
+  for (int i = 0; i < 12; ++i) {
+    // Two records per second: one exactly on the boundary, one inside.
+    trace.push_back(TimePoint::from_seconds(i * 0.5), 400 + i,
+                    i % 2 == 0 ? mac::Direction::kUplink
+                               : mac::Direction::kDownlink);
+  }
+  const std::vector<features::WindowFeatures> want =
+      reference_windows(trace, w, 1);
+  expect_bit_identical(features::extract_all_windows(trace, w, 1), want,
+                       "extract_all_windows", "boundary trace");
+  expect_bit_identical(incremental_windows(trace, w, 1), want,
+                       "IncrementalWindowExtractor", "boundary trace");
+}
+
+// ------------------------------------------ arbiter stats attribution ---
+
+TEST(ChannelStatsRegressionTest, PerStationStatsMatchOnAirTally) {
+  // Many stations, heavy contention, distinct per-station frame sizes.
+  // Every on-air notification is tallied by transmitter identity; the
+  // arbiter's per-station ChannelStats must agree with that independent
+  // ledger exactly. A dense-index mix-up (stats credited to the wrong
+  // station slot) cannot survive this.
+  sim::Simulator simulator;
+  sim::PathLossModel quiet;
+  quiet.shadowing_sigma_db = 0.0;
+  sim::Medium medium{quiet, util::Rng{1}};
+  sim::channel::DcfParams params;
+  params.bitrate_mbps = 12.0;
+  sim::channel::ChannelArbiter arbiter{simulator, medium, 1, params,
+                                       util::Rng{20110622}};
+
+  struct Identity final : sim::RadioListener {
+    void on_frame(const mac::Frame&, double) override {}
+  };
+  constexpr std::size_t kStations = 12;
+  std::vector<Identity> stations(kStations);
+
+  struct Tally {
+    std::uint64_t frames = 0;
+    Duration airtime;
+    Duration access_delay;
+  };
+  std::map<const sim::RadioListener*, Tally> on_air;
+  std::uint64_t dropped = 0;
+  arbiter.set_on_air_hook([&](const mac::Frame& f, Duration delay,
+                              const sim::RadioListener* tx) {
+    Tally& t = on_air[tx];
+    ++t.frames;
+    t.airtime += mac::airtime(f.size_bytes, params.bitrate_mbps);
+    t.access_delay += delay;
+  });
+  arbiter.set_drop_hook(
+      [&](const mac::Frame&, const sim::RadioListener*) { ++dropped; });
+
+  constexpr int kRounds = 30;
+  std::uint64_t enqueued = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t s = 0; s < kStations; ++s) {
+      // All stations offer in the same slot every round: contention on
+      // every access. Size encodes the station, so a frame credited to
+      // the wrong slot also carries the wrong airtime.
+      mac::Frame f;
+      f.type = mac::FrameType::kData;
+      f.subtype = mac::FrameSubtype::kQosData;
+      f.size_bytes = static_cast<std::uint32_t>(200 + 100 * s);
+      f.channel = 1;
+      simulator.schedule_at(TimePoint::from_microseconds(round * 500),
+                            [&arbiter, f, &stations, s] {
+                              arbiter.enqueue(f, sim::Position{}, &stations[s]);
+                            });
+      ++enqueued;
+    }
+  }
+  simulator.run();
+
+  ASSERT_EQ(arbiter.station_count(), kStations);
+  ASSERT_EQ(arbiter.pending(), 0u);
+  std::uint64_t sent_total = 0;
+  for (std::size_t s = 0; s < kStations; ++s) {
+    const sim::channel::ChannelStats* stats = arbiter.stats_of(&stations[s]);
+    ASSERT_NE(stats, nullptr) << "station " << s;
+    const Tally& tally = on_air[&stations[s]];
+    EXPECT_EQ(stats->frames_sent, tally.frames) << "station " << s;
+    EXPECT_EQ(stats->airtime, tally.airtime) << "station " << s;
+    EXPECT_EQ(stats->total_access_delay, tally.access_delay)
+        << "station " << s;
+    sent_total += stats->frames_sent;
+  }
+  const sim::channel::ChannelStats totals = arbiter.totals();
+  EXPECT_EQ(totals.frames_sent, sent_total);
+  EXPECT_EQ(totals.frames_sent, arbiter.frames_on_air());
+  EXPECT_EQ(totals.frames_sent + totals.frames_dropped, enqueued);
+  EXPECT_EQ(totals.frames_dropped, dropped);
+}
+
+}  // namespace
+}  // namespace reshape

@@ -45,6 +45,61 @@ TEST(EventQueueTest, TiesBreakByInsertionOrder) {
   }
 }
 
+TEST(EventQueueTest, MixedTypedAndCallbackEventsMatchReferenceOrder) {
+  // Property test for the arena-backed queue: a random schedule of typed
+  // (EventHandler) and callback events — with deliberate timestamp ties —
+  // must fire in exactly the order of a reference model (stable sort by
+  // time, insertion order breaking ties). The arena slots, free-list
+  // reuse, and typed/callback mixing must never leak into ordering.
+  struct Recorder final : EventHandler {
+    std::vector<std::uint64_t>* fired;
+    void on_event(std::uint64_t a, std::uint64_t) override {
+      fired->push_back(a);
+    }
+  };
+
+  util::Rng rng{20110703};
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    std::vector<std::uint64_t> fired;
+    Recorder recorder;
+    recorder.fired = &fired;
+
+    constexpr std::uint64_t kEvents = 200;
+    std::vector<std::pair<std::int64_t, std::uint64_t>> reference;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      // Few distinct timestamps -> dense ties across event kinds.
+      const std::int64_t when_us = rng.uniform_int(0, 9) * 1000;
+      const TimePoint when = TimePoint::from_microseconds(when_us);
+      if (rng.uniform_int(0, 1) == 0) {
+        q.push_event(when, recorder, i);
+      } else {
+        q.push(when, [&fired, i] { fired.push_back(i); });
+      }
+      reference.emplace_back(when_us, i);
+    }
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    // Alternate both drain paths; dispatch_next and pop must agree.
+    while (!q.empty()) {
+      if (fired.size() % 2 == 0) {
+        q.dispatch_next();
+      } else {
+        q.pop()();
+      }
+    }
+
+    ASSERT_EQ(fired.size(), kEvents);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      EXPECT_EQ(fired[i], reference[i].second) << "round " << round
+                                               << " position " << i;
+    }
+  }
+}
+
 TEST(EventQueueTest, EmptyQueueThrows) {
   EventQueue q;
   EXPECT_THROW((void)q.pop(), std::invalid_argument);

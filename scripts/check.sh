@@ -69,3 +69,11 @@ cmake --build "$BUILD_DIR" -j
 # chain with scripts/trace_dump.py telemetry.json.
 OBS_TELEMETRY=telemetry.json "./$BUILD_DIR/live_wlan_session" > /dev/null
 test -s telemetry.json
+
+# The drift smoke: the monitored-drift campaign must fire the
+# Page–Hinkley rule on its shifted run and stay silent on the stationary
+# control (the example exits non-zero otherwise). alerts.json carries the
+# windowed series + alerts; inspect with scripts/trace_dump.py --series /
+# --alerts alerts.json.
+"./$BUILD_DIR/drift_monitor" --out alerts.json > /dev/null
+test -s alerts.json

@@ -8,10 +8,18 @@ PacketTrace JSON ({"capacity":...,"events":[...]}).
   scripts/trace_dump.py telemetry.json             # per-frame summary
   scripts/trace_dump.py telemetry.json --frame 17  # one frame's span chain
   scripts/trace_dump.py telemetry.json --profile   # per-phase lap table only
+  scripts/trace_dump.py alerts.json --series       # windowed sparklines
+  scripts/trace_dump.py alerts.json --alerts       # fired drift/SLO alerts
 
 Documents that carry a "profile" section (campaign telemetry exports)
 also get a per-phase lap table — wall/CPU time per phase with per-call
 averages, the campaign counterpart of the per-frame span chain.
+
+--series reads the "windows" section (sim-time-windowed series, as
+written by engine telemetry_to_json() or examples/drift_monitor) and
+renders one sparkline of window means per labeled series; --alerts reads
+the alert arrays drift_monitor writes ("alerts" / "control_alerts") and
+tabulates each firing with its window's sim-time bounds.
 
 Standard library only; no third-party dependencies.
 """
@@ -105,6 +113,89 @@ def print_table(rows, header):
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
 
 
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """Unicode sparkline of a value list; None marks an empty window."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(SPARK_BLOCKS[0])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_BLOCKS) - 1))
+            chars.append(SPARK_BLOCKS[idx])
+    return "".join(chars)
+
+
+def labels_str(labels):
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def print_series(windows):
+    """Sparkline table of every windowed series: one row per (name,
+    labels) with the window-mean curve over the series' own window range
+    (blanks are windows with no observations)."""
+    series = windows.get("series", [])
+    if not series:
+        print("windows section is empty (run with OBS_WINDOWED on?)")
+        return
+    window_s = windows.get("window_us", 0) / 1e6
+    print(f"{len(series)} series  (window {window_s:g}s)")
+    rows = []
+    for entry in series:
+        points = {p["window"]: p for p in entry.get("points", [])}
+        if not points:
+            continue
+        lo, hi = min(points), max(points)
+        means = [points[w]["sum"] / points[w]["count"]
+                 if w in points and points[w]["count"] else None
+                 for w in range(lo, hi + 1)]
+        present = [m for m in means if m is not None]
+        rows.append([
+            entry["name"], labels_str(entry.get("labels", {})),
+            f"{lo}..{hi}", sparkline(means),
+            f"{min(present):.3g}", f"{max(present):.3g}",
+        ])
+    print_table(rows, ["series", "labels", "windows", "mean/window",
+                       "min", "max"])
+
+
+def print_alerts(doc):
+    """Table of fired AlertRecords with sim-time window bounds. Accepts a
+    drift_monitor document ("alerts" + "control_alerts") or a bare alert
+    array."""
+    groups = []
+    if isinstance(doc, list):
+        groups.append(("alerts", doc))
+    else:
+        for key in ("alerts", "control_alerts"):
+            if key in doc:
+                groups.append((key, doc[key]))
+    if not groups:
+        raise SystemExit("no alert arrays in document")
+    for name, alerts in groups:
+        print(f"{name}: {len(alerts)} fired")
+        if not alerts:
+            continue
+        print_table(
+            [[a["rule"], a["kind"], a["detail"], a["series"],
+              labels_str(a.get("labels", {})), a["window"],
+              "-" if a["window"] < 0 else
+              f"{a['window_start_us'] / 1e6:g}-{a['window_end_us'] / 1e6:g}s",
+              f"{a['threshold']:g}", f"{a['observed']:g}"]
+             for a in alerts],
+            ["rule", "kind", "detail", "series", "labels", "window",
+             "bounds", "threshold", "observed"])
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("path", help="telemetry or trace JSON file")
@@ -114,6 +205,10 @@ def main():
                         help="include incomplete/dropped frames")
     parser.add_argument("--profile", action="store_true",
                         help="print only the per-phase lap table")
+    parser.add_argument("--series", action="store_true",
+                        help="print sparklines of the windowed series")
+    parser.add_argument("--alerts", action="store_true",
+                        help="print the fired drift/SLO alerts")
     args = parser.parse_args()
 
     doc = load_doc(args.path)
@@ -122,6 +217,17 @@ def main():
             raise SystemExit(f"{args.path}: no profile section "
                              "(campaign run with profiling off?)")
         print_profile(doc["profile"])
+        return
+    if args.series or args.alerts:
+        if args.series:
+            if "windows" not in doc:
+                raise SystemExit(f"{args.path}: no windows section "
+                                 "(run with OBS_WINDOWED on?)")
+            print_series(doc["windows"])
+        if args.alerts:
+            if args.series:
+                print()
+            print_alerts(doc)
         return
 
     trace = trace_of(doc, args.path)

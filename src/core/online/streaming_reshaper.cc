@@ -153,6 +153,20 @@ ShapedPacket StreamingReshaper::push(const traffic::PacketRecord& arrival) {
       std::max(stats_.max_queueing_delay, out.queueing_delay);
   stats_.airtime_busy += on_air;
 
+  if (windowed_.queueing_delay != nullptr) {
+    // Windowed emission keys off the arrival instant — the sim-time axis
+    // the drift detectors and SLO rules slice on.
+    windowed_.queueing_delay->observe(
+        arrival.time, static_cast<double>(out.queueing_delay.count_us()));
+    windowed_.deadline_miss->observe(arrival.time,
+                                     out.deadline_miss ? 1.0 : 0.0);
+    windowed_.original_bytes->observe(arrival.time,
+                                      static_cast<double>(arrival.size_bytes));
+    windowed_.added_bytes->observe(
+        arrival.time, static_cast<double>(out.record.size_bytes) -
+                          static_cast<double>(arrival.size_bytes));
+  }
+
   if (config_.record_streams) {
     streams_[out.interface_index].push_back(out.record);
   }
@@ -166,6 +180,21 @@ ShapedPacket StreamingReshaper::push(const traffic::PacketRecord& arrival) {
                    static_cast<std::int64_t>(out.interface_index));
   }
   return out;
+}
+
+void StreamingReshaper::set_windowed(obs::WindowedRegistry* registry,
+                                     const obs::LabelSet& labels) {
+  if (registry == nullptr) {
+    windowed_ = WindowedEmit{};
+    return;
+  }
+  windowed_.queueing_delay =
+      &registry->series("streaming_queueing_delay_us", labels);
+  windowed_.deadline_miss =
+      &registry->series("streaming_deadline_miss", labels);
+  windowed_.original_bytes =
+      &registry->series("streaming_original_bytes", labels);
+  windowed_.added_bytes = &registry->series("streaming_added_bytes", labels);
 }
 
 DefenseResult StreamingReshaper::result(traffic::AppType app) const {

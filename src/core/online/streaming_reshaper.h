@@ -43,6 +43,7 @@
 #include "core/morphing.h"
 #include "core/scheduler.h"
 #include "obs/packet_trace.h"
+#include "obs/windowed.h"
 #include "traffic/trace.h"
 #include "util/time.h"
 
@@ -203,6 +204,13 @@ class StreamingReshaper {
   void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
   [[nodiscard]] obs::PacketTrace* packet_trace() const { return trace_; }
 
+  /// Attaches windowed-series emission (nullptr detaches): each pushed
+  /// packet observes streaming_queueing_delay_us, streaming_deadline_miss,
+  /// streaming_original_bytes, and streaming_added_bytes under `labels`
+  /// at its *arrival* instant. Observation-only, like the packet trace.
+  void set_windowed(obs::WindowedRegistry* registry,
+                    const obs::LabelSet& labels = {});
+
   /// Packages the accumulated streams as a batch-compatible result,
   /// labeled with the originating application (requires record_streams).
   [[nodiscard]] DefenseResult result(traffic::AppType app) const;
@@ -227,6 +235,14 @@ class StreamingReshaper {
   // the per-interface queue the paper's live deployment would hold.
   std::vector<std::deque<util::TimePoint>> inflight_;
   obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
+  // Windowed-series handles, resolved once in set_windowed (nullptr = off).
+  struct WindowedEmit {
+    obs::WindowedSeries* queueing_delay = nullptr;
+    obs::WindowedSeries* deadline_miss = nullptr;
+    obs::WindowedSeries* original_bytes = nullptr;
+    obs::WindowedSeries* added_bytes = nullptr;
+  };
+  WindowedEmit windowed_;
 };
 
 /// Feeds a whole trace through the reshaper (after a reset()) and returns

@@ -80,11 +80,14 @@ const traffic::Trace& CandidateEvaluator::profile_trace() const {
 
 CandidateShardOutcome CandidateEvaluator::evaluate_cell(
     const TunedConfiguration& candidate, const runtime::CellGrid& grid,
-    std::size_t cell_id) const {
+    std::size_t cell_id, obs::WindowedRegistry* windows) const {
   util::require(trained_, "CandidateEvaluator: call train() first");
   candidate.validate();
   const runtime::CellStreams streams =
       runtime::cell_streams(spec_.seed, grid, cell_id);
+  const obs::LabelSet window_labels{
+      {"candidate", candidate.name},
+      {"shard", std::to_string(grid.decompose(cell_id).shard)}};
 
   util::Rng workload = streams.workload;
   const std::vector<traffic::Trace> sessions =
@@ -109,6 +112,9 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
   std::vector<std::vector<traffic::PacketRecord>> released(sessions.size());
   for (std::size_t s = 0; s < sessions.size(); ++s) {
     const auto reshaper = candidate.make_reshaper(config);
+    if (windows != nullptr) {
+      reshaper->set_windowed(windows, window_labels);
+    }
     released[s].reserve(sessions[s].size());
     for (const traffic::PacketRecord& record : sessions[s].records()) {
       const online::ShapedPacket shaped = reshaper->push(record);
@@ -142,6 +148,9 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
     params.bitrate_mbps = spec_.arbitration_bitrate_mbps;
     sim::channel::ChannelArbiter arbiter{simulator, medium, kChannel, params,
                                          streams.channel.fork(2)};
+    if (windows != nullptr) {
+      arbiter.set_windowed(windows, window_labels);
+    }
     arbiter.set_on_air_hook([&outcome](const mac::Frame&,
                                        util::Duration access_delay,
                                        const sim::RadioListener*) {
@@ -180,6 +189,11 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
   outcome.flows = flows.size();
   outcome.epochs = runtime::run_adaptive_flows(base_, spec_.attacker,
                                                spec_.make_classifier, flows);
+  if (windows != nullptr) {
+    for (const attack::adaptive::EpochScore& epoch : outcome.epochs) {
+      publish_windowed(*windows, epoch, window_labels);
+    }
+  }
   phase.reset();
   return outcome;
 }

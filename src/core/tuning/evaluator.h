@@ -112,9 +112,13 @@ class CandidateEvaluator {
   /// Evaluates one (candidate, shard) cell of `grid` (candidates-major,
   /// one scenario). Deterministic in (spec seed, grid, cell_id); const
   /// and thread-safe after train().
+  /// `windows` (optional) receives sim-time-windowed series from the
+  /// cell's streaming reshaper, channel arbiter, and adaptive epochs
+  /// under (candidate, shard) labels; observation-only, the outcome is
+  /// byte-identical with or without it.
   [[nodiscard]] CandidateShardOutcome evaluate_cell(
       const TunedConfiguration& candidate, const runtime::CellGrid& grid,
-      std::size_t cell_id) const;
+      std::size_t cell_id, obs::WindowedRegistry* windows = nullptr) const;
 
   /// Merges one candidate's shard outcomes into metrics under
   /// `objective` (epoch confusions merged per epoch before the crossing

@@ -1,5 +1,6 @@
 #include "core/tuning/tuner.h"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -144,6 +145,7 @@ TuningReport ParameterTuner::run(std::size_t threads) {
   train();
   profiler_.clear();
   telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
   evaluator_.set_profiler(telemetry_config_.profiling ? &profiler_ : nullptr);
 
   // The candidate grid is a one-scenario campaign: candidates take the
@@ -154,22 +156,38 @@ TuningReport ParameterTuner::run(std::size_t threads) {
   std::vector<CandidateShardOutcome> outcomes(grid.cell_count());
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? grid.cell_count() : 0);
+  std::vector<obs::WindowedSnapshot> cell_windows(
+      telemetry_config_.windowed ? grid.cell_count() : 0);
   runtime::run_cells(
       grid.cell_count(), threads,
       [&](std::size_t cell_id) {
         const runtime::CellGrid::Cell cell = grid.decompose(cell_id);
+        std::optional<obs::WindowedRegistry> windows;
+        if (telemetry_config_.windowed) {
+          windows.emplace(telemetry_config_.window);
+        }
         outcomes[cell_id] =
-            evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id);
+            evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id,
+                                     windows ? &*windows : nullptr);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, candidates_[cell.defense], cell,
                        outcomes[cell_id]);
           cell_metrics[cell_id] = registry.snapshot();
         }
+        if (windows) {
+          cell_windows[cell_id] = windows->snapshot();
+        }
       },
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
     telemetry_.merge(snapshot);
+  }
+  for (const obs::WindowedSnapshot& snapshot : cell_windows) {
+    windowed_.merge(snapshot);
+  }
+  if (sink_ != nullptr && telemetry_config_.metrics) {
+    sink_->consume(publications_++, telemetry_);
   }
 
   TuningReport report;
@@ -207,6 +225,9 @@ std::string ParameterTuner::telemetry_to_json() const {
   obs::TelemetryExport doc;
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.windowed) {
+    doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {
     doc.profiler = &profiler_;

@@ -101,6 +101,19 @@ class ParameterTuner {
     return telemetry_;
   }
 
+  /// The merged sim-time-windowed series of the last run(): streaming_*
+  /// per-packet costs, channel_* on-air costs, and adaptive accuracy
+  /// epochs under (candidate, shard) labels, folded in cell order. Empty
+  /// when windowed collection was off.
+  [[nodiscard]] const obs::WindowedSnapshot& windowed() const {
+    return windowed_;
+  }
+
+  /// Publishes each run()'s merged metrics snapshot to `sink` (nullptr
+  /// detaches) with a per-engine sequence number — the stream the fleet
+  /// controller consumes. Only fires when metrics collection is on.
+  void set_telemetry_sink(obs::TelemetrySink* sink) { sink_ = sink; }
+
   /// Wall/CPU phase timings of the last run(): per-cell laps from the
   /// worker pool plus the evaluator's streaming / arbitration / adaptive
   /// passes. Host measurements — never part of the deterministic report.
@@ -119,7 +132,10 @@ class ParameterTuner {
   bool trained_ = false;
   obs::TelemetryConfig telemetry_config_{};
   obs::MetricsSnapshot telemetry_;
+  obs::WindowedSnapshot windowed_;
   obs::PhaseProfiler profiler_;
+  obs::TelemetrySink* sink_ = nullptr;  // not owned
+  std::uint64_t publications_ = 0;      // sink sequence counter
 };
 
 }  // namespace reshape::core::tuning

@@ -60,6 +60,14 @@ TelemetryConfig TelemetryConfig::from_env(TelemetryConfig fallback) {
   config.metrics = env_enabled("OBS_METRICS", fallback.metrics);
   config.tracing = env_enabled("OBS_TRACE", fallback.tracing);
   config.profiling = env_enabled("OBS_PROFILE", fallback.profiling);
+  config.windowed = env_enabled("OBS_WINDOWED", fallback.windowed);
+  config.window = fallback.window;
+  if (const char* value = std::getenv("OBS_WINDOW_US"); value != nullptr) {
+    const long long us = std::atoll(value);
+    if (us > 0) {
+      config.window = util::Duration::microseconds(us);
+    }
+  }
   return config;
 }
 
@@ -69,6 +77,13 @@ std::string TelemetryExport::to_json() const {
   bool first = true;
   if (metrics != nullptr) {
     out << "\"metrics\":" << metrics->to_json();
+    first = false;
+  }
+  if (windows != nullptr) {
+    if (!first) {
+      out << ",";
+    }
+    out << "\"windows\":" << windows->to_json();
     first = false;
   }
   if (profiler != nullptr) {

@@ -17,6 +17,8 @@
 #include "obs/metrics.h"
 #include "obs/packet_trace.h"
 #include "obs/profiler.h"
+#include "obs/windowed.h"
+#include "util/time.h"
 
 namespace reshape::obs {
 
@@ -57,14 +59,22 @@ struct TelemetryConfig {
   bool metrics = false;    // registry publishing
   bool tracing = false;    // PacketTrace span recording
   bool profiling = false;  // wall/CPU phase timers
+  bool windowed = false;   // sim-time windowed series (obs/windowed.h)
 
-  [[nodiscard]] bool any() const { return metrics || tracing || profiling; }
+  /// Window length for windowed series (sim time). Engines whose natural
+  /// cadence differs (the adaptive attacker's epoch length) may override.
+  util::Duration window = util::Duration::seconds(5.0);
 
-  [[nodiscard]] static TelemetryConfig enabled() {
-    return TelemetryConfig{true, true, true};
+  [[nodiscard]] bool any() const {
+    return metrics || tracing || profiling || windowed;
   }
 
-  /// Reads OBS_TRACE (gates tracing) and OBS_METRICS/OBS_PROFILE; an unset
+  [[nodiscard]] static TelemetryConfig enabled() {
+    return TelemetryConfig{true, true, true, true};
+  }
+
+  /// Reads OBS_TRACE (gates tracing), OBS_METRICS/OBS_PROFILE/OBS_WINDOWED,
+  /// and OBS_WINDOW_US (window length in integer microseconds); an unset
   /// variable keeps `fallback`'s field. Recognizes 0/off/false as off,
   /// anything else as on.
   [[nodiscard]] static TelemetryConfig from_env(TelemetryConfig fallback);
@@ -83,10 +93,11 @@ struct TelemetryExport {
   const MetricsSnapshot* metrics = nullptr;
   const PhaseProfiler* profiler = nullptr;
   const PacketTrace* trace = nullptr;
+  const WindowedSnapshot* windows = nullptr;
 
-  /// {"metrics":...,"profile":...,"trace":...} with absent sections
-  /// skipped. The metrics and trace sections are deterministic; profile
-  /// is not (host timings).
+  /// {"metrics":...,"windows":...,"profile":...,"trace":...} with absent
+  /// sections skipped. The metrics, windows, and trace sections are
+  /// deterministic; profile is not (host timings).
   [[nodiscard]] std::string to_json() const;
 };
 

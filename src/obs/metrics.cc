@@ -48,6 +48,20 @@ std::string LabelSet::to_string() const {
   return out;
 }
 
+bool LabelSet::contains(const LabelSet& subset) const {
+  // Both sides are sorted by key; a linear scan suffices.
+  auto here = entries_.begin();
+  for (const auto& want : subset.entries_) {
+    while (here != entries_.end() && here->first < want.first) {
+      ++here;
+    }
+    if (here == entries_.end() || *here != want) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string_view metric_kind_name(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -88,6 +102,32 @@ void HistogramData::merge(const HistogramData& other) {
 
 double HistogramData::mean() const {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      if (i == upper_bounds.size()) {
+        return max;  // overflow bucket: no upper edge to interpolate into
+      }
+      const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double upper = upper_bounds[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return std::clamp(lower + fraction * (upper - lower), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds) {

@@ -68,6 +68,11 @@ class LabelSet {
   /// "k1=v1,k2=v2" — the human-readable (and CSV) form.
   [[nodiscard]] std::string to_string() const;
 
+  /// True when every label of `subset` appears here with the same value —
+  /// the matching rule for drift/SLO rules (an empty subset matches any
+  /// label set).
+  [[nodiscard]] bool contains(const LabelSet& subset) const;
+
   auto operator<=>(const LabelSet&) const = default;
 
  private:
@@ -126,6 +131,13 @@ struct HistogramData {
 
   /// Mean of observed values; 0 when empty.
   [[nodiscard]] double mean() const;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// bucket containing rank q*count: the standard fixed-bucket estimator
+  /// (Prometheus-style), so SLO rules can target p50/p90/p99 without raw
+  /// samples. The overflow bucket has no upper edge and yields the tracked
+  /// max; results are clamped to the observed [min, max]. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Histogram handle returned by the registry.

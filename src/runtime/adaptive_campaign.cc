@@ -21,13 +21,18 @@ constexpr int kClasses = static_cast<int>(traffic::kAppCount);
 /// Publishes one adaptive cell into a private per-cell registry: session
 /// and flow counters plus one adaptive_* epoch series set per epoch
 /// (labels carry the epoch index — the curve survives the shard merge).
-void publish_cell(obs::MetricsRegistry& registry,
-                  const AdaptiveCampaignSpec& spec,
-                  const AdaptiveCellResult& cell) {
-  const obs::LabelSet labels{
+obs::LabelSet cell_labels(const AdaptiveCampaignSpec& spec,
+                          const AdaptiveCellResult& cell) {
+  return obs::LabelSet{
       {"defense", spec.defenses[cell.defense_index].name},
       {"scenario", std::string{spec.scenarios[cell.scenario_index].name()}},
       {"shard", std::to_string(cell.shard)}};
+}
+
+void publish_cell(obs::MetricsRegistry& registry,
+                  const AdaptiveCampaignSpec& spec,
+                  const AdaptiveCellResult& cell) {
+  const obs::LabelSet labels = cell_labels(spec, cell);
   registry.counter("adaptive_sessions_total", labels).add(cell.session_count);
   registry.counter("adaptive_flows_total", labels).add(cell.flow_count);
   for (std::size_t e = 0; e < cell.epochs.size(); ++e) {
@@ -179,11 +184,14 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
   train();
   profiler_.clear();
   telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
 
   const std::size_t cells = cell_count();
   std::vector<AdaptiveCellResult> results(cells);
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? cells : 0);
+  std::vector<obs::WindowedSnapshot> cell_windows(
+      telemetry_config_.windowed ? cells : 0);
   run_cells(
       cells, threads,
       [&](std::size_t cell_id) {
@@ -193,10 +201,29 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
           publish_cell(registry, spec_, results[cell_id]);
           cell_metrics[cell_id] = registry.snapshot();
         }
+        if (telemetry_config_.windowed) {
+          // Epoch scores observed at their sim-time starts: with the
+          // window set to the attacker cadence, windows align 1:1 with
+          // epochs — the accuracy-over-time signal the drift detectors
+          // watch.
+          obs::WindowedRegistry windows{telemetry_config_.window};
+          const obs::LabelSet labels = cell_labels(spec_, results[cell_id]);
+          for (const attack::adaptive::EpochScore& epoch :
+               results[cell_id].epochs) {
+            publish_windowed(windows, epoch, labels);
+          }
+          cell_windows[cell_id] = windows.snapshot();
+        }
       },
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
     telemetry_.merge(snapshot);
+  }
+  for (const obs::WindowedSnapshot& snapshot : cell_windows) {
+    windowed_.merge(snapshot);
+  }
+  if (sink_ != nullptr && telemetry_config_.metrics) {
+    sink_->consume(publications_++, telemetry_);
   }
 
   AdaptiveCampaignReport report;
@@ -234,6 +261,9 @@ std::string AdaptiveCampaignEngine::telemetry_to_json() const {
   obs::TelemetryExport doc;
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.windowed) {
+    doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {
     doc.profiler = &profiler_;

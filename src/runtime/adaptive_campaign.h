@@ -156,6 +156,20 @@ class AdaptiveCampaignEngine {
     return telemetry_;
   }
 
+  /// The merged sim-time-windowed series of the last run():
+  /// adaptive_accuracy_percent (and the static baseline) observed at each
+  /// epoch's start under (defense, scenario, shard) labels. With the
+  /// config window set to the attacker cadence, windows align 1:1 with
+  /// epochs. Empty when windowed collection was off.
+  [[nodiscard]] const obs::WindowedSnapshot& windowed() const {
+    return windowed_;
+  }
+
+  /// Publishes each run()'s merged metrics snapshot to `sink` (nullptr
+  /// detaches) with a per-engine sequence number — the stream the fleet
+  /// controller consumes. Only fires when metrics collection is on.
+  void set_telemetry_sink(obs::TelemetrySink* sink) { sink_ = sink; }
+
   /// Wall/CPU phase timings of the last run() (host measurements — never
   /// part of the deterministic report).
   [[nodiscard]] const obs::PhaseProfiler& profiler() const {
@@ -175,7 +189,10 @@ class AdaptiveCampaignEngine {
   bool trained_ = false;
   obs::TelemetryConfig telemetry_config_{};
   obs::MetricsSnapshot telemetry_;
+  obs::WindowedSnapshot windowed_;
   obs::PhaseProfiler profiler_;
+  obs::TelemetrySink* sink_ = nullptr;  // not owned
+  std::uint64_t publications_ = 0;      // sink sequence counter
 };
 
 }  // namespace reshape::runtime

@@ -1,5 +1,6 @@
 #include "runtime/campaign.h"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -19,12 +20,16 @@ using detail::json_number;
 /// registry: windows and correct-window tallies as counters so shard
 /// merges recompute accuracy from summed evidence, point metrics as
 /// per-cell gauges (unique labels — never merged across cells).
-void publish_cell(obs::MetricsRegistry& registry, const CampaignSpec& spec,
-                  const CellResult& cell) {
-  const obs::LabelSet labels{
+obs::LabelSet cell_labels(const CampaignSpec& spec, const CellResult& cell) {
+  return obs::LabelSet{
       {"defense", spec.defenses[cell.defense_index].name},
       {"scenario", std::string{spec.scenarios[cell.scenario_index].name()}},
       {"shard", std::to_string(cell.shard)}};
+}
+
+void publish_cell(obs::MetricsRegistry& registry, const CampaignSpec& spec,
+                  const CellResult& cell) {
+  const obs::LabelSet labels = cell_labels(spec, cell);
   registry.counter("campaign_sessions_total", labels)
       .add(cell.session_count);
   const ml::ConfusionMatrix& confusion = cell.evaluation.confusion;
@@ -111,6 +116,17 @@ CampaignEngine::CampaignEngine(CampaignSpec spec)
   const std::size_t workload_slots = spec_.scenarios.size() * spec_.shards;
   workload_once_ = std::make_unique<std::once_flag[]>(workload_slots);
   workloads_.resize(workload_slots);
+  offered_once_ = std::make_unique<std::once_flag[]>(workload_slots);
+  offered_windows_.assign(workload_slots, nullptr);
+}
+
+void CampaignEngine::set_telemetry(obs::TelemetryConfig config) {
+  telemetry_config_ = config;
+  // The cached offered-load reductions are keyed on the window length;
+  // rebuild them lazily under the (possibly new) config.
+  const std::size_t workload_slots = spec_.scenarios.size() * spec_.shards;
+  offered_once_ = std::make_unique<std::once_flag[]>(workload_slots);
+  offered_windows_.assign(workload_slots, nullptr);
 }
 
 std::size_t CampaignEngine::cell_count() const {
@@ -123,8 +139,8 @@ CellGrid CampaignEngine::grid() const {
   return CellGrid{spec_.defenses.size(), spec_.scenarios.size(), spec_.shards};
 }
 
-CellResult CampaignEngine::run_cell(std::size_t cell_id,
-                                    WorkerArena& arena) const {
+CellResult CampaignEngine::run_cell(std::size_t cell_id, WorkerArena& arena,
+                                    obs::WindowedRegistry* windows) const {
   const CellGrid g = grid();
   const CellGrid::Cell cell = g.decompose(cell_id);
   CellStreams streams = cell_streams(spec_.seed, g, cell_id);
@@ -151,6 +167,28 @@ CellResult CampaignEngine::run_cell(std::size_t cell_id,
   result.evaluation = harness_.evaluate_sessions(
       defense.factory, defense.name, sessions, streams.defense_seed,
       &arena.eval);
+  if (windows != nullptr) {
+    // Offered load per window — the time-resolved workload shape the
+    // drift detectors slice (count = packets, sum = bytes per window).
+    // The reduction only reads the pre-defense workload, so the first
+    // cell on this (scenario, shard) sweeps the packet columns once and
+    // every defense row folds the cached points (commutative merge: the
+    // result is byte-identical to reducing per cell).
+    std::call_once(offered_once_[workload_slot], [&] {
+      obs::WindowedSeries reduced{telemetry_config_.window};
+      for (const traffic::Trace& session : sessions) {
+        publish_windowed(reduced, session);
+      }
+      offered_windows_[workload_slot] =
+          std::make_shared<const std::vector<obs::WindowPoint>>(
+              reduced.points());
+    });
+    obs::WindowedSeries& series =
+        windows->series("campaign_offered_bytes", cell_labels(spec_, result));
+    for (const obs::WindowPoint& point : *offered_windows_[workload_slot]) {
+      series.fold(point.window, point.value);
+    }
+  }
   return result;
 }
 
@@ -158,29 +196,47 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
   train();
   profiler_.clear();
   telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
 
   const std::size_t cells = cell_count();
   std::vector<CellResult> results(cells);
   // One private registry per cell, snapshotted by whichever worker ran the
   // cell and folded on the main thread in cell order — the snapshot of a
   // cell is a pure function of its result, so the merged telemetry is as
-  // thread-count-independent as the report itself.
+  // thread-count-independent as the report itself. Windowed series follow
+  // the same per-cell-then-fold pattern.
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? cells : 0);
+  std::vector<obs::WindowedSnapshot> cell_windows(
+      telemetry_config_.windowed ? cells : 0);
   run_cells(
       cells, threads,
       std::function<void(std::size_t, WorkerArena&)>{
           [&](std::size_t cell_id, WorkerArena& arena) {
-        results[cell_id] = run_cell(cell_id, arena);
+        std::optional<obs::WindowedRegistry> windows;
+        if (telemetry_config_.windowed) {
+          windows.emplace(telemetry_config_.window);
+        }
+        results[cell_id] =
+            run_cell(cell_id, arena, windows ? &*windows : nullptr);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, spec_, results[cell_id]);
           cell_metrics[cell_id] = registry.snapshot();
         }
+        if (windows) {
+          cell_windows[cell_id] = windows->snapshot();
+        }
       }},
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
     telemetry_.merge(snapshot);
+  }
+  for (const obs::WindowedSnapshot& snapshot : cell_windows) {
+    windowed_.merge(snapshot);
+  }
+  if (sink_ != nullptr && telemetry_config_.metrics) {
+    sink_->consume(publications_++, telemetry_);
   }
 
   CampaignReport report;
@@ -245,6 +301,9 @@ std::string CampaignEngine::telemetry_to_json() const {
   obs::TelemetryExport doc;
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
+  }
+  if (telemetry_config_.windowed) {
+    doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {
     doc.profiler = &profiler_;

@@ -115,9 +115,7 @@ class CampaignEngine {
 
   /// Selects what the next run() collects. Telemetry is observation-only:
   /// the CampaignReport is byte-identical whatever this is set to.
-  void set_telemetry(obs::TelemetryConfig config) {
-    telemetry_config_ = config;
-  }
+  void set_telemetry(obs::TelemetryConfig config);
   [[nodiscard]] const obs::TelemetryConfig& telemetry_config() const {
     return telemetry_config_;
   }
@@ -128,6 +126,18 @@ class CampaignEngine {
   [[nodiscard]] const obs::MetricsSnapshot& telemetry() const {
     return telemetry_;
   }
+
+  /// The merged sim-time-windowed series of the last run()
+  /// (campaign_offered_bytes per cell, folded in cell order — as
+  /// deterministic as the report). Empty when windowed collection was off.
+  [[nodiscard]] const obs::WindowedSnapshot& windowed() const {
+    return windowed_;
+  }
+
+  /// Publishes each run()'s merged metrics snapshot to `sink` (nullptr
+  /// detaches) with a per-engine sequence number — the stream the fleet
+  /// controller consumes. Only fires when metrics collection is on.
+  void set_telemetry_sink(obs::TelemetrySink* sink) { sink_ = sink; }
 
   /// Wall/CPU phase timings of the last run() (host measurements — never
   /// part of the deterministic report).
@@ -141,14 +151,17 @@ class CampaignEngine {
 
  private:
   [[nodiscard]] CellGrid grid() const;
-  [[nodiscard]] CellResult run_cell(std::size_t cell_id,
-                                    WorkerArena& arena) const;
+  [[nodiscard]] CellResult run_cell(std::size_t cell_id, WorkerArena& arena,
+                                    obs::WindowedRegistry* windows) const;
 
   CampaignSpec spec_;
   eval::ExperimentHarness harness_;
   obs::TelemetryConfig telemetry_config_{};
   obs::MetricsSnapshot telemetry_;
+  obs::WindowedSnapshot windowed_;
   obs::PhaseProfiler profiler_;
+  obs::TelemetrySink* sink_ = nullptr;  // not owned
+  std::uint64_t publications_ = 0;      // sink sequence counter
 
   // Workload memoization. A cell's sessions are a pure function of
   // (seed, scenario, shard) — the workload stream is keyed on exactly
@@ -160,6 +173,15 @@ class CampaignEngine {
   mutable std::unique_ptr<std::once_flag[]> workload_once_;
   mutable std::vector<std::shared_ptr<const std::vector<traffic::Trace>>>
       workloads_;
+
+  // Windowed-reduction memoization, same keying: campaign_offered_bytes
+  // is the *pre-defense* workload, so its per-window reduction is shared
+  // by every defense row of the grid exactly like the traces themselves —
+  // one packet-column sweep per (scenario, shard) instead of one per
+  // cell. set_telemetry() invalidates it (the window length may change).
+  mutable std::unique_ptr<std::once_flag[]> offered_once_;
+  mutable std::vector<std::shared_ptr<const std::vector<obs::WindowPoint>>>
+      offered_windows_;
 };
 
 }  // namespace reshape::runtime

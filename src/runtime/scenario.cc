@@ -534,6 +534,63 @@ Scenario adaptive_roaming_retrain(std::size_t stations,
       }};
 }
 
+Scenario monitored_drift(std::size_t stations, util::Duration duration,
+                         bool shift) {
+  util::require(stations > 0, "monitored_drift: need >= 1 station");
+  const char* name = shift ? "monitored-drift" : "monitored-drift-control";
+  const char* description =
+      shift ? "traffic mix shifts mid-campaign: sparse interactive sessions "
+              "whose body switches to a bulk app's model at half time while "
+              "keeping the original label — the drift-detector arena"
+            : "the stationary control of monitored-drift: the same sparse "
+              "interactive sessions end to end, no shift, no alert";
+  return Scenario{
+      name, description, [stations, duration, shift](util::Rng& rng) {
+        const util::TimePoint shift_at =
+            util::TimePoint{} +
+            util::Duration::microseconds(duration.count_us() / 2);
+        std::vector<traffic::Trace> sessions;
+        sessions.reserve(stations);
+        for (std::size_t s = 0; s < stations; ++s) {
+          // Sparse, human-paced nominal app per station; the shifted half
+          // draws from a bulk app so the *shape* changes while the
+          // session keeps its nominal label.
+          util::Rng station_rng = rng.fork(s);
+          const traffic::AppType nominal = station_rng.uniform_int(0, 1) == 0
+                                               ? traffic::AppType::kChatting
+                                               : traffic::AppType::kGaming;
+          const traffic::AppType bulk = station_rng.uniform_int(0, 1) == 0
+                                            ? traffic::AppType::kDownloading
+                                            : traffic::AppType::kVideo;
+          const traffic::Trace first =
+              traffic::generate_trace(nominal, duration, station_rng);
+          if (!shift) {
+            sessions.push_back(first);
+            continue;
+          }
+          // The bulk half comes from its own keyed substream over the
+          // full duration; splicing at shift_at keeps record times
+          // non-decreasing (both traces are time-ordered from t=0).
+          util::Rng bulk_rng = rng.fork(0xD21F7000ULL + s);
+          const traffic::Trace second =
+              traffic::generate_trace(bulk, duration, bulk_rng);
+          traffic::Trace spliced{nominal};
+          for (const traffic::PacketRecord& r : first.records()) {
+            if (r.time < shift_at) {
+              spliced.push_back(r);
+            }
+          }
+          for (const traffic::PacketRecord& r : second.records()) {
+            if (r.time >= shift_at) {
+              spliced.push_back(r);
+            }
+          }
+          sessions.push_back(std::move(spliced));
+        }
+        return sessions;
+      }};
+}
+
 Scenario saturated_ap_downlink(std::size_t clients, util::Duration duration,
                                double bitrate_mbps) {
   util::require(clients > 0, "saturated_ap_downlink: need >= 1 client");
@@ -590,6 +647,8 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r.add(adaptive_contended_cell(5, util::Duration::seconds(90.0)));
     r.add(adaptive_roaming_retrain(4, util::Duration::seconds(90.0)));
     r.add(tuned_vs_table5(4, util::Duration::seconds(60.0)));
+    r.add(monitored_drift(4, minute, true));
+    r.add(monitored_drift(4, minute, false));
     return r;
   }();
   return registry;

@@ -164,6 +164,18 @@ class Scenario {
                                                 util::Duration duration,
                                                 double bitrate_mbps = 12.0);
 
+/// The drift-monitoring arena. Every station runs a sparse interactive
+/// app (chatting or gaming, keyed per station); with `shift` set, the
+/// traffic *body* switches to a bulk app's model (downloading or video)
+/// at duration/2 while the session keeps its original label — the
+/// mid-campaign mix shift that collapses a trained attacker's accuracy
+/// and must fire the Page–Hinkley detector over the windowed
+/// adaptive-accuracy series. With `shift` off ("monitored-drift-control")
+/// the mix is stationary end to end and no detector may fire.
+[[nodiscard]] Scenario monitored_drift(std::size_t stations,
+                                       util::Duration duration,
+                                       bool shift = true);
+
 // ---------------------------------------------------------------- registry
 
 /// A name -> Scenario table. `global()` comes pre-populated with the

@@ -239,6 +239,11 @@ void ChannelArbiter::decide(std::uint64_t generation) {
       trace_->record(frame.trace_id, obs::Hop::kDropped, now);
     }
   }
+  if (windowed_.dropped != nullptr) {
+    for (std::size_t d = 0; d < dropped.size(); ++d) {
+      windowed_.dropped->observe(now, 1.0);
+    }
+  }
   if (drop_hook_) {
     for (const auto& [frame, id] : dropped) {
       drop_hook_(frame, id);
@@ -279,6 +284,13 @@ void ChannelArbiter::transmit_head(std::size_t station_index) {
     trace_->record(pending.frame.trace_id, obs::Hop::kOnAir, now,
                    on_air.count_us());
   }
+  if (windowed_.access_delay != nullptr) {
+    // Windowed emission keys off the on-air instant — when the cost was
+    // actually paid on the channel.
+    windowed_.access_delay->observe(now,
+                                    static_cast<double>(delay.count_us()));
+    windowed_.airtime->observe(now, static_cast<double>(on_air.count_us()));
+  }
 
   // Listeners may transmit from on_frame (handshake replies), which
   // re-enters enqueue() and can grow stations_ — no Station references
@@ -288,6 +300,18 @@ void ChannelArbiter::transmit_head(std::size_t station_index) {
   }
   medium_.broadcast(pending.frame, pending.position, id);
   schedule_decision();
+}
+
+void ChannelArbiter::set_windowed(obs::WindowedRegistry* registry,
+                                  const obs::LabelSet& labels) {
+  if (registry == nullptr) {
+    windowed_ = WindowedEmit{};
+    return;
+  }
+  windowed_.access_delay =
+      &registry->series("channel_access_delay_us", labels);
+  windowed_.airtime = &registry->series("channel_airtime_us", labels);
+  windowed_.dropped = &registry->series("channel_dropped", labels);
 }
 
 const ChannelStats* ChannelArbiter::stats_of(

@@ -47,6 +47,7 @@
 
 #include "mac/frame.h"
 #include "obs/packet_trace.h"
+#include "obs/windowed.h"
 #include "sim/channel/channel_stats.h"
 #include "sim/medium.h"
 #include "sim/simulator.h"
@@ -162,6 +163,14 @@ class ChannelArbiter : private EventHandler {
   /// events; observation-only, the DCF state machine never reads it.
   void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
 
+  /// Attaches windowed-series emission (nullptr detaches): every
+  /// transmission observes channel_access_delay_us and
+  /// channel_airtime_us at its on-air instant, every expired frame
+  /// observes channel_dropped at the drop instant, all under `labels`.
+  /// Observation-only, like the packet trace.
+  void set_windowed(obs::WindowedRegistry* registry,
+                    const obs::LabelSet& labels = {});
+
  private:
   struct Pending {
     mac::Frame frame;
@@ -230,6 +239,13 @@ class ChannelArbiter : private EventHandler {
   OnAirHook on_air_hook_;
   DropHook drop_hook_;
   obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
+  // Windowed-series handles, resolved once in set_windowed (nullptr = off).
+  struct WindowedEmit {
+    obs::WindowedSeries* access_delay = nullptr;
+    obs::WindowedSeries* airtime = nullptr;
+    obs::WindowedSeries* dropped = nullptr;
+  };
+  WindowedEmit windowed_;
 };
 
 }  // namespace reshape::sim::channel

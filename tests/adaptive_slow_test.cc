@@ -48,9 +48,12 @@ TEST(AdaptiveCampaignTest, EpochCurvesBitIdenticalAcrossThreadCounts) {
   engine.set_telemetry(obs::TelemetryConfig::enabled());
   EXPECT_EQ(one, engine.run(8).to_json());
   const std::string telemetry = engine.telemetry().to_json();
+  const std::string windowed = engine.windowed().to_json();
   EXPECT_FALSE(engine.telemetry().empty());
+  EXPECT_FALSE(engine.windowed().empty());
   EXPECT_EQ(one, engine.run(2).to_json());
   EXPECT_EQ(telemetry, engine.telemetry().to_json());
+  EXPECT_EQ(windowed, engine.windowed().to_json());
 }
 
 TEST(AdaptiveCampaignTest, BitIdenticalAcrossRepeatedEngines) {

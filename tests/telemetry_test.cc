@@ -55,19 +55,34 @@ TEST(TelemetryDeterminismTest, CampaignReportUnmovedAndSnapshotStable) {
   // Baseline: telemetry fully off (the default).
   const std::string baseline = engine.run(1).to_json();
   EXPECT_TRUE(engine.telemetry().empty());
+  EXPECT_TRUE(engine.windowed().empty());
 
   // Full collection on: the report must not move by a byte at any worker
-  // count, and the merged telemetry must be identical across counts.
+  // count, and the merged telemetry (flat metrics AND windowed series)
+  // must be identical across counts.
   engine.set_telemetry(obs::TelemetryConfig::enabled());
   std::vector<std::string> snapshots;
+  std::vector<std::string> windows;
   for (const std::size_t threads : {1u, 2u, 8u}) {
     EXPECT_EQ(baseline, engine.run(threads).to_json())
         << "telemetry perturbed the report at " << threads << " threads";
     ASSERT_FALSE(engine.telemetry().empty());
+    ASSERT_FALSE(engine.windowed().empty());
     snapshots.push_back(engine.telemetry().to_json());
+    windows.push_back(engine.windowed().to_json());
   }
   EXPECT_EQ(snapshots[0], snapshots[1]);
   EXPECT_EQ(snapshots[0], snapshots[2]);
+  EXPECT_EQ(windows[0], windows[1]);
+  EXPECT_EQ(windows[0], windows[2]);
+
+  // The windowed section carries the offered-load series per cell.
+  EXPECT_NE(engine.windowed().find(
+                "campaign_offered_bytes",
+                obs::LabelSet{{"defense", "Original"},
+                              {"scenario", "multi-app-station"},
+                              {"shard", "0"}}),
+            nullptr);
 
   // The merged series carry the campaign's evidence: per-cell session
   // counters labeled (defense, scenario, shard), summed over the grid.
@@ -86,9 +101,10 @@ TEST(TelemetryDeterminismTest, CampaignReportUnmovedAndSnapshotStable) {
   ASSERT_EQ(phases.count("cells"), 1u);
   EXPECT_EQ(phases.at("cells").calls, engine.cell_count());
 
-  // The telemetry document has both sections; the report JSON has none.
+  // The telemetry document has all sections; the report JSON has none.
   const std::string doc = engine.telemetry_to_json();
   EXPECT_NE(doc.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"windows\":"), std::string::npos);
   EXPECT_NE(doc.find("\"profile\":"), std::string::npos);
   EXPECT_EQ(baseline.find("\"profile\":"), std::string::npos);
 }

@@ -53,9 +53,12 @@ TEST(ParameterTunerSlowTest, SweepIsBitIdenticalAndBeatsTable5Preset) {
   tuner.set_telemetry(obs::TelemetryConfig::enabled());
   EXPECT_EQ(report.to_json(), tuner.run(8).to_json());
   const std::string telemetry = tuner.telemetry().to_json();
+  const std::string windowed = tuner.windowed().to_json();
   EXPECT_FALSE(tuner.telemetry().empty());
+  EXPECT_FALSE(tuner.windowed().empty());
   EXPECT_EQ(report.to_json(), tuner.run(2).to_json());
   EXPECT_EQ(telemetry, tuner.telemetry().to_json());
+  EXPECT_EQ(windowed, tuner.windowed().to_json());
   tuner.set_telemetry(obs::TelemetryConfig{});
 
   // The sweep contains the Table V preset itself (the baseline is always

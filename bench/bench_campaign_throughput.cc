@@ -150,13 +150,22 @@ int run(const std::string& json_path) {
               << std::thread::hardware_concurrency() << ")\n";
   }
 
-  // Telemetry overhead: the same grid with full collection (metrics +
-  // tracing + profiling + windowed series) vs everything off — the
-  // observability layer must cost < 5% throughput and must not perturb
-  // the report by a single byte. Each trial times the two configurations
-  // back-to-back, so slow drift in ambient machine load cancels within
-  // the pair; the gate reads the *median* paired overhead, which a single
-  // noisy-neighbor trial cannot decide in either direction.
+  // Telemetry overhead: the same grid with collection on vs everything
+  // off. Each trial times the two configurations back-to-back, so slow
+  // drift in ambient machine load cancels within the pair; the gates read
+  // the *median* paired overhead, which a single noisy-neighbor trial
+  // cannot decide in either direction.
+  //
+  // Two budgets, because the layer has two kinds of collectors:
+  //  - passive telemetry (metrics + tracing + profiling + windowed
+  //    series) only records what the run computes anyway — it must cost
+  //    < 5% throughput;
+  //  - the privacy audit (OBS_PRIVACY / TelemetryConfig::privacy) is an
+  //    *active* second analysis pass over every defended packet
+  //    (per-window histograms, pairwise divergence, attacker-proxy
+  //    scoring) — inherently O(packets), like the evaluation it shadows,
+  //    so its budget is "cheaper than the run it audits" (< 75%), not 5%.
+  // Neither may perturb the report by a single byte.
   std::size_t sessions = 0;
   {
     const runtime::CampaignReport counted = engine.run(hw);
@@ -164,33 +173,50 @@ int run(const std::string& json_path) {
       sessions += cell.session_count;
     }
   }
+  obs::TelemetryConfig passive = obs::TelemetryConfig::enabled();
+  passive.privacy = false;
+  const obs::TelemetryConfig audited = obs::TelemetryConfig::enabled();
   std::string json_off;
   std::string json_on;
+  std::string json_audit;
   double rate_off = 0.0;
   double rate_on = 0.0;
-  std::vector<double> paired_overheads;
+  double rate_audit = 0.0;
+  std::vector<double> passive_overheads;
+  std::vector<double> audit_overheads;
   for (int trial = 0; trial < 9; ++trial) {
     const double off = timed_rate(engine, hw, obs::TelemetryConfig{}, sessions,
                                   json_off);
-    const double on = timed_rate(engine, hw, obs::TelemetryConfig::enabled(),
-                                 sessions, json_on);
+    const double on = timed_rate(engine, hw, passive, sessions, json_on);
+    const double audit = timed_rate(engine, hw, audited, sessions,
+                                    json_audit);
     rate_off = std::max(rate_off, off);
     rate_on = std::max(rate_on, on);
-    paired_overheads.push_back(off <= 0.0 ? 0.0 : 100.0 * (off - on) / off);
+    rate_audit = std::max(rate_audit, audit);
+    passive_overheads.push_back(off <= 0.0 ? 0.0
+                                           : 100.0 * (off - on) / off);
+    audit_overheads.push_back(off <= 0.0 ? 0.0
+                                         : 100.0 * (off - audit) / off);
   }
   engine.set_telemetry(obs::TelemetryConfig{});
-  std::nth_element(paired_overheads.begin(),
-                   paired_overheads.begin() + paired_overheads.size() / 2,
-                   paired_overheads.end());
-  const double overhead_percent =
-      paired_overheads[paired_overheads.size() / 2];
-  std::cout << "  telemetry off: " << rate_off << " sessions/s\n"
-            << "  telemetry on : " << rate_on
+  const auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  const double overhead_percent = median(passive_overheads);
+  const double audit_percent = median(audit_overheads);
+  std::cout << "  telemetry off    : " << rate_off << " sessions/s\n"
+            << "  telemetry passive: " << rate_on
             << " sessions/s (median paired overhead " << overhead_percent
+            << "%)\n"
+            << "  + privacy audit  : " << rate_audit
+            << " sessions/s (median paired overhead " << audit_percent
             << "%)\n";
   check("report identical with telemetry enabled",
         json_off == json_on && json_on == json1);
-  check("telemetry overhead < 5%", overhead_percent < 5.0);
+  check("report identical with privacy auditing on", json_audit == json1);
+  check("passive telemetry overhead < 5%", overhead_percent < 5.0);
+  check("privacy auditing overhead < 75%", audit_percent < 75.0);
 
   if (!json_path.empty()) {
     // Timings are machine-dependent; the campaign report itself is the
@@ -201,6 +227,8 @@ int run(const std::string& json_path) {
          << sessions << ",\"rate_disabled\":" << rate_off
          << ",\"rate_enabled\":" << rate_on
          << ",\"overhead_percent\":" << overhead_percent
+         << ",\"rate_audited\":" << rate_audit
+         << ",\"audit_overhead_percent\":" << audit_percent
          << "},\"campaign\":" << json1 << "}";
     if (!bench::write_json_report(json_path, json.str())) {
       return 1;

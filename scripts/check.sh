@@ -77,3 +77,11 @@ test -s telemetry.json
 # --alerts alerts.json.
 "./$BUILD_DIR/drift_monitor" --out alerts.json > /dev/null
 test -s alerts.json
+
+# The privacy smoke: the label-free leakage audit must rank undefended
+# traffic above OR by proxy accuracy (the example exits non-zero
+# otherwise). privacy.json carries the windowed privacy_* series
+# including the per-vMAC-pair divergences; inspect with
+# scripts/trace_dump.py --privacy privacy.json.
+"./$BUILD_DIR/adaptive_privacy" --out privacy.json > /dev/null
+test -s privacy.json

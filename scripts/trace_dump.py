@@ -10,6 +10,7 @@ PacketTrace JSON ({"capacity":...,"events":[...]}).
   scripts/trace_dump.py telemetry.json --profile   # per-phase lap table only
   scripts/trace_dump.py alerts.json --series       # windowed sparklines
   scripts/trace_dump.py alerts.json --alerts       # fired drift/SLO alerts
+  scripts/trace_dump.py privacy.json --privacy     # leakage view + matrix
 
 Documents that carry a "profile" section (campaign telemetry exports)
 also get a per-phase lap table — wall/CPU time per phase with per-call
@@ -20,6 +21,17 @@ written by engine telemetry_to_json() or examples/drift_monitor) and
 renders one sparkline of window means per labeled series; --alerts reads
 the alert arrays drift_monitor writes ("alerts" / "control_alerts") and
 tabulates each firing with its window's sim-time bounds.
+
+--privacy is the leakage view of the same "windows" section (as written
+by examples/adaptive_privacy): the sparkline table restricted to the
+privacy_* series (anonymity set, partition balance, max pairwise JSD,
+proxy accuracy per window), followed by one per-vMAC-pair linkability
+matrix per cell — the window-mean Jensen–Shannon divergence (bits)
+between every audited stream pair, from the privacy_pairwise_jsd_bits
+series' a/b labels (emitted when the run sets OBS_PRIVACY_PAIRS /
+TelemetryConfig::privacy_pairs). Low off-diagonal numbers mean sibling
+vMACs look alike on the air; values near 1 mean the pair is trivially
+separable.
 
 Standard library only; no third-party dependencies.
 """
@@ -168,6 +180,56 @@ def print_series(windows):
                        "min", "max"])
 
 
+def series_mean_over_windows(entry):
+    """Count-weighted mean of one windowed series across all its points."""
+    total = sum(p["sum"] for p in entry.get("points", []))
+    count = sum(p["count"] for p in entry.get("points", []))
+    return total / count if count else None
+
+
+def print_privacy(windows):
+    """Leakage view: the --series sparkline table restricted to the
+    privacy_* series, then one per-vMAC-pair linkability matrix per cell
+    (pair series grouped by their labels minus a/b)."""
+    series = windows.get("series", [])
+    privacy = [s for s in series if s["name"].startswith("privacy_")]
+    if not privacy:
+        print("no privacy_* series (run with OBS_PRIVACY on?)")
+        return
+    pairs = [s for s in privacy if s["name"] == "privacy_pairwise_jsd_bits"]
+    scalars = [s for s in privacy
+               if s["name"] != "privacy_pairwise_jsd_bits"]
+    print_series({"window_us": windows.get("window_us", 0),
+                  "series": scalars})
+
+    if not pairs:
+        print("\nno privacy_pairwise_jsd_bits series "
+              "(run with OBS_PRIVACY_PAIRS on for the linkability matrix)")
+        return
+    cells = {}
+    for entry in pairs:
+        labels = dict(entry.get("labels", {}))
+        a, b = labels.pop("a"), labels.pop("b")
+        mean = series_mean_over_windows(entry)
+        if mean is not None:
+            cells.setdefault(tuple(sorted(labels.items())), {})[(a, b)] = mean
+    for key in sorted(cells):
+        grid = cells[key]
+        stations = sorted({s for ab in grid for s in ab})
+        print(f"\nlinkability matrix (window-mean JSD bits)  "
+              f"[{labels_str(dict(key))}]")
+        header = ["vMAC \\ vMAC"] + [s[-4:] for s in stations]
+        rows = []
+        for a in stations:
+            row = [a]
+            for b in stations:
+                v = grid.get((a, b), grid.get((b, a)))
+                row.append("-" if a == b else
+                           f"{v:.3f}" if v is not None else "")
+            rows.append(row)
+        print_table(rows, header)
+
+
 def print_alerts(doc):
     """Table of fired AlertRecords with sim-time window bounds. Accepts a
     drift_monitor document ("alerts" + "control_alerts") or a bare alert
@@ -209,6 +271,9 @@ def main():
                         help="print sparklines of the windowed series")
     parser.add_argument("--alerts", action="store_true",
                         help="print the fired drift/SLO alerts")
+    parser.add_argument("--privacy", action="store_true",
+                        help="print the leakage series sparklines and "
+                             "per-vMAC-pair linkability matrix")
     args = parser.parse_args()
 
     doc = load_doc(args.path)
@@ -217,6 +282,12 @@ def main():
             raise SystemExit(f"{args.path}: no profile section "
                              "(campaign run with profiling off?)")
         print_profile(doc["profile"])
+        return
+    if args.privacy:
+        if "windows" not in doc:
+            raise SystemExit(f"{args.path}: no windows section "
+                             "(run with OBS_PRIVACY on?)")
+        print_privacy(doc["windows"])
         return
     if args.series or args.alerts:
         if args.series:

@@ -1,0 +1,355 @@
+#include "attack/audit/leakage_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "attack/rssi_linker.h"
+#include "mac/mac_address.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace reshape::attack::audit {
+
+namespace {
+
+/// floor(a / b) for b > 0 — the same window-index convention as
+/// obs::WindowedSeries (window k covers [kW, (k+1)W)).
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if (a % b != 0 && a < 0) {
+    --q;
+  }
+  return q;
+}
+
+}  // namespace
+
+NearestCentroidProbe::NearestCentroidProbe(const ml::Dataset& profile,
+                                           AttackConfig attack)
+    : attack_{std::move(attack)} {
+  if (profile.empty()) {
+    return;
+  }
+  const std::size_t dims = profile.dimensions();
+  const auto rows = profile.rows();
+  const double n = static_cast<double>(rows.size());
+  mean_.assign(dims, 0.0);
+  inv_std_.assign(dims, 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      mean_[d] += row[d];
+    }
+  }
+  for (double& m : mean_) {
+    m /= n;
+  }
+  std::vector<double> var(dims, 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double delta = row[d] - mean_[d];
+      var[d] += delta * delta;
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double v = var[d] / n;
+    // Constant dimensions carry no class information; zero-weight them
+    // instead of dividing by ~0.
+    inv_std_[d] = v > 1e-24 ? 1.0 / std::sqrt(v) : 0.0;
+  }
+
+  const int classes = profile.num_classes();
+  std::vector<std::vector<double>> sums(
+      static_cast<std::size_t>(classes), std::vector<double>(dims, 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(classes), 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto label = static_cast<std::size_t>(profile.label(i));
+    for (std::size_t d = 0; d < dims; ++d) {
+      sums[label][d] += (rows[i][d] - mean_[d]) * inv_std_[d];
+    }
+    ++counts[label];
+  }
+  for (std::size_t c = 0; c < sums.size(); ++c) {
+    if (counts[c] == 0) {
+      continue;  // a class absent from the profile has no centroid
+    }
+    for (double& v : sums[c]) {
+      v /= static_cast<double>(counts[c]);
+    }
+    centroids_.push_back(std::move(sums[c]));
+  }
+}
+
+double NearestCentroidProbe::mean_margin(
+    std::span<const std::vector<double>> rows) const {
+  if (!ready() || rows.empty()) {
+    return 0.0;
+  }
+  const std::size_t dims = mean_.size();
+  double total = 0.0;
+  for (const std::vector<double>& row : rows) {
+    util::require(row.size() == dims,
+                  "NearestCentroidProbe: row dimensionality mismatch");
+    double d1 = std::numeric_limits<double>::infinity();
+    double d2 = std::numeric_limits<double>::infinity();
+    for (const std::vector<double>& centroid : centroids_) {
+      double dist2 = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double delta = (row[d] - mean_[d]) * inv_std_[d] - centroid[d];
+        dist2 += delta * delta;
+      }
+      if (dist2 < d1) {
+        d2 = d1;
+        d1 = dist2;
+      } else if (dist2 < d2) {
+        d2 = dist2;
+      }
+    }
+    const double near = std::sqrt(d1);
+    const double far = std::sqrt(d2);
+    const double denom = near + far;
+    total += denom > 0.0 ? (far - near) / denom : 0.0;
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+LeakageAuditor::LeakageAuditor(AuditConfig config) : config_{config} {
+  util::require(config_.window.count_us() > 0,
+                "LeakageAuditor: window must be positive");
+  util::require(config_.size_bins >= 1 && config_.iat_bins >= 1,
+                "LeakageAuditor: histograms need at least one bin");
+  util::require(config_.max_streams_per_window >= 2,
+                "LeakageAuditor: pairwise cap must allow a pair");
+}
+
+void LeakageAuditor::observe(std::uint64_t station, util::TimePoint at,
+                             std::uint32_t size_bytes,
+                             mac::Direction direction, double rssi_dbm) {
+  PerStation& per = stations_[station];
+  per.trace.push_back(at, size_bytes, direction);
+  per.rssi_dbm.push_back(rssi_dbm);
+}
+
+void LeakageAuditor::observe(const CaptureColumns& captures) {
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    observe(captures.station[i],
+            util::TimePoint::from_microseconds(captures.time_us[i]),
+            captures.size_bytes[i], captures.direction[i],
+            captures.rssi_dbm[i]);
+  }
+}
+
+void LeakageAuditor::observe_flow(std::uint64_t station,
+                                  const traffic::Trace& flow,
+                                  double mean_rssi) {
+  PerStation& per = stations_[station];
+  if (per.trace.empty()) {
+    per.trace = flow;
+  } else {
+    per.trace.append(flow);
+  }
+  per.flat_rssi = mean_rssi;
+  per.has_flat_rssi = true;
+}
+
+void LeakageAuditor::clear() { stations_.clear(); }
+
+std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
+  const std::int64_t window_us = config_.window.count_us();
+
+  // IAT binning without a per-packet log10: bin k of the log-spaced
+  // histogram covers iat_us in [10^(k*w) - 1, 10^((k+1)*w) - 1), so a
+  // search over the precomputed raw-space edges lands in the same bin
+  // add(log10(iat_us + 1)) would.
+  const double iat_width = config_.iat_log_max /
+                           static_cast<double>(config_.iat_bins);
+  std::vector<double> iat_edges(config_.iat_bins);
+  for (std::size_t k = 0; k < config_.iat_bins; ++k) {
+    iat_edges[k] = std::pow(10.0, static_cast<double>(k + 1) * iat_width) -
+                   1.0;
+  }
+  const auto iat_bin = [&iat_edges](double iat_us) {
+    const auto it =
+        std::upper_bound(iat_edges.begin(), iat_edges.end() - 1, iat_us);
+    return static_cast<std::size_t>(it - iat_edges.begin());
+  };
+
+  // Per (window, stream) reduction state. Streams land per window in
+  // ascending station order because stations_ iterates sorted.
+  struct StreamWindow {
+    std::uint64_t station = 0;
+    double bytes = 0.0;
+    double mean_rssi = 0.0;
+    std::vector<double> size_pmf;
+    std::vector<double> iat_pmf;
+    bool has_iat = false;  // >= 1 interarrival inside the window
+  };
+  std::map<std::int64_t, std::vector<StreamWindow>> by_window;
+  std::map<std::int64_t, std::vector<std::vector<double>>> rows_by_window;
+
+  const bool probing = probe_ != nullptr && probe_->ready();
+  for (const auto& [station, per] : stations_) {
+    const auto times = per.trace.times_us();
+    const auto sizes = per.trace.sizes_bytes();
+    const auto dirs = per.trace.directions();
+    std::size_t i = 0;
+    while (i < times.size()) {
+      const std::int64_t w = floor_div(times[i], window_us);
+      // Times are ascending, so the window's span ends at the first
+      // timestamp past its right edge — one compare per packet instead
+      // of a floor_div.
+      const std::int64_t end_us = (w + 1) * window_us;
+      std::size_t j = i;
+      while (j < times.size() && times[j] < end_us) {
+        ++j;
+      }
+      const std::size_t n = j - i;
+      if (n < config_.min_packets_per_window) {
+        i = j;
+        continue;
+      }
+      StreamWindow sw;
+      sw.station = station;
+      util::Histogram size_hist(0.0, config_.size_max_bytes,
+                                config_.size_bins);
+      std::vector<std::uint64_t> iat_counts(config_.iat_bins, 0);
+      for (std::size_t k = i; k < j; ++k) {
+        sw.bytes += static_cast<double>(sizes[k]);
+        size_hist.add(static_cast<double>(sizes[k]));
+        if (k > i) {
+          ++iat_counts[iat_bin(static_cast<double>(times[k] -
+                                                   times[k - 1]))];
+        }
+      }
+      sw.size_pmf = size_hist.pmf();
+      sw.iat_pmf.assign(config_.iat_bins, 0.0);
+      sw.has_iat = n >= 2;
+      if (sw.has_iat) {
+        const auto iats = static_cast<double>(n - 1);
+        for (std::size_t b = 0; b < config_.iat_bins; ++b) {
+          sw.iat_pmf[b] = static_cast<double>(iat_counts[b]) / iats;
+        }
+      }
+      if (per.has_flat_rssi) {
+        sw.mean_rssi = per.flat_rssi;
+      } else {
+        double rssi_sum = 0.0;
+        for (std::size_t k = i; k < j; ++k) {
+          rssi_sum += per.rssi_dbm[k];
+        }
+        sw.mean_rssi = rssi_sum / static_cast<double>(n);
+      }
+      if (probing) {
+        const traffic::TraceView slice{times.subspan(i, n),
+                                       sizes.subspan(i, n),
+                                       dirs.subspan(i, n)};
+        for (auto& row : feature_rows_of(slice, probe_->attack())) {
+          rows_by_window[w].push_back(std::move(row));
+        }
+      }
+      by_window[w].push_back(std::move(sw));
+      i = j;
+    }
+  }
+
+  const RssiLinker linker{config_.rssi_link_threshold_db};
+  std::vector<obs::WindowLeakage> out;
+  out.reserve(by_window.size());
+  for (const auto& [w, streams] : by_window) {
+    obs::WindowLeakage leak;
+    leak.window = w;
+    leak.active_streams = streams.size();
+
+    std::vector<double> shares;
+    shares.reserve(streams.size());
+    double total_bytes = 0.0;
+    for (const StreamWindow& s : streams) {
+      total_bytes += s.bytes;
+    }
+    for (const StreamWindow& s : streams) {
+      shares.push_back(total_bytes > 0.0 ? s.bytes / total_bytes : 0.0);
+    }
+    leak.partition_balance = util::normalized_entropy(shares);
+    leak.anonymity_set = std::exp2(util::entropy_bits(shares));
+
+    // Pairwise divergence over the (possibly capped) heaviest streams.
+    std::vector<const StreamWindow*> sel;
+    sel.reserve(streams.size());
+    for (const StreamWindow& s : streams) {
+      sel.push_back(&s);
+    }
+    if (sel.size() > config_.max_streams_per_window) {
+      std::sort(sel.begin(), sel.end(),
+                [](const StreamWindow* a, const StreamWindow* b) {
+                  if (a->bytes != b->bytes) {
+                    return a->bytes > b->bytes;
+                  }
+                  return a->station < b->station;
+                });
+      sel.resize(config_.max_streams_per_window);
+      std::sort(sel.begin(), sel.end(),
+                [](const StreamWindow* a, const StreamWindow* b) {
+                  return a->station < b->station;
+                });
+    }
+    double jsd_sum = 0.0;
+    std::size_t pair_count = 0;
+    for (std::size_t a = 0; a < sel.size(); ++a) {
+      for (std::size_t b = a + 1; b < sel.size(); ++b) {
+        double jsd = util::jensen_shannon_divergence_bits(sel[a]->size_pmf,
+                                                          sel[b]->size_pmf);
+        if (sel[a]->has_iat && sel[b]->has_iat) {
+          jsd = (jsd + util::jensen_shannon_divergence_bits(
+                           sel[a]->iat_pmf, sel[b]->iat_pmf)) /
+                2.0;
+        }
+        jsd_sum += jsd;
+        leak.max_pairwise_jsd_bits = std::max(leak.max_pairwise_jsd_bits,
+                                              jsd);
+        ++pair_count;
+        if (config_.per_pair_series) {
+          leak.pairs.push_back({sel[a]->station, sel[b]->station, jsd});
+        }
+      }
+    }
+    leak.mean_pairwise_jsd_bits =
+        pair_count == 0 ? 0.0 : jsd_sum / static_cast<double>(pair_count);
+
+    if (streams.size() >= 2) {
+      std::vector<std::pair<mac::MacAddress, double>> signatures;
+      signatures.reserve(streams.size());
+      for (const StreamWindow& s : streams) {
+        signatures.emplace_back(mac::MacAddress::from_u64(s.station),
+                                s.mean_rssi);
+      }
+      std::size_t linked = 0;
+      for (const LinkedGroup& group : linker.link(signatures)) {
+        if (group.size() >= 2) {
+          linked += group.size();
+        }
+      }
+      leak.rssi_linked_fraction =
+          static_cast<double>(linked) / static_cast<double>(streams.size());
+    }
+
+    if (probing) {
+      const auto rows = rows_by_window.find(w);
+      if (rows != rows_by_window.end() && !rows->second.empty()) {
+        leak.has_proxy = true;
+        leak.proxy_accuracy_percent =
+            100.0 * probe_->mean_margin(rows->second);
+      }
+    }
+    out.push_back(std::move(leak));
+  }
+  return out;
+}
+
+void LeakageAuditor::publish(obs::WindowedRegistry& registry,
+                             const obs::LabelSet& labels) const {
+  const std::vector<obs::WindowLeakage> leakage = reduce();
+  obs::publish_leakage(registry, leakage, labels);
+}
+
+}  // namespace reshape::attack::audit

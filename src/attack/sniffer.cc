@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "attack/audit/leakage_audit.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -43,6 +44,10 @@ void Sniffer::on_frame(const mac::Frame& frame, double rssi_dbm) {
                                     ? mac::Direction::kDownlink
                                     : mac::Direction::kUplink);
   captures_.rssi_dbm.push_back(rssi_dbm);
+  if (auditor_ != nullptr) {
+    auditor_->observe(key.to_u64(), frame.timestamp, frame.size_bytes,
+                      captures_.direction.back(), rssi_dbm);
+  }
 }
 
 std::vector<mac::MacAddress> Sniffer::observed_stations() const {

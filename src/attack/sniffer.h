@@ -27,6 +27,10 @@
 
 namespace reshape::attack {
 
+namespace audit {
+class LeakageAuditor;  // attack/audit/leakage_audit.h
+}
+
 /// Everything the sniffer keeps, as parallel columns — entry i of every
 /// column describes the i-th kept capture, in air order. The station key
 /// and direction are resolved against the observed BSSID at capture time
@@ -94,6 +98,14 @@ class Sniffer : public sim::RadioListener {
   /// timestamp, closing the reshaper -> sniffer chain.
   void set_packet_trace(obs::PacketTrace* trace) { trace_ = trace; }
 
+  /// Attaches a label-free leakage auditor (nullptr detaches): every kept
+  /// capture is forwarded as one auditor observation — the live path of
+  /// the privacy telemetry, fed from exactly the columns the sniffer
+  /// keeps.
+  void set_leakage_auditor(audit::LeakageAuditor* auditor) {
+    auditor_ = auditor;
+  }
+
  private:
   /// The client-side key of a frame, or null MAC when the frame does not
   /// involve the observed BSSID.
@@ -102,6 +114,7 @@ class Sniffer : public sim::RadioListener {
   mac::MacAddress bssid_;
   CaptureColumns captures_;
   obs::PacketTrace* trace_ = nullptr;  // not owned; nullptr = untraced
+  audit::LeakageAuditor* auditor_ = nullptr;  // not owned; nullptr = off
 };
 
 }  // namespace reshape::attack

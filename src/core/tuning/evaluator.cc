@@ -58,6 +58,8 @@ void CandidateEvaluator::train() {
     return;
   }
   base_ = runtime::bootstrap_profile(spec_.bootstrap, spec_.attacker);
+  // The label-free attacker proxy shares the adversary's bootstrap rows.
+  probe_ = attack::audit::NearestCentroidProbe{base_, spec_.attacker.attack};
 
   // The defender's own measurement pass: one clean profile session per
   // app, pooled — what equal-mass candidate partitions are derived from.
@@ -80,7 +82,8 @@ const traffic::Trace& CandidateEvaluator::profile_trace() const {
 
 CandidateShardOutcome CandidateEvaluator::evaluate_cell(
     const TunedConfiguration& candidate, const runtime::CellGrid& grid,
-    std::size_t cell_id, obs::WindowedRegistry* windows) const {
+    std::size_t cell_id, obs::WindowedRegistry* windows,
+    bool audit_privacy, bool audit_pairs) const {
   util::require(trained_, "CandidateEvaluator: call train() first");
   candidate.validate();
   const runtime::CellStreams streams =
@@ -187,6 +190,11 @@ CandidateShardOutcome CandidateEvaluator::evaluate_cell(
   const std::vector<attack::adaptive::ObservedFlow> flows =
       runtime::rssi_tagged_flows(defended, streams.rssi, spec_.rssi);
   outcome.flows = flows.size();
+  if (windows != nullptr && audit_privacy) {
+    attack::audit::AuditConfig audit;
+    audit.per_pair_series = audit_pairs;
+    runtime::audit_flows(flows, &probe_, *windows, window_labels, audit);
+  }
   outcome.epochs = runtime::run_adaptive_flows(base_, spec_.attacker,
                                                spec_.make_classifier, flows);
   if (windows != nullptr) {

@@ -115,10 +115,15 @@ class CandidateEvaluator {
   /// `windows` (optional) receives sim-time-windowed series from the
   /// cell's streaming reshaper, channel arbiter, and adaptive epochs
   /// under (candidate, shard) labels; observation-only, the outcome is
-  /// byte-identical with or without it.
+  /// byte-identical with or without it. With `audit_privacy` set (and a
+  /// non-null `windows`), the cell's observed flows additionally run
+  /// through the shared label-free leakage audit — privacy_* series under
+  /// the same labels, still observation-only; `audit_pairs` adds the
+  /// per-vMAC-pair divergence series on top.
   [[nodiscard]] CandidateShardOutcome evaluate_cell(
       const TunedConfiguration& candidate, const runtime::CellGrid& grid,
-      std::size_t cell_id, obs::WindowedRegistry* windows = nullptr) const;
+      std::size_t cell_id, obs::WindowedRegistry* windows = nullptr,
+      bool audit_privacy = false, bool audit_pairs = false) const;
 
   /// Merges one candidate's shard outcomes into metrics under
   /// `objective` (epoch confusions merged per epoch before the crossing
@@ -136,6 +141,7 @@ class CandidateEvaluator {
   const TunerSpec& spec_;
   ml::Dataset base_;
   traffic::Trace profile_;
+  attack::audit::NearestCentroidProbe probe_;  // label-free attacker proxy
   bool trained_ = false;
   obs::PhaseProfiler* profiler_ = nullptr;  // not owned
 };

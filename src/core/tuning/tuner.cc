@@ -156,19 +156,23 @@ TuningReport ParameterTuner::run(std::size_t threads) {
   std::vector<CandidateShardOutcome> outcomes(grid.cell_count());
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? grid.cell_count() : 0);
+  const bool collect_windows =
+      telemetry_config_.windowed || telemetry_config_.privacy;
   std::vector<obs::WindowedSnapshot> cell_windows(
-      telemetry_config_.windowed ? grid.cell_count() : 0);
+      collect_windows ? grid.cell_count() : 0);
   runtime::run_cells(
       grid.cell_count(), threads,
       [&](std::size_t cell_id) {
         const runtime::CellGrid::Cell cell = grid.decompose(cell_id);
         std::optional<obs::WindowedRegistry> windows;
-        if (telemetry_config_.windowed) {
+        if (collect_windows) {
           windows.emplace(telemetry_config_.window);
         }
         outcomes[cell_id] =
             evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id,
-                                     windows ? &*windows : nullptr);
+                                     windows ? &*windows : nullptr,
+                                     telemetry_config_.privacy,
+                                     telemetry_config_.privacy_pairs);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, candidates_[cell.defense], cell,
@@ -226,7 +230,7 @@ std::string ParameterTuner::telemetry_to_json() const {
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
   }
-  if (telemetry_config_.windowed) {
+  if (telemetry_config_.windowed || telemetry_config_.privacy) {
     doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {

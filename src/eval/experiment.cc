@@ -201,7 +201,7 @@ DefenseEvaluation ExperimentHarness::evaluate(const DefenseFactory& factory,
 DefenseEvaluation ExperimentHarness::evaluate_sessions(
     const DefenseFactory& factory, std::string defense_name,
     std::span<const traffic::Trace> sessions, std::uint64_t defense_seed,
-    EvalScratch* scratch) const {
+    EvalScratch* scratch, std::vector<DefendedSession>* defended_out) const {
   util::require(trained(),
                 "ExperimentHarness::evaluate_sessions: call train() first");
 
@@ -240,6 +240,18 @@ DefenseEvaluation ExperimentHarness::evaluate_sessions(
   out.mean_overhead =
       apps_present == 0 ? 0.0
                         : overhead_sum / static_cast<double>(apps_present);
+  if (defended_out != nullptr) {
+    // Hand the scored flows back in their per-session slots: scoring only
+    // read them, so moving them back reconstructs apply_defense's output
+    // without a second defense pass.
+    std::size_t next = 0;
+    for (DefendedSession& session : defended) {
+      for (traffic::Trace& flow : session.flows) {
+        flow = std::move(flows[next++]);
+      }
+    }
+    *defended_out = std::move(defended);
+  }
   return out;
 }
 

@@ -103,11 +103,15 @@ class ExperimentHarness {
   /// same (factory, sessions, seed) triple gets this exact result.
   /// Requires trained(); const and thread-safe. `scratch` (optional) is
   /// a worker-owned allocation cache — pass the same one across calls on
-  /// one thread; never share it between threads.
+  /// one thread; never share it between threads. A non-null `defended_out`
+  /// receives the defended sessions (flows and overhead bookkeeping) after
+  /// scoring — the leakage-audit path, which must see exactly the flows
+  /// the attacker was scored on without applying the defense twice.
   [[nodiscard]] DefenseEvaluation evaluate_sessions(
       const DefenseFactory& factory, std::string defense_name,
       std::span<const traffic::Trace> sessions, std::uint64_t defense_seed,
-      EvalScratch* scratch = nullptr) const;
+      EvalScratch* scratch = nullptr,
+      std::vector<DefendedSession>* defended_out = nullptr) const;
 
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] bool trained() const { return !attacks_.empty(); }

@@ -61,6 +61,9 @@ TelemetryConfig TelemetryConfig::from_env(TelemetryConfig fallback) {
   config.tracing = env_enabled("OBS_TRACE", fallback.tracing);
   config.profiling = env_enabled("OBS_PROFILE", fallback.profiling);
   config.windowed = env_enabled("OBS_WINDOWED", fallback.windowed);
+  config.privacy = env_enabled("OBS_PRIVACY", fallback.privacy);
+  config.privacy_pairs =
+      env_enabled("OBS_PRIVACY_PAIRS", fallback.privacy_pairs);
   config.window = fallback.window;
   if (const char* value = std::getenv("OBS_WINDOW_US"); value != nullptr) {
     const long long us = std::atoll(value);

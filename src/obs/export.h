@@ -60,23 +60,29 @@ struct TelemetryConfig {
   bool tracing = false;    // PacketTrace span recording
   bool profiling = false;  // wall/CPU phase timers
   bool windowed = false;   // sim-time windowed series (obs/windowed.h)
+  bool privacy = false;    // label-free leakage auditing (obs/privacy.h)
+
+  /// With `privacy`: also emit one privacy_pairwise_jsd_bits series per
+  /// vMAC pair (the linkability-matrix input for trace_dump.py --privacy).
+  /// Off by default — O(pairs) series cardinality per cell.
+  bool privacy_pairs = false;
 
   /// Window length for windowed series (sim time). Engines whose natural
   /// cadence differs (the adaptive attacker's epoch length) may override.
   util::Duration window = util::Duration::seconds(5.0);
 
   [[nodiscard]] bool any() const {
-    return metrics || tracing || profiling || windowed;
+    return metrics || tracing || profiling || windowed || privacy;
   }
 
   [[nodiscard]] static TelemetryConfig enabled() {
-    return TelemetryConfig{true, true, true, true};
+    return TelemetryConfig{true, true, true, true, true};
   }
 
-  /// Reads OBS_TRACE (gates tracing), OBS_METRICS/OBS_PROFILE/OBS_WINDOWED,
-  /// and OBS_WINDOW_US (window length in integer microseconds); an unset
-  /// variable keeps `fallback`'s field. Recognizes 0/off/false as off,
-  /// anything else as on.
+  /// Reads OBS_TRACE (gates tracing), OBS_METRICS/OBS_PROFILE/OBS_WINDOWED/
+  /// OBS_PRIVACY/OBS_PRIVACY_PAIRS, and OBS_WINDOW_US (window length in integer
+  /// microseconds); an unset variable keeps `fallback`'s field. Recognizes
+  /// 0/off/false as off, anything else as on.
   [[nodiscard]] static TelemetryConfig from_env(TelemetryConfig fallback);
   [[nodiscard]] static TelemetryConfig from_env() {
     return from_env(TelemetryConfig{});

@@ -1,0 +1,126 @@
+// Label-free privacy telemetry: the leakage series the LeakageAuditor
+// (src/attack/audit) publishes and the budget rules that alert on them.
+//
+// The paper's defense is evaluated offline with an oracle-labeled
+// adversary; a deployed AP has no labels. This module defines the
+// *label-free* leakage quantities a defender can compute from its own
+// sniffer view, per sim-time window:
+//
+//   privacy_active_streams        vMACs with enough traffic to fingerprint
+//   privacy_partition_balance     normalized entropy of per-vMAC traffic
+//                                 share in [0, 1] — 1 means every virtual
+//                                 MAC carries an equal share
+//   privacy_anonymity_set         2^H effective anonymity-set size, the
+//                                 label-free counterpart of the
+//                                 core::tuning::privacy_entropy_bits
+//                                 log2(N) ceiling
+//   privacy_max_pairwise_jsd_bits largest Jensen–Shannon divergence (bits)
+//   privacy_mean_pairwise_jsd_bits  between any two vMACs' packet-size/IAT
+//                                 histograms — low divergence means
+//                                 sibling vMACs are indistinguishable,
+//                                 high means the partition is
+//                                 fingerprintable
+//   privacy_rssi_linked_fraction  fraction of active vMACs an RSSI
+//                                 single-linkage attacker (§V-A) groups
+//                                 with at least one other vMAC
+//   privacy_proxy_accuracy_percent  nearest-centroid probe confidence
+//                                 (100 × mean margin) — a cheap stand-in
+//                                 that tracks the adaptive attacker's
+//                                 accuracy curve without labels or refits
+//   privacy_pairwise_jsd_bits     optional per-pair series (labels a/b =
+//                                 the two vMACs) for linkability matrices
+//
+// This header is deliberately attack-free: WindowLeakage is plain data,
+// so obs stays a leaf layer and the capture-side reducer lives with the
+// rest of the adversary models in src/attack/audit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "obs/drift.h"
+#include "obs/slo.h"
+#include "obs/windowed.h"
+
+namespace reshape::obs {
+
+inline constexpr std::string_view kPrivacyActiveStreams =
+    "privacy_active_streams";
+inline constexpr std::string_view kPrivacyPartitionBalance =
+    "privacy_partition_balance";
+inline constexpr std::string_view kPrivacyAnonymitySet =
+    "privacy_anonymity_set";
+inline constexpr std::string_view kPrivacyMaxPairwiseJsd =
+    "privacy_max_pairwise_jsd_bits";
+inline constexpr std::string_view kPrivacyMeanPairwiseJsd =
+    "privacy_mean_pairwise_jsd_bits";
+inline constexpr std::string_view kPrivacyRssiLinkedFraction =
+    "privacy_rssi_linked_fraction";
+inline constexpr std::string_view kPrivacyProxyAccuracy =
+    "privacy_proxy_accuracy_percent";
+inline constexpr std::string_view kPrivacyPairwiseJsd =
+    "privacy_pairwise_jsd_bits";
+
+/// One audit window's leakage estimates, engine-agnostic plain data —
+/// what attack::audit::LeakageAuditor::reduce() produces.
+struct WindowLeakage {
+  std::int64_t window = 0;         // index under the audit window length
+  std::uint64_t active_streams = 0;  // vMACs above the packet floor
+
+  double partition_balance = 0.0;  // normalized entropy of byte share
+  double anonymity_set = 0.0;      // 2^H effective set size
+
+  double max_pairwise_jsd_bits = 0.0;
+  double mean_pairwise_jsd_bits = 0.0;
+  double rssi_linked_fraction = 0.0;
+
+  bool has_proxy = false;          // probe attached and rows extracted
+  double proxy_accuracy_percent = 0.0;
+
+  /// Per-pair divergence entries (lowest station id first within a pair,
+  /// pairs in lexicographic order); empty unless the auditor was asked
+  /// for the per-pair series.
+  struct PairDivergence {
+    std::uint64_t a = 0;  // station keys (vMAC as u64), a < b
+    std::uint64_t b = 0;
+    double jsd_bits = 0.0;
+  };
+  std::vector<PairDivergence> pairs;
+};
+
+/// Formats a station key the way the per-pair series labels it: twelve
+/// lowercase hex digits, the flat form of a MAC address.
+[[nodiscard]] std::string station_label(std::uint64_t station);
+
+/// Folds per-window leakage into the registry's privacy_* series (one
+/// observation per window per series, divergence series only when the
+/// window had >= 2 active streams, the proxy series only when has_proxy).
+/// Pure fold — deterministic under the registry's merge rules.
+void publish_leakage(WindowedRegistry& registry,
+                     std::span<const WindowLeakage> leakage,
+                     const LabelSet& labels = {});
+
+/// Per-window privacy budgets, expressed over the leakage series. The
+/// defaults encode "the partition should look like at least ~2 equal
+/// streams, sibling vMACs should stay within half a bit of each other,
+/// and the probe should stay below coin-flip-plus-margin confidence".
+struct PrivacyBudgets {
+  double min_partition_balance = 0.5;       // below fires
+  double max_pairwise_jsd_bits = 0.5;       // above fires
+  double max_proxy_accuracy_percent = 60.0; // above fires
+  std::uint64_t min_count = 1;              // windows below this are skipped
+};
+
+/// The SloRule set of one budget (ordering: balance, divergence, proxy).
+[[nodiscard]] std::vector<SloRule> privacy_slo_rules(
+    const PrivacyBudgets& budgets, const LabelSet& labels = {});
+
+/// A Page–Hinkley drift rule over the proxy-accuracy leakage series —
+/// fires when the label-free attacker proxy shifts level, e.g. at a
+/// traffic-mix change the reshaper has not re-tuned for.
+[[nodiscard]] DriftRule privacy_drift_rule(const DriftParams& params = {},
+                                           const LabelSet& labels = {});
+
+}  // namespace reshape::obs

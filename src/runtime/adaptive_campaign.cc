@@ -1,5 +1,6 @@
 #include "runtime/adaptive_campaign.h"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -152,7 +153,7 @@ CellGrid AdaptiveCampaignEngine::grid() const {
 }
 
 AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
-    std::size_t cell_id) const {
+    std::size_t cell_id, obs::WindowedRegistry* windows) const {
   const CellGrid g = grid();
   const CellGrid::Cell cell = g.decompose(cell_id);
   CellStreams streams = cell_streams(spec_.seed, g, cell_id);
@@ -175,6 +176,15 @@ AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
   const std::vector<attack::adaptive::ObservedFlow> flows =
       rssi_tagged_flows(defended, streams.rssi, rssi);
   result.flow_count = flows.size();
+  if (windows != nullptr && telemetry_config_.privacy) {
+    // The label-free audit sees exactly the flows the oracle-labeled
+    // adversary is about to score — the pairing the proxy-vs-oracle
+    // correlation tests rely on.
+    attack::audit::AuditConfig audit;
+    audit.per_pair_series = telemetry_config_.privacy_pairs;
+    audit_flows(flows, probe_ ? &*probe_ : nullptr, *windows,
+                cell_labels(spec_, result), audit);
+  }
   result.epochs =
       run_adaptive_flows(base_, spec_.attacker, spec_.make_classifier, flows);
   return result;
@@ -186,16 +196,28 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
   telemetry_ = obs::MetricsSnapshot{};
   windowed_ = obs::WindowedSnapshot{};
 
+  if (telemetry_config_.privacy && !probe_) {
+    // The attacker proxy shares the adversary's own bootstrap rows —
+    // built once, read-only across cells and runs.
+    probe_.emplace(base_, spec_.attacker.attack);
+  }
+
   const std::size_t cells = cell_count();
   std::vector<AdaptiveCellResult> results(cells);
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? cells : 0);
-  std::vector<obs::WindowedSnapshot> cell_windows(
-      telemetry_config_.windowed ? cells : 0);
+  const bool collect_windows =
+      telemetry_config_.windowed || telemetry_config_.privacy;
+  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? cells
+                                                                  : 0);
   run_cells(
       cells, threads,
       [&](std::size_t cell_id) {
-        results[cell_id] = run_cell(cell_id);
+        std::optional<obs::WindowedRegistry> windows;
+        if (collect_windows) {
+          windows.emplace(telemetry_config_.window);
+        }
+        results[cell_id] = run_cell(cell_id, windows ? &*windows : nullptr);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, spec_, results[cell_id]);
@@ -206,13 +228,14 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
           // window set to the attacker cadence, windows align 1:1 with
           // epochs — the accuracy-over-time signal the drift detectors
           // watch.
-          obs::WindowedRegistry windows{telemetry_config_.window};
           const obs::LabelSet labels = cell_labels(spec_, results[cell_id]);
           for (const attack::adaptive::EpochScore& epoch :
                results[cell_id].epochs) {
-            publish_windowed(windows, epoch, labels);
+            publish_windowed(*windows, epoch, labels);
           }
-          cell_windows[cell_id] = windows.snapshot();
+        }
+        if (windows) {
+          cell_windows[cell_id] = windows->snapshot();
         }
       },
       telemetry_config_.profiling ? &profiler_ : nullptr);
@@ -262,7 +285,7 @@ std::string AdaptiveCampaignEngine::telemetry_to_json() const {
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
   }
-  if (telemetry_config_.windowed) {
+  if (telemetry_config_.windowed || telemetry_config_.privacy) {
     doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {

@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "attack/adaptive/adaptive_attacker.h"
+#include "attack/audit/leakage_audit.h"
 #include "eval/experiment.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -182,11 +184,16 @@ class AdaptiveCampaignEngine {
 
  private:
   [[nodiscard]] CellGrid grid() const;
-  [[nodiscard]] AdaptiveCellResult run_cell(std::size_t cell_id) const;
+  [[nodiscard]] AdaptiveCellResult run_cell(
+      std::size_t cell_id, obs::WindowedRegistry* windows) const;
 
   AdaptiveCampaignSpec spec_;
   ml::Dataset base_;  // shared raw bootstrap rows (read-only after train)
   bool trained_ = false;
+
+  // The label-free attacker proxy (privacy telemetry), built from base_
+  // on the first privacy-enabled run().
+  std::optional<attack::audit::NearestCentroidProbe> probe_;
   obs::TelemetryConfig telemetry_config_{};
   obs::MetricsSnapshot telemetry_;
   obs::WindowedSnapshot windowed_;

@@ -164,10 +164,26 @@ CellResult CampaignEngine::run_cell(std::size_t cell_id, WorkerArena& arena,
   });
   const std::vector<traffic::Trace>& sessions = *workloads_[workload_slot];
   result.session_count = sessions.size();
+  // The leakage audit needs the exact defended flows the attacker was
+  // scored on; evaluate_sessions hands them back instead of applying the
+  // defense a second time.
+  const bool auditing = windows != nullptr && telemetry_config_.privacy;
+  std::vector<eval::DefendedSession> defended;
   result.evaluation = harness_.evaluate_sessions(
       defense.factory, defense.name, sessions, streams.defense_seed,
-      &arena.eval);
-  if (windows != nullptr) {
+      &arena.eval, auditing ? &defended : nullptr);
+  if (auditing) {
+    // Tag flows with §V-A power signatures from the cell's (hitherto
+    // unused) RSSI fork — full-cell keyed, observation-only: the report
+    // never reads these draws.
+    const std::vector<attack::adaptive::ObservedFlow> flows =
+        rssi_tagged_flows(defended, streams.rssi, RssiModel{});
+    attack::audit::AuditConfig audit;
+    audit.per_pair_series = telemetry_config_.privacy_pairs;
+    audit_flows(flows, probe_ ? &*probe_ : nullptr, *windows,
+                cell_labels(spec_, result), audit);
+  }
+  if (windows != nullptr && telemetry_config_.windowed) {
     // Offered load per window — the time-resolved workload shape the
     // drift detectors slice (count = packets, sum = bytes per window).
     // The reduction only reads the pre-defense workload, so the first
@@ -198,6 +214,15 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
   telemetry_ = obs::MetricsSnapshot{};
   windowed_ = obs::WindowedSnapshot{};
 
+  if (telemetry_config_.privacy && !probe_) {
+    // The attacker proxy profiles the same clean corpus the adaptive
+    // adversary bootstraps from — built once per engine, reused by every
+    // cell and every later run().
+    const attack::adaptive::AdaptiveConfig adaptive{};
+    probe_.emplace(bootstrap_profile(spec_.training, adaptive),
+                   adaptive.attack);
+  }
+
   const std::size_t cells = cell_count();
   std::vector<CellResult> results(cells);
   // One private registry per cell, snapshotted by whichever worker ran the
@@ -207,14 +232,16 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
   // the same per-cell-then-fold pattern.
   std::vector<obs::MetricsSnapshot> cell_metrics(
       telemetry_config_.metrics ? cells : 0);
-  std::vector<obs::WindowedSnapshot> cell_windows(
-      telemetry_config_.windowed ? cells : 0);
+  const bool collect_windows =
+      telemetry_config_.windowed || telemetry_config_.privacy;
+  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? cells
+                                                                  : 0);
   run_cells(
       cells, threads,
       std::function<void(std::size_t, WorkerArena&)>{
           [&](std::size_t cell_id, WorkerArena& arena) {
         std::optional<obs::WindowedRegistry> windows;
-        if (telemetry_config_.windowed) {
+        if (collect_windows) {
           windows.emplace(telemetry_config_.window);
         }
         results[cell_id] =
@@ -302,7 +329,7 @@ std::string CampaignEngine::telemetry_to_json() const {
   if (telemetry_config_.metrics) {
     doc.metrics = &telemetry_;
   }
-  if (telemetry_config_.windowed) {
+  if (telemetry_config_.windowed || telemetry_config_.privacy) {
     doc.windows = &windowed_;
   }
   if (telemetry_config_.profiling) {

@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "attack/audit/leakage_audit.h"
 #include "eval/defense_factory.h"
 #include "eval/experiment.h"
 #include "obs/export.h"
@@ -162,6 +164,11 @@ class CampaignEngine {
   obs::PhaseProfiler profiler_;
   obs::TelemetrySink* sink_ = nullptr;  // not owned
   std::uint64_t publications_ = 0;      // sink sequence counter
+
+  // The label-free attacker proxy (privacy telemetry): built from the
+  // clean bootstrap corpus on the first privacy-enabled run(), then
+  // shared read-only by every cell.
+  std::optional<attack::audit::NearestCentroidProbe> probe_;
 
   // Workload memoization. A cell's sessions are a pure function of
   // (seed, scenario, shard) — the workload stream is keyed on exactly

@@ -149,4 +149,17 @@ std::vector<attack::adaptive::EpochScore> run_adaptive_flows(
   return attacker.run_session(flows);
 }
 
+void audit_flows(std::span<const attack::adaptive::ObservedFlow> flows,
+                 const attack::audit::NearestCentroidProbe* probe,
+                 obs::WindowedRegistry& windows, const obs::LabelSet& labels,
+                 attack::audit::AuditConfig config) {
+  config.window = windows.window();
+  attack::audit::LeakageAuditor auditor{config};
+  auditor.set_probe(probe);
+  for (const attack::adaptive::ObservedFlow& flow : flows) {
+    auditor.observe_flow(flow.address.to_u64(), flow.flow, flow.mean_rssi);
+  }
+  auditor.publish(windows, labels);
+}
+
 }  // namespace reshape::runtime

@@ -27,10 +27,12 @@
 #include <vector>
 
 #include "attack/adaptive/adaptive_attacker.h"
+#include "attack/audit/leakage_audit.h"
 #include "eval/experiment.h"
 #include "eval/session_eval.h"
 #include "ml/dataset.h"
 #include "obs/profiler.h"
+#include "obs/windowed.h"
 #include "util/rng.h"
 
 namespace reshape::runtime {
@@ -137,5 +139,18 @@ struct RssiModel {
     const ml::Dataset& base, const attack::adaptive::AdaptiveConfig& config,
     const attack::adaptive::ClassifierFactory& make_classifier,
     std::span<const attack::adaptive::ObservedFlow> flows);
+
+/// The shared label-free leakage audit every engine calls on its cell's
+/// observed flows: reduces them with an attack::audit::LeakageAuditor
+/// (audit window = the registry's window, so privacy series align with
+/// the rest of the windowed telemetry) and publishes the privacy_* series
+/// into `windows` under `labels`. `probe` may be null (the proxy series
+/// is then absent); `config.window` is overridden by the registry's.
+/// Observation-only and deterministic — reports are untouched and per-cell
+/// registries fold byte-identically for any worker-thread count.
+void audit_flows(std::span<const attack::adaptive::ObservedFlow> flows,
+                 const attack::audit::NearestCentroidProbe* probe,
+                 obs::WindowedRegistry& windows, const obs::LabelSet& labels,
+                 attack::audit::AuditConfig config = {});
 
 }  // namespace reshape::runtime

@@ -136,6 +136,66 @@ double entropy_bits(std::span<const double> p) {
   return h;
 }
 
+double normalized_entropy(std::span<const double> p) {
+  if (p.empty()) {
+    return 0.0;
+  }
+  if (p.size() == 1) {
+    return 1.0;
+  }
+  double total = 0.0;
+  for (const double v : p) {
+    total += v;
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double h = 0.0;
+  for (const double v : p) {
+    if (v > 0.0) {
+      const double share = v / total;
+      h -= share * std::log2(share);
+    }
+  }
+  return h / std::log2(static_cast<double>(p.size()));
+}
+
+double jensen_shannon_divergence_bits(std::span<const double> p,
+                                      std::span<const double> q) {
+  require(p.size() == q.size(),
+          "jensen_shannon_divergence_bits: size mismatch");
+  double p_total = 0.0;
+  double q_total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p_total += p[i];
+    q_total += q[i];
+  }
+  if (p_total <= 0.0 || q_total <= 0.0) {
+    return 0.0;
+  }
+  // JSD = H(m) - (H(p) + H(q)) / 2 over the normalized distributions,
+  // computed bucket-wise so no normalized vectors are materialised.
+  double h_m = 0.0;
+  double h_p = 0.0;
+  double h_q = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / p_total;
+    const double qi = q[i] / q_total;
+    const double mi = (pi + qi) / 2.0;
+    if (pi > 0.0) {
+      h_p -= pi * std::log2(pi);
+    }
+    if (qi > 0.0) {
+      h_q -= qi * std::log2(qi);
+    }
+    if (mi > 0.0) {
+      h_m -= mi * std::log2(mi);
+    }
+  }
+  // Clamp tiny negative float residue so identical inputs report exactly 0.
+  return std::max(0.0, h_m - (h_p + h_q) / 2.0);
+}
+
 double dot(std::span<const double> a, std::span<const double> b) {
   require(a.size() == b.size(), "dot: size mismatch");
   double acc = 0.0;

@@ -108,6 +108,22 @@ class Histogram {
 /// entries contribute nothing.
 [[nodiscard]] double entropy_bits(std::span<const double> p);
 
+/// Entropy of `p` normalized by the log2(n) ceiling of an n-outcome
+/// distribution — 1.0 means perfectly balanced, 0.0 means all mass on one
+/// outcome. `p` need not sum to 1 (raw counts or byte tallies work; the
+/// vector is normalized by its own total first). Edge cases: an empty or
+/// all-zero vector yields 0.0 and a single-outcome vector 1.0 (one
+/// outcome is trivially "balanced").
+[[nodiscard]] double normalized_entropy(std::span<const double> p);
+
+/// Jensen–Shannon divergence (bits, base-2 logs) between two equal-length
+/// weight vectors: JSD(p,q) = H(m) - (H(p)+H(q))/2 with m = (p+q)/2 after
+/// normalizing each side to sum 1. Symmetric, 0 iff p == q, and bounded by
+/// 1 bit. Zero buckets are safe (they contribute nothing) and a side whose
+/// weights sum to zero — an empty histogram — yields 0.0.
+[[nodiscard]] double jensen_shannon_divergence_bits(std::span<const double> p,
+                                                    std::span<const double> q);
+
 /// Dot product of two equally-sized vectors (used by the orthogonality
 /// check of Eq. (2) in the paper).
 [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);

@@ -379,6 +379,58 @@ TEST(StatsFreeFunctionTest, EntropyBits) {
   EXPECT_DOUBLE_EQ(entropy_bits(point), 0.0);
 }
 
+TEST(StatsFreeFunctionTest, NormalizedEntropy) {
+  // Uniform mass normalizes to the ceiling regardless of support size.
+  const std::vector<double> uniform4{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(normalized_entropy(uniform4), 1.0);
+  const std::vector<double> uniform3{1.0, 1.0, 1.0};  // unnormalized is fine
+  EXPECT_DOUBLE_EQ(normalized_entropy(uniform3), 1.0);
+  // A point mass collapses to 0; skew lands strictly between.
+  const std::vector<double> point{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalized_entropy(point), 0.0);
+  const std::vector<double> skew{0.7, 0.2, 0.1};
+  EXPECT_GT(normalized_entropy(skew), 0.0);
+  EXPECT_LT(normalized_entropy(skew), 1.0);
+  // Degenerate supports: empty and zero-mass are 0 by convention, a
+  // single bucket is trivially balanced.
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<double>{3.0}), 1.0);
+}
+
+TEST(StatsFreeFunctionTest, JensenShannonDivergenceProperties) {
+  const std::vector<double> p{0.5, 0.5, 0.0, 0.0};
+  const std::vector<double> q{0.0, 0.0, 0.5, 0.5};
+  const std::vector<double> r{0.25, 0.25, 0.25, 0.25};
+  // Identity of indiscernibles and symmetry.
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(p, q),
+                   jensen_shannon_divergence_bits(q, p));
+  // Disjoint supports reach the 1-bit ceiling exactly.
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(p, q), 1.0);
+  // Overlapping distributions land strictly inside (0, 1).
+  const double mid = jensen_shannon_divergence_bits(p, r);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(StatsFreeFunctionTest, JensenShannonDivergenceNormalizesAndGuards) {
+  // Inputs need not be normalized: counts give the same answer as pmfs.
+  const std::vector<double> counts_p{6.0, 2.0};
+  const std::vector<double> counts_q{1.0, 3.0};
+  const std::vector<double> pmf_p{0.75, 0.25};
+  const std::vector<double> pmf_q{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(counts_p, counts_q),
+                   jensen_shannon_divergence_bits(pmf_p, pmf_q));
+  // An empty side (no mass) compares as indistinguishable, not divergent.
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(zero, pmf_q), 0.0);
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence_bits(pmf_p, zero), 0.0);
+  const std::vector<double> longer{0.5, 0.5, 0.0};
+  EXPECT_THROW((void)jensen_shannon_divergence_bits(pmf_p, longer),
+               std::invalid_argument);
+}
+
 TEST(StatsFreeFunctionTest, DotProduct) {
   const std::vector<double> a{1.0, 0.0, 2.0};
   const std::vector<double> b{3.0, 5.0, 0.5};

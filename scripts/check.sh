@@ -85,3 +85,15 @@ test -s alerts.json
 # scripts/trace_dump.py --privacy privacy.json.
 "./$BUILD_DIR/adaptive_privacy" --out privacy.json > /dev/null
 test -s privacy.json
+
+# The shard-server smoke: every engine's report and telemetry folded
+# from forked worker processes must be byte-identical to the in-process
+# run (the driver exits non-zero on any difference or worker failure).
+# --exec re-runs the campaign through the fork+exec worker path, so the
+# wire protocol crosses a real process boundary on every verify.
+for engine in campaign adaptive tuning; do
+  "./$BUILD_DIR/shard_eval" --verify --workers 2 --engine "$engine" \
+      > /dev/null
+done
+"./$BUILD_DIR/shard_eval" --verify --workers 2 --exec --engine campaign \
+    > /dev/null

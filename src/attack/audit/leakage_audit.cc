@@ -1,11 +1,15 @@
 #include "attack/audit/leakage_audit.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <utility>
 
 #include "attack/rssi_linker.h"
+#include "features/features.h"
 #include "mac/mac_address.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -22,6 +26,50 @@ std::int64_t floor_div(std::int64_t a, std::int64_t b) {
     --q;
   }
   return q;
+}
+
+/// Per-direction moment sums for the probing fast path. Sizes and gaps
+/// are bounded integers (bytes, microseconds), so count / sum / sum of
+/// squares in 64-bit integers capture the window exactly; the mean and
+/// population standard deviation fall out with one division per window
+/// instead of a Welford update (two divides) per packet.
+struct DirectionSums {
+  std::uint64_t count = 0;
+  std::uint64_t size_sum = 0;
+  std::uint64_t size_sumsq = 0;
+  std::uint32_t size_min = 0;
+  std::uint32_t size_max = 0;
+  std::int64_t prev_us = 0;
+  bool has_prev = false;
+  std::uint64_t gap_count = 0;
+  std::uint64_t gap_sum_us = 0;
+  std::uint64_t gap_sumsq_us = 0;
+};
+
+features::DirectionFeatures direction_features(const DirectionSums& d) {
+  features::DirectionFeatures f;
+  f.packet_count = static_cast<double>(d.count);
+  if (d.count > 0) {
+    const double n = static_cast<double>(d.count);
+    const double mean = static_cast<double>(d.size_sum) / n;
+    f.size_max = static_cast<double>(d.size_max);
+    f.size_min = static_cast<double>(d.size_min);
+    f.size_mean = mean;
+    f.size_std = std::sqrt(std::max(
+        0.0, static_cast<double>(d.size_sumsq) / n - mean * mean));
+  }
+  if (d.gap_count > 0) {
+    const double n = static_cast<double>(d.gap_count);
+    // Gaps were filtered against kIdleGapFilter in integer microseconds;
+    // converting the sums (rather than each gap) to seconds keeps the
+    // arithmetic exact until the final two divisions.
+    const double mean_s = static_cast<double>(d.gap_sum_us) / n * 1e-6;
+    f.iat_mean = mean_s;
+    f.iat_std = std::sqrt(std::max(
+        0.0,
+        static_cast<double>(d.gap_sumsq_us) * 1e-12 / n - mean_s * mean_s));
+  }
+  return f;
 }
 
 }  // namespace
@@ -81,35 +129,42 @@ NearestCentroidProbe::NearestCentroidProbe(const ml::Dataset& profile,
   }
 }
 
+double NearestCentroidProbe::margin(std::span<const double> row) const {
+  if (!ready()) {
+    return 0.0;
+  }
+  const std::size_t dims = mean_.size();
+  util::require(row.size() == dims,
+                "NearestCentroidProbe: row dimensionality mismatch");
+  double d1 = std::numeric_limits<double>::infinity();
+  double d2 = std::numeric_limits<double>::infinity();
+  for (const std::vector<double>& centroid : centroids_) {
+    double dist2 = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double delta = (row[d] - mean_[d]) * inv_std_[d] - centroid[d];
+      dist2 += delta * delta;
+    }
+    if (dist2 < d1) {
+      d2 = d1;
+      d1 = dist2;
+    } else if (dist2 < d2) {
+      d2 = dist2;
+    }
+  }
+  const double near = std::sqrt(d1);
+  const double far = std::sqrt(d2);
+  const double denom = near + far;
+  return denom > 0.0 ? (far - near) / denom : 0.0;
+}
+
 double NearestCentroidProbe::mean_margin(
     std::span<const std::vector<double>> rows) const {
   if (!ready() || rows.empty()) {
     return 0.0;
   }
-  const std::size_t dims = mean_.size();
   double total = 0.0;
   for (const std::vector<double>& row : rows) {
-    util::require(row.size() == dims,
-                  "NearestCentroidProbe: row dimensionality mismatch");
-    double d1 = std::numeric_limits<double>::infinity();
-    double d2 = std::numeric_limits<double>::infinity();
-    for (const std::vector<double>& centroid : centroids_) {
-      double dist2 = 0.0;
-      for (std::size_t d = 0; d < dims; ++d) {
-        const double delta = (row[d] - mean_[d]) * inv_std_[d] - centroid[d];
-        dist2 += delta * delta;
-      }
-      if (dist2 < d1) {
-        d2 = d1;
-        d1 = dist2;
-      } else if (dist2 < d2) {
-        d2 = dist2;
-      }
-    }
-    const double near = std::sqrt(d1);
-    const double far = std::sqrt(d2);
-    const double denom = near + far;
-    total += denom > 0.0 ? (far - near) / denom : 0.0;
+    total += margin(row);
   }
   return total / static_cast<double>(rows.size());
 }
@@ -127,6 +182,8 @@ void LeakageAuditor::observe(std::uint64_t station, util::TimePoint at,
                              std::uint32_t size_bytes,
                              mac::Direction direction, double rssi_dbm) {
   PerStation& per = stations_[station];
+  util::require(per.view.empty(),
+                "LeakageAuditor: station already observed as a borrowed flow");
   per.trace.push_back(at, size_bytes, direction);
   per.rssi_dbm.push_back(rssi_dbm);
 }
@@ -144,6 +201,8 @@ void LeakageAuditor::observe_flow(std::uint64_t station,
                                   const traffic::Trace& flow,
                                   double mean_rssi) {
   PerStation& per = stations_[station];
+  util::require(per.view.empty(),
+                "LeakageAuditor: station already observed as a borrowed flow");
   if (per.trace.empty()) {
     per.trace = flow;
   } else {
@@ -153,27 +212,81 @@ void LeakageAuditor::observe_flow(std::uint64_t station,
   per.has_flat_rssi = true;
 }
 
+void LeakageAuditor::observe_flow(std::uint64_t station,
+                                  traffic::TraceView flow, double mean_rssi) {
+  PerStation& per = stations_[station];
+  util::require(per.trace.empty() && per.view.empty(),
+                "LeakageAuditor: a borrowed flow needs an unseen station");
+  per.view = flow;
+  per.flat_rssi = mean_rssi;
+  per.has_flat_rssi = true;
+}
+
 void LeakageAuditor::clear() { stations_.clear(); }
 
 std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
   const std::int64_t window_us = config_.window.count_us();
 
-  // IAT binning without a per-packet log10: bin k of the log-spaced
-  // histogram covers iat_us in [10^(k*w) - 1, 10^((k+1)*w) - 1), so a
-  // search over the precomputed raw-space edges lands in the same bin
-  // add(log10(iat_us + 1)) would.
+  // IAT binning without a per-packet log10 or binary search: bin k of the
+  // log-spaced histogram covers iat_us in [10^(k*w) - 1, 10^((k+1)*w) - 1).
+  // Interarrivals are integers, so "iat <= edge" is "iat >= ceil(edge)"
+  // against precomputed integer cuts — the bin is a branchless count of
+  // satisfied cuts, landing exactly where upper_bound over the raw-space
+  // edges (and therefore add(log10(iat_us + 1))) would.
   const double iat_width = config_.iat_log_max /
                            static_cast<double>(config_.iat_bins);
-  std::vector<double> iat_edges(config_.iat_bins);
-  for (std::size_t k = 0; k < config_.iat_bins; ++k) {
-    iat_edges[k] = std::pow(10.0, static_cast<double>(k + 1) * iat_width) -
-                   1.0;
+  std::vector<std::int64_t> iat_cuts(config_.iat_bins - 1);
+  for (std::size_t k = 0; k + 1 < config_.iat_bins; ++k) {
+    iat_cuts[k] = static_cast<std::int64_t>(std::ceil(
+        std::pow(10.0, static_cast<double>(k + 1) * iat_width) - 1.0));
   }
-  const auto iat_bin = [&iat_edges](double iat_us) {
-    const auto it =
-        std::upper_bound(iat_edges.begin(), iat_edges.end() - 1, iat_us);
-    return static_cast<std::size_t>(it - iat_edges.begin());
+  // bin(iat) counts the satisfied cuts. Splitting values by bit width
+  // localizes that count: octave e holds iat in [2^(e-1), 2^e), and the
+  // log-spaced cuts grow by ~2.7x per bin under the default geometry, so
+  // at most one or two cuts fall inside any octave. Per packet the
+  // 15-compare scan collapses to bit_width + a table lookup + (usually)
+  // a single compare. The tables are exact for any geometry: cuts below
+  // the octave are pre-counted in octave_base, cuts above it can never
+  // be satisfied, and whatever lands inside is compared directly.
+  const auto count_cuts = [&iat_cuts](std::uint64_t v) {
+    std::size_t b = 0;
+    for (const std::int64_t cut : iat_cuts) {
+      b += static_cast<std::size_t>(v >= static_cast<std::uint64_t>(cut));
+    }
+    return static_cast<std::uint32_t>(b);
   };
+  std::array<std::uint32_t, 64> octave_base{};
+  std::array<std::uint32_t, 64> octave_end{};
+  for (unsigned e = 0; e < 64; ++e) {
+    const std::uint64_t lo = e == 0 ? 0 : std::uint64_t{1} << (e - 1);
+    const std::uint64_t hi_minus_1 =
+        e == 0 ? 0
+        : e == 63
+            ? static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())
+            : (std::uint64_t{1} << e) - 1;
+    octave_base[e] = count_cuts(lo);
+    octave_end[e] = count_cuts(hi_minus_1);
+  }
+
+  // Size binning via a lookup table: packet sizes are bounded integers
+  // (size_max_bytes covers the frame ceiling), so one L1 load replaces
+  // the divide util::Histogram::add pays per packet. The table replicates
+  // Histogram::bin_index exactly — same clamps, same double division —
+  // so every pmf is unchanged.
+  const double size_width =
+      config_.size_max_bytes / static_cast<double>(config_.size_bins);
+  std::vector<std::uint16_t> size_lut(
+      static_cast<std::size_t>(config_.size_max_bytes) + 1);
+  for (std::size_t s = 0; s < size_lut.size(); ++s) {
+    const double x = static_cast<double>(s);
+    std::size_t idx = config_.size_bins - 1;
+    if (x < config_.size_max_bytes) {
+      idx = std::min(static_cast<std::size_t>(x / size_width),
+                     config_.size_bins - 1);
+    }
+    size_lut[s] = static_cast<std::uint16_t>(idx);
+  }
 
   // Per (window, stream) reduction state. Streams land per window in
   // ascending station order because stations_ iterates sorted.
@@ -186,13 +299,38 @@ std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
     bool has_iat = false;  // >= 1 interarrival inside the window
   };
   std::map<std::int64_t, std::vector<StreamWindow>> by_window;
-  std::map<std::int64_t, std::vector<std::vector<double>>> rows_by_window;
+  // Attacker-proxy margins, accumulated row by row as slices are
+  // featurized (same station-then-window order the old rows_by_window
+  // buffer replayed, so the per-window sum is bit-identical) — no
+  // per-window row storage, and one scratch pair reused across slices.
+  struct MarginSum {
+    double total = 0.0;
+    std::size_t rows = 0;
+  };
+  std::map<std::int64_t, MarginSum> margin_by_window;
+  std::vector<std::vector<double>> row_scratch;
+  std::vector<features::WindowFeatures> window_scratch;
+  std::vector<std::uint64_t> size_counts;
+  std::vector<std::uint64_t> iat_counts;
 
   const bool probing = probe_ != nullptr && probe_->ready();
+  // When the attacker's feature window is at least as long as the audit
+  // window, an audit slice can never span a feature-window boundary: it
+  // yields at most one feature row, so its moments can be accumulated
+  // inside the histogram loop (integer sums, one division per window)
+  // instead of re-scanning the slice through the per-packet incremental
+  // extractor, which pays an integer division and a scalar Welford
+  // update per packet.
+  const AttackConfig* attack = probing ? &probe_->attack() : nullptr;
+  const bool single_row_slices =
+      probing && attack->window.count_us() >= window_us;
+  constexpr std::int64_t kIdleGapUs = features::kIdleGapFilter.count_us();
+  DirectionSums dir_sums[2];
   for (const auto& [station, per] : stations_) {
-    const auto times = per.trace.times_us();
-    const auto sizes = per.trace.sizes_bytes();
-    const auto dirs = per.trace.directions();
+    const traffic::TraceView stream = per.records();
+    const auto times = stream.times_us();
+    const auto sizes = stream.sizes_bytes();
+    const auto dirs = stream.directions();
     std::size_t i = 0;
     while (i < times.size()) {
       const std::int64_t w = floor_div(times[i], window_us);
@@ -211,18 +349,58 @@ std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
       }
       StreamWindow sw;
       sw.station = station;
-      util::Histogram size_hist(0.0, config_.size_max_bytes,
-                                config_.size_bins);
-      std::vector<std::uint64_t> iat_counts(config_.iat_bins, 0);
+      size_counts.assign(config_.size_bins, 0);
+      iat_counts.assign(config_.iat_bins, 0);
+      const std::size_t last_size_bin = config_.size_bins - 1;
+      const bool fuse_probe =
+          single_row_slices && n >= attack->min_packets_per_window;
+      if (fuse_probe) {
+        dir_sums[0] = DirectionSums{};
+        dir_sums[1] = DirectionSums{};
+      }
       for (std::size_t k = i; k < j; ++k) {
-        sw.bytes += static_cast<double>(sizes[k]);
-        size_hist.add(static_cast<double>(sizes[k]));
+        const std::uint32_t size = sizes[k];
+        sw.bytes += static_cast<double>(size);
+        ++size_counts[size < size_lut.size() ? size_lut[size]
+                                             : last_size_bin];
         if (k > i) {
-          ++iat_counts[iat_bin(static_cast<double>(times[k] -
-                                                   times[k - 1]))];
+          const std::int64_t iat = times[k] - times[k - 1];
+          const auto e = static_cast<unsigned>(
+              std::bit_width(static_cast<std::uint64_t>(iat)));
+          std::size_t bin = octave_base[e];
+          for (std::uint32_t c = octave_base[e]; c < octave_end[e]; ++c) {
+            bin += static_cast<std::size_t>(iat >= iat_cuts[c]);
+          }
+          ++iat_counts[bin];
+        }
+        if (fuse_probe) {
+          DirectionSums& d =
+              dir_sums[dirs[k] == mac::Direction::kUplink ? 1 : 0];
+          d.size_min = d.count == 0 ? size : std::min(d.size_min, size);
+          d.size_max = d.count == 0 ? size : std::max(d.size_max, size);
+          ++d.count;
+          d.size_sum += size;
+          d.size_sumsq += static_cast<std::uint64_t>(size) * size;
+          if (d.has_prev) {
+            const std::int64_t gap = times[k] - d.prev_us;
+            if (gap <= kIdleGapUs) {
+              const auto gap_u = static_cast<std::uint64_t>(gap);
+              ++d.gap_count;
+              d.gap_sum_us += gap_u;
+              d.gap_sumsq_us += gap_u * gap_u;
+            }
+          }
+          d.prev_us = times[k];
+          d.has_prev = true;
         }
       }
-      sw.size_pmf = size_hist.pmf();
+      // pmf exactly as util::Histogram::pmf computes it: count / total,
+      // where every packet was added once.
+      sw.size_pmf.assign(config_.size_bins, 0.0);
+      for (std::size_t b = 0; b < config_.size_bins; ++b) {
+        sw.size_pmf[b] = static_cast<double>(size_counts[b]) /
+                         static_cast<double>(n);
+      }
       sw.iat_pmf.assign(config_.iat_bins, 0.0);
       sw.has_iat = n >= 2;
       if (sw.has_iat) {
@@ -240,12 +418,28 @@ std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
         }
         sw.mean_rssi = rssi_sum / static_cast<double>(n);
       }
-      if (probing) {
+      if (fuse_probe) {
+        features::WindowFeatures window_features;
+        window_features.downlink = direction_features(dir_sums[0]);
+        window_features.uplink = direction_features(dir_sums[1]);
+        const std::vector<double> row = features::project(
+            attack->log_compress ? features::log_compress(window_features)
+                                 : window_features,
+            attack->feature_set);
+        MarginSum& acc = margin_by_window[w];
+        acc.total += probe_->margin(row);
+        ++acc.rows;
+      } else if (probing && !single_row_slices) {
         const traffic::TraceView slice{times.subspan(i, n),
                                        sizes.subspan(i, n),
                                        dirs.subspan(i, n)};
-        for (auto& row : feature_rows_of(slice, probe_->attack())) {
-          rows_by_window[w].push_back(std::move(row));
+        feature_rows_into(row_scratch, slice, *attack, window_scratch);
+        if (!row_scratch.empty()) {
+          MarginSum& acc = margin_by_window[w];
+          for (const std::vector<double>& row : row_scratch) {
+            acc.total += probe_->margin(row);
+          }
+          acc.rows += row_scratch.size();
         }
       }
       by_window[w].push_back(std::move(sw));
@@ -334,11 +528,12 @@ std::vector<obs::WindowLeakage> LeakageAuditor::reduce() const {
     }
 
     if (probing) {
-      const auto rows = rows_by_window.find(w);
-      if (rows != rows_by_window.end() && !rows->second.empty()) {
+      const auto margins = margin_by_window.find(w);
+      if (margins != margin_by_window.end() && margins->second.rows > 0) {
         leak.has_proxy = true;
         leak.proxy_accuracy_percent =
-            100.0 * probe_->mean_margin(rows->second);
+            100.0 * (margins->second.total /
+                     static_cast<double>(margins->second.rows));
       }
     }
     out.push_back(std::move(leak));

@@ -98,8 +98,13 @@ class NearestCentroidProbe {
 
   [[nodiscard]] const AttackConfig& attack() const { return attack_; }
 
+  /// Margin of one raw (unscaled) feature row — the summand of
+  /// mean_margin. 0.0 when not ready.
+  [[nodiscard]] double margin(std::span<const double> row) const;
+
   /// Mean margin over raw (unscaled) feature rows, in [0, 1]; 0.0 when
-  /// not ready or `rows` is empty.
+  /// not ready or `rows` is empty. Sums margin() per row in order, so
+  /// callers accumulating margins on the fly get the identical double.
   [[nodiscard]] double mean_margin(
       std::span<const std::vector<double>> rows) const;
 
@@ -136,6 +141,14 @@ class LeakageAuditor {
   void observe_flow(std::uint64_t station, const traffic::Trace& flow,
                     double mean_rssi);
 
+  /// Same, borrowing the flow's columns instead of copying them — the
+  /// zero-copy batch path for callers whose flows outlive the auditor
+  /// (runtime::audit_flows holds the cell's flows across reduce()). The
+  /// station must not have been observed before (engines mint one unique
+  /// vMAC per flow), so a borrowed stream never needs appending.
+  void observe_flow(std::uint64_t station, traffic::TraceView flow,
+                    double mean_rssi);
+
   [[nodiscard]] const AuditConfig& config() const { return config_; }
   [[nodiscard]] std::size_t stream_count() const { return stations_.size(); }
   [[nodiscard]] bool empty() const { return stations_.empty(); }
@@ -152,10 +165,16 @@ class LeakageAuditor {
 
  private:
   struct PerStation {
-    traffic::Trace trace;  // time-ordered packets of this stream
+    traffic::Trace trace;      // time-ordered packets (owning paths)
+    traffic::TraceView view;   // borrowed columns (zero-copy flow path)
     std::vector<double> rssi_dbm;  // per-packet (live path) ...
     double flat_rssi = 0.0;        // ... or one flow-level mean
     bool has_flat_rssi = false;
+
+    /// The stream's columns, whichever path filled them.
+    [[nodiscard]] traffic::TraceView records() const {
+      return view.empty() ? trace.records() : view;
+    }
   };
 
   AuditConfig config_;

@@ -36,16 +36,23 @@ std::vector<std::vector<double>> feature_rows_of(traffic::TraceView flow,
 std::vector<std::vector<double>> feature_rows_of(
     traffic::TraceView flow, const AttackConfig& config,
     std::vector<features::WindowFeatures>& windows_scratch) {
+  std::vector<std::vector<double>> rows;
+  feature_rows_into(rows, flow, config, windows_scratch);
+  return rows;
+}
+
+void feature_rows_into(std::vector<std::vector<double>>& rows,
+                       traffic::TraceView flow, const AttackConfig& config,
+                       std::vector<features::WindowFeatures>& windows_scratch) {
   features::extract_all_windows_into(windows_scratch, flow, config.window,
                                      config.min_packets_per_window);
-  std::vector<std::vector<double>> rows;
+  rows.clear();
   rows.reserve(windows_scratch.size());
   for (const features::WindowFeatures& w : windows_scratch) {
     rows.push_back(
         features::project(config.log_compress ? features::log_compress(w) : w,
                           config.feature_set));
   }
-  return rows;
 }
 
 std::vector<std::vector<double>> ClassifierAttack::feature_rows(

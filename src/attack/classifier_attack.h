@@ -65,6 +65,13 @@ struct AttackConfig {
     traffic::TraceView flow, const AttackConfig& config,
     std::vector<features::WindowFeatures>& windows_scratch);
 
+/// Same, appending into a caller-owned row buffer (cleared per call) —
+/// the leakage auditor extracts rows per (station, window) slice and
+/// reuses one buffer across every slice of a cell.
+void feature_rows_into(std::vector<std::vector<double>>& rows,
+                       traffic::TraceView flow, const AttackConfig& config,
+                       std::vector<features::WindowFeatures>& windows_scratch);
+
 /// A trained attacker: scaler + classifier behind one interface.
 class ClassifierAttack {
  public:

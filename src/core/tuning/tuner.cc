@@ -141,11 +141,17 @@ const std::vector<TunedConfiguration>& ParameterTuner::candidates() const {
   return candidates_;
 }
 
-TuningReport ParameterTuner::run(std::size_t threads) {
+std::size_t ParameterTuner::cell_count() {
   train();
-  profiler_.clear();
-  telemetry_ = obs::MetricsSnapshot{};
-  windowed_ = obs::WindowedSnapshot{};
+  return candidates_.size() * spec_.shards;
+}
+
+TuningRangeOutcome ParameterTuner::run_range(std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t threads) {
+  train();
+  util::require(begin <= end && end <= candidates_.size() * spec_.shards,
+                "ParameterTuner::run_range: range out of bounds");
   evaluator_.set_profiler(telemetry_config_.profiling ? &profiler_ : nullptr);
 
   // The candidate grid is a one-scenario campaign: candidates take the
@@ -153,22 +159,27 @@ TuningReport ParameterTuner::run(std::size_t threads) {
   // candidate faces identical sampled sessions — the paired comparison
   // the Pareto ranking needs.
   const runtime::CellGrid grid{candidates_.size(), 1, spec_.shards};
-  std::vector<CandidateShardOutcome> outcomes(grid.cell_count());
+  TuningRangeOutcome outcome;
+  outcome.begin = begin;
+  outcome.end = end;
+  const std::size_t count = end - begin;
+  outcome.cells.resize(count);
   std::vector<obs::MetricsSnapshot> cell_metrics(
-      telemetry_config_.metrics ? grid.cell_count() : 0);
+      telemetry_config_.metrics ? count : 0);
   const bool collect_windows =
       telemetry_config_.windowed || telemetry_config_.privacy;
-  std::vector<obs::WindowedSnapshot> cell_windows(
-      collect_windows ? grid.cell_count() : 0);
+  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? count
+                                                                  : 0);
   runtime::run_cells(
-      grid.cell_count(), threads,
-      [&](std::size_t cell_id) {
+      count, threads,
+      [&](std::size_t index) {
+        const std::size_t cell_id = begin + index;
         const runtime::CellGrid::Cell cell = grid.decompose(cell_id);
         std::optional<obs::WindowedRegistry> windows;
         if (collect_windows) {
           windows.emplace(telemetry_config_.window);
         }
-        outcomes[cell_id] =
+        outcome.cells[index] =
             evaluator_.evaluate_cell(candidates_[cell.defense], grid, cell_id,
                                      windows ? &*windows : nullptr,
                                      telemetry_config_.privacy,
@@ -176,19 +187,50 @@ TuningReport ParameterTuner::run(std::size_t threads) {
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
           publish_cell(registry, candidates_[cell.defense], cell,
-                       outcomes[cell_id]);
-          cell_metrics[cell_id] = registry.snapshot();
+                       outcome.cells[index]);
+          cell_metrics[index] = registry.snapshot();
         }
         if (windows) {
-          cell_windows[cell_id] = windows->snapshot();
+          cell_windows[index] = windows->snapshot();
         }
       },
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
-    telemetry_.merge(snapshot);
+    outcome.metrics.merge(snapshot);
   }
   for (const obs::WindowedSnapshot& snapshot : cell_windows) {
-    windowed_.merge(snapshot);
+    outcome.windows.merge(snapshot);
+  }
+  return outcome;
+}
+
+TuningReport ParameterTuner::fold(std::vector<TuningRangeOutcome> ranges) {
+  train();
+  std::size_t expected = 0;
+  for (const TuningRangeOutcome& range : ranges) {
+    if (range.begin != expected || range.end < range.begin ||
+        range.cells.size() != range.end - range.begin) {
+      throw std::invalid_argument{
+          "ParameterTuner::fold: ranges must cover the grid contiguously "
+          "in ascending order"};
+    }
+    expected = range.end;
+  }
+  if (expected != candidates_.size() * spec_.shards) {
+    throw std::invalid_argument{
+        "ParameterTuner::fold: ranges do not cover every cell"};
+  }
+
+  telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
+  std::vector<CandidateShardOutcome> outcomes;
+  outcomes.reserve(candidates_.size() * spec_.shards);
+  for (TuningRangeOutcome& range : ranges) {
+    telemetry_.merge(range.metrics);
+    windowed_.merge(range.windows);
+    for (CandidateShardOutcome& cell : range.cells) {
+      outcomes.push_back(std::move(cell));
+    }
   }
   if (sink_ != nullptr && telemetry_config_.metrics) {
     sink_->consume(publications_++, telemetry_);
@@ -214,15 +256,23 @@ TuningReport ParameterTuner::run(std::size_t threads) {
     report.candidates.push_back(std::move(entry));
   }
 
-  const SelectionOutcome outcome = run_selection(metrics, spec_.objective);
-  for (const std::size_t i : outcome.front) {
+  const SelectionOutcome selection = run_selection(metrics, spec_.objective);
+  for (const std::size_t i : selection.front) {
     report.candidates[i].on_pareto_front = true;
   }
-  report.selected_index = outcome.selected;
+  report.selected_index = selection.selected;
   if (report.selected_index.has_value()) {
     report.candidates[*report.selected_index].selected = true;
   }
   return report;
+}
+
+TuningReport ParameterTuner::run(std::size_t threads) {
+  train();
+  profiler_.clear();
+  std::vector<TuningRangeOutcome> ranges;
+  ranges.push_back(run_range(0, candidates_.size() * spec_.shards, threads));
+  return fold(std::move(ranges));
 }
 
 std::string ParameterTuner::telemetry_to_json() const {

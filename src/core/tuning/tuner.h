@@ -37,6 +37,16 @@ struct CandidateReport {
   bool selected = false;
 };
 
+/// One scored contiguous slice of the candidate × shard grid — the
+/// shard-server work unit, mirroring runtime::CampaignRangeOutcome.
+struct TuningRangeOutcome {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<CandidateShardOutcome> cells;
+  obs::MetricsSnapshot metrics;
+  obs::WindowedSnapshot windows;
+};
+
 /// Everything a tuning sweep produced, in enumeration order.
 struct TuningReport {
   std::uint64_t seed = 0;
@@ -78,7 +88,25 @@ class ParameterTuner {
 
   /// Sweeps the candidate grid on `threads` workers (0 = hardware
   /// concurrency). The report is bit-identical for every thread count.
+  /// Equivalent to folding the single range [0, cell_count()).
   [[nodiscard]] TuningReport run(std::size_t threads = 0);
+
+  /// The number of (candidate, shard) cells the sweep decomposes into.
+  /// Requires train() (the candidate space must be enumerated).
+  [[nodiscard]] std::size_t cell_count();
+
+  /// Measures cells [begin, end) without touching the engine's merged
+  /// telemetry — the shard-server work unit. Trains on first use.
+  [[nodiscard]] TuningRangeOutcome run_range(std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t threads = 0);
+
+  /// Folds range outcomes — which must cover [0, cell_count()) contiguously
+  /// and in ascending order (throws std::invalid_argument otherwise) — into
+  /// the final report, rebuilding merged telemetry and firing the sink
+  /// exactly as run() does. Byte-identical to the in-process fold for any
+  /// range partition (per-cell series carry cell-unique labels).
+  [[nodiscard]] TuningReport fold(std::vector<TuningRangeOutcome> ranges);
 
   [[nodiscard]] const TunerSpec& spec() const { return spec_; }
   [[nodiscard]] const CandidateEvaluator& evaluator() const {

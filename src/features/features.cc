@@ -1,5 +1,6 @@
 #include "features/features.h"
 
+#include <array>
 #include <cmath>
 
 #include "util/check.h"
@@ -51,6 +52,47 @@ void IncrementalWindowExtractor::DirectionAccumulator::add(
   }
   previous_us = t_us;
   has_previous = true;
+}
+
+void IncrementalWindowExtractor::DirectionAccumulator::add_span(
+    std::span<const std::int64_t> times_us,
+    std::span<const std::uint32_t> sizes_bytes,
+    std::span<const mac::Direction> directions, mac::Direction dir) {
+  // Gather the direction's sizes (and qualifying gaps) into fixed batches
+  // and flush each through RunningStats::add_span. Sizes and gaps are
+  // independent accumulators, so interleaving the two flush streams
+  // cannot change either one's add order — the only thing bit-exactness
+  // depends on.
+  constexpr std::size_t kBatch = 64;
+  std::array<double, kBatch> size_batch;
+  std::array<double, kBatch> gap_batch;
+  std::size_t n_sizes = 0;
+  std::size_t n_gaps = 0;
+  for (std::size_t i = 0; i < times_us.size(); ++i) {
+    if (directions[i] != dir) {
+      continue;
+    }
+    size_batch[n_sizes++] = static_cast<double>(sizes_bytes[i]);
+    if (has_previous) {
+      const util::Duration gap =
+          util::Duration::microseconds(times_us[i] - previous_us);
+      if (gap <= kIdleGapFilter) {
+        gap_batch[n_gaps++] = gap.to_seconds();
+      }
+    }
+    previous_us = times_us[i];
+    has_previous = true;
+    if (n_sizes == kBatch) {
+      sizes.add_span({size_batch.data(), n_sizes});
+      n_sizes = 0;
+    }
+    if (n_gaps == kBatch) {
+      gaps.add_span({gap_batch.data(), n_gaps});
+      n_gaps = 0;
+    }
+  }
+  sizes.add_span({size_batch.data(), n_sizes});
+  gaps.add_span({gap_batch.data(), n_gaps});
 }
 
 DirectionFeatures IncrementalWindowExtractor::DirectionAccumulator::features()
@@ -129,8 +171,9 @@ std::optional<WindowFeatures> extract_window(traffic::TraceView window) {
   if (window.empty()) {
     return std::nullopt;
   }
-  // One pass per direction over the columns, in record order — the same
-  // util::RunningStats add sequence as a per-record AoS scan.
+  // One batched pass per direction over the columns, in record order —
+  // add_span preserves the exact util::RunningStats add sequence of a
+  // per-record AoS scan.
   const auto times = window.times_us();
   const auto sizes = window.sizes_bytes();
   const auto dirs = window.directions();
@@ -138,11 +181,7 @@ std::optional<WindowFeatures> extract_window(traffic::TraceView window) {
   for (const mac::Direction dir :
        {mac::Direction::kDownlink, mac::Direction::kUplink}) {
     IncrementalWindowExtractor::DirectionAccumulator acc;
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      if (dirs[i] == dir) {
-        acc.add(times[i], sizes[i]);
-      }
-    }
+    acc.add_span(times, sizes, dirs, dir);
     (dir == mac::Direction::kDownlink ? out.downlink : out.uplink) =
         acc.features();
   }

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,17 @@ class IncrementalWindowExtractor {
 
     void clear();
     void add(std::int64_t t_us, std::uint32_t size_bytes);
+
+    /// Adds every record of the columns whose direction matches `dir`,
+    /// bit-identical to calling add() per matching record in order: the
+    /// column sweep gathers sizes and idle-filtered gaps into small
+    /// batches and feeds them through util::RunningStats::add_span, which
+    /// preserves the sequential Welford order per accumulator.
+    void add_span(std::span<const std::int64_t> times_us,
+                  std::span<const std::uint32_t> sizes_bytes,
+                  std::span<const mac::Direction> directions,
+                  mac::Direction dir);
+
     [[nodiscard]] DirectionFeatures features() const;
   };
 

@@ -12,6 +12,18 @@ ConfusionMatrix::ConfusionMatrix(int num_classes)
                 0);
 }
 
+ConfusionMatrix ConfusionMatrix::from_cells(
+    int num_classes, std::span<const std::uint64_t> cells) {
+  ConfusionMatrix out{num_classes};
+  util::require(cells.size() == out.cells_.size(),
+                "ConfusionMatrix::from_cells: cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out.cells_[i] = cells[i];
+    out.total_ += cells[i];
+  }
+  return out;
+}
+
 void ConfusionMatrix::add(int truth, int predicted) {
   util::require(truth >= 0 && truth < num_classes_,
                 "ConfusionMatrix::add: truth out of range");

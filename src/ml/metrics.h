@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace reshape::ml {
@@ -17,6 +18,12 @@ namespace reshape::ml {
 class ConfusionMatrix {
  public:
   explicit ConfusionMatrix(int num_classes);
+
+  /// Rebuilds a matrix from row-major [truth][predicted] counts, exactly
+  /// as count() reads them; `cells` must hold num_classes^2 entries. The
+  /// wire-decode path — the total is recomputed from the counts.
+  [[nodiscard]] static ConfusionMatrix from_cells(
+      int num_classes, std::span<const std::uint64_t> cells);
 
   void add(int truth, int predicted);
 

@@ -75,6 +75,9 @@ struct TelemetryConfig {
     return metrics || tracing || profiling || windowed || privacy;
   }
 
+  friend bool operator==(const TelemetryConfig&,
+                         const TelemetryConfig&) = default;
+
   [[nodiscard]] static TelemetryConfig enabled() {
     return TelemetryConfig{true, true, true, true, true};
   }

@@ -190,11 +190,12 @@ AdaptiveCellResult AdaptiveCampaignEngine::run_cell(
   return result;
 }
 
-AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
+AdaptiveRangeOutcome AdaptiveCampaignEngine::run_range(std::size_t begin,
+                                                       std::size_t end,
+                                                       std::size_t threads) {
+  util::require(begin <= end && end <= cell_count(),
+                "AdaptiveCampaignEngine::run_range: range out of bounds");
   train();
-  profiler_.clear();
-  telemetry_ = obs::MetricsSnapshot{};
-  windowed_ = obs::WindowedSnapshot{};
 
   if (telemetry_config_.privacy && !probe_) {
     // The attacker proxy shares the adversary's own bootstrap rows —
@@ -202,48 +203,84 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
     probe_.emplace(base_, spec_.attacker.attack);
   }
 
-  const std::size_t cells = cell_count();
-  std::vector<AdaptiveCellResult> results(cells);
+  AdaptiveRangeOutcome outcome;
+  outcome.begin = begin;
+  outcome.end = end;
+  const std::size_t count = end - begin;
+  outcome.cells.resize(count);
   std::vector<obs::MetricsSnapshot> cell_metrics(
-      telemetry_config_.metrics ? cells : 0);
+      telemetry_config_.metrics ? count : 0);
   const bool collect_windows =
       telemetry_config_.windowed || telemetry_config_.privacy;
-  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? cells
+  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? count
                                                                   : 0);
   run_cells(
-      cells, threads,
-      [&](std::size_t cell_id) {
+      count, threads,
+      [&](std::size_t index) {
+        const std::size_t cell_id = begin + index;
         std::optional<obs::WindowedRegistry> windows;
         if (collect_windows) {
           windows.emplace(telemetry_config_.window);
         }
-        results[cell_id] = run_cell(cell_id, windows ? &*windows : nullptr);
+        outcome.cells[index] =
+            run_cell(cell_id, windows ? &*windows : nullptr);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
-          publish_cell(registry, spec_, results[cell_id]);
-          cell_metrics[cell_id] = registry.snapshot();
+          publish_cell(registry, spec_, outcome.cells[index]);
+          cell_metrics[index] = registry.snapshot();
         }
         if (telemetry_config_.windowed) {
           // Epoch scores observed at their sim-time starts: with the
           // window set to the attacker cadence, windows align 1:1 with
           // epochs — the accuracy-over-time signal the drift detectors
           // watch.
-          const obs::LabelSet labels = cell_labels(spec_, results[cell_id]);
+          const obs::LabelSet labels = cell_labels(spec_, outcome.cells[index]);
           for (const attack::adaptive::EpochScore& epoch :
-               results[cell_id].epochs) {
+               outcome.cells[index].epochs) {
             publish_windowed(*windows, epoch, labels);
           }
         }
         if (windows) {
-          cell_windows[cell_id] = windows->snapshot();
+          cell_windows[index] = windows->snapshot();
         }
       },
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
-    telemetry_.merge(snapshot);
+    outcome.metrics.merge(snapshot);
   }
   for (const obs::WindowedSnapshot& snapshot : cell_windows) {
-    windowed_.merge(snapshot);
+    outcome.windows.merge(snapshot);
+  }
+  return outcome;
+}
+
+AdaptiveCampaignReport AdaptiveCampaignEngine::fold(
+    std::vector<AdaptiveRangeOutcome> ranges) {
+  std::size_t expected = 0;
+  for (const AdaptiveRangeOutcome& range : ranges) {
+    if (range.begin != expected || range.end < range.begin ||
+        range.cells.size() != range.end - range.begin) {
+      throw std::invalid_argument{
+          "AdaptiveCampaignEngine::fold: ranges must cover the grid "
+          "contiguously in ascending order"};
+    }
+    expected = range.end;
+  }
+  if (expected != cell_count()) {
+    throw std::invalid_argument{
+        "AdaptiveCampaignEngine::fold: ranges do not cover every cell"};
+  }
+
+  telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
+  std::vector<AdaptiveCellResult> results;
+  results.reserve(cell_count());
+  for (AdaptiveRangeOutcome& range : ranges) {
+    telemetry_.merge(range.metrics);
+    windowed_.merge(range.windows);
+    for (AdaptiveCellResult& cell : range.cells) {
+      results.push_back(std::move(cell));
+    }
   }
   if (sink_ != nullptr && telemetry_config_.metrics) {
     sink_->consume(publications_++, telemetry_);
@@ -278,6 +315,13 @@ AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
     }
   }
   return report;
+}
+
+AdaptiveCampaignReport AdaptiveCampaignEngine::run(std::size_t threads) {
+  profiler_.clear();
+  std::vector<AdaptiveRangeOutcome> ranges;
+  ranges.push_back(run_range(0, cell_count(), threads));
+  return fold(std::move(ranges));
 }
 
 std::string AdaptiveCampaignEngine::telemetry_to_json() const {

@@ -108,6 +108,16 @@ struct AdaptiveAggregate {
   std::vector<EpochAggregate> epochs;
 };
 
+/// One scored contiguous slice of the adaptive grid — the shard-server
+/// work unit, mirroring runtime::CampaignRangeOutcome.
+struct AdaptiveRangeOutcome {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<AdaptiveCellResult> cells;
+  obs::MetricsSnapshot metrics;
+  obs::WindowedSnapshot windows;
+};
+
 /// Everything an adaptive campaign produced, in deterministic order.
 struct AdaptiveCampaignReport {
   std::uint64_t seed = 0;
@@ -132,8 +142,24 @@ class AdaptiveCampaignEngine {
   explicit AdaptiveCampaignEngine(AdaptiveCampaignSpec spec);
 
   /// Runs the whole grid on `threads` workers (0 = hardware concurrency).
-  /// The report is bit-identical for every `threads` value.
+  /// The report is bit-identical for every `threads` value. Equivalent to
+  /// folding the single range [0, cell_count()).
   [[nodiscard]] AdaptiveCampaignReport run(std::size_t threads = 0);
+
+  /// Scores cells [begin, end) without touching the engine's merged
+  /// telemetry — the shard-server work unit. Bootstraps (and builds the
+  /// privacy probe) on first use, exactly like run().
+  [[nodiscard]] AdaptiveRangeOutcome run_range(std::size_t begin,
+                                               std::size_t end,
+                                               std::size_t threads = 0);
+
+  /// Folds range outcomes — which must cover [0, cell_count()) contiguously
+  /// and in ascending order (throws std::invalid_argument otherwise) — into
+  /// the final report, rebuilding merged telemetry and firing the sink
+  /// exactly as run() does. Byte-identical to the in-process fold for any
+  /// range partition (per-cell series carry cell-unique labels).
+  [[nodiscard]] AdaptiveCampaignReport fold(
+      std::vector<AdaptiveRangeOutcome> ranges);
 
   /// Builds the shared bootstrap dataset without running cells
   /// (idempotent; run() calls it).

@@ -208,11 +208,30 @@ CellResult CampaignEngine::run_cell(std::size_t cell_id, WorkerArena& arena,
   return result;
 }
 
-CampaignReport CampaignEngine::run(std::size_t threads) {
+void CampaignEngine::warm_workloads() {
+  const CellGrid g = grid();
+  for (std::size_t s = 0; s < spec_.scenarios.size(); ++s) {
+    for (std::size_t shard = 0; shard < spec_.shards; ++shard) {
+      // The workload stream is keyed (scenario, shard) only, so defense
+      // row 0's cell id produces exactly the sessions any row would.
+      const std::size_t cell_id = s * spec_.shards + shard;
+      const std::size_t workload_slot = s * spec_.shards + shard;
+      std::call_once(workload_once_[workload_slot], [&] {
+        CellStreams streams = cell_streams(spec_.seed, g, cell_id);
+        workloads_[workload_slot] =
+            std::make_shared<const std::vector<traffic::Trace>>(
+                spec_.scenarios[s].generate(streams.workload));
+      });
+    }
+  }
+}
+
+CampaignRangeOutcome CampaignEngine::run_range(std::size_t begin,
+                                               std::size_t end,
+                                               std::size_t threads) {
+  util::require(begin <= end && end <= cell_count(),
+                "CampaignEngine::run_range: range out of bounds");
   train();
-  profiler_.clear();
-  telemetry_ = obs::MetricsSnapshot{};
-  windowed_ = obs::WindowedSnapshot{};
 
   if (telemetry_config_.privacy && !probe_) {
     // The attacker proxy profiles the same clean corpus the adaptive
@@ -223,44 +242,78 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
                    adaptive.attack);
   }
 
-  const std::size_t cells = cell_count();
-  std::vector<CellResult> results(cells);
+  CampaignRangeOutcome outcome;
+  outcome.begin = begin;
+  outcome.end = end;
+  const std::size_t count = end - begin;
+  outcome.cells.resize(count);
   // One private registry per cell, snapshotted by whichever worker ran the
-  // cell and folded on the main thread in cell order — the snapshot of a
-  // cell is a pure function of its result, so the merged telemetry is as
+  // cell and folded in cell order — the snapshot of a cell is a pure
+  // function of its result, so the merged telemetry is as
   // thread-count-independent as the report itself. Windowed series follow
   // the same per-cell-then-fold pattern.
   std::vector<obs::MetricsSnapshot> cell_metrics(
-      telemetry_config_.metrics ? cells : 0);
+      telemetry_config_.metrics ? count : 0);
   const bool collect_windows =
       telemetry_config_.windowed || telemetry_config_.privacy;
-  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? cells
+  std::vector<obs::WindowedSnapshot> cell_windows(collect_windows ? count
                                                                   : 0);
   run_cells(
-      cells, threads,
+      count, threads,
       std::function<void(std::size_t, WorkerArena&)>{
-          [&](std::size_t cell_id, WorkerArena& arena) {
+          [&](std::size_t index, WorkerArena& arena) {
+        const std::size_t cell_id = begin + index;
         std::optional<obs::WindowedRegistry> windows;
         if (collect_windows) {
           windows.emplace(telemetry_config_.window);
         }
-        results[cell_id] =
+        outcome.cells[index] =
             run_cell(cell_id, arena, windows ? &*windows : nullptr);
         if (telemetry_config_.metrics) {
           obs::MetricsRegistry registry;
-          publish_cell(registry, spec_, results[cell_id]);
-          cell_metrics[cell_id] = registry.snapshot();
+          publish_cell(registry, spec_, outcome.cells[index]);
+          cell_metrics[index] = registry.snapshot();
         }
         if (windows) {
-          cell_windows[cell_id] = windows->snapshot();
+          cell_windows[index] = windows->snapshot();
         }
       }},
       telemetry_config_.profiling ? &profiler_ : nullptr);
   for (const obs::MetricsSnapshot& snapshot : cell_metrics) {
-    telemetry_.merge(snapshot);
+    outcome.metrics.merge(snapshot);
   }
   for (const obs::WindowedSnapshot& snapshot : cell_windows) {
-    windowed_.merge(snapshot);
+    outcome.windows.merge(snapshot);
+  }
+  return outcome;
+}
+
+CampaignReport CampaignEngine::fold(std::vector<CampaignRangeOutcome> ranges) {
+  std::size_t expected = 0;
+  for (const CampaignRangeOutcome& range : ranges) {
+    if (range.begin != expected || range.end < range.begin ||
+        range.cells.size() != range.end - range.begin) {
+      throw std::invalid_argument{
+          "CampaignEngine::fold: ranges must cover the grid contiguously "
+          "in ascending order"};
+    }
+    expected = range.end;
+  }
+  if (expected != cell_count()) {
+    throw std::invalid_argument{
+        "CampaignEngine::fold: ranges do not cover every cell"};
+  }
+
+  telemetry_ = obs::MetricsSnapshot{};
+  windowed_ = obs::WindowedSnapshot{};
+  std::vector<CellResult> results;
+  results.reserve(cell_count());
+  for (CampaignRangeOutcome& range : ranges) {
+    telemetry_.merge(range.metrics);
+    windowed_.merge(range.windows);
+    for (CellResult& cell : range.cells) {
+      results.push_back(std::move(cell));
+    }
   }
   if (sink_ != nullptr && telemetry_config_.metrics) {
     sink_->consume(publications_++, telemetry_);
@@ -322,6 +375,13 @@ CampaignReport CampaignEngine::run(std::size_t threads) {
     }
   }
   return report;
+}
+
+CampaignReport CampaignEngine::run(std::size_t threads) {
+  profiler_.clear();
+  std::vector<CampaignRangeOutcome> ranges;
+  ranges.push_back(run_range(0, cell_count(), threads));
+  return fold(std::move(ranges));
 }
 
 std::string CampaignEngine::telemetry_to_json() const {

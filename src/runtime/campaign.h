@@ -78,6 +78,19 @@ struct CellAggregate {
   eval::DefenseEvaluation evaluation;
 };
 
+/// One scored contiguous slice of the grid — the unit of work the shard
+/// server ships between processes. `cells` holds the results of ids
+/// [begin, end) in order; metrics/windows are that slice's per-cell
+/// telemetry snapshots folded in cell order (empty when the matching
+/// collection is off).
+struct CampaignRangeOutcome {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<CellResult> cells;
+  obs::MetricsSnapshot metrics;
+  obs::WindowedSnapshot windows;
+};
+
 /// Everything a campaign produced, in deterministic order.
 struct CampaignReport {
   std::uint64_t seed = 0;
@@ -103,11 +116,34 @@ class CampaignEngine {
 
   /// Runs the whole grid on `threads` workers (0 = hardware concurrency).
   /// First call trains the attackers; later calls reuse them. The report
-  /// is bit-identical for every `threads` value.
+  /// is bit-identical for every `threads` value. Equivalent to folding
+  /// the single range [0, cell_count()).
   [[nodiscard]] CampaignReport run(std::size_t threads = 0);
+
+  /// Scores cells [begin, end) on `threads` workers without touching the
+  /// engine's merged telemetry — the shard-server work unit. Trains (and
+  /// builds the privacy probe) on first use, exactly like run().
+  [[nodiscard]] CampaignRangeOutcome run_range(std::size_t begin,
+                                               std::size_t end,
+                                               std::size_t threads = 0);
+
+  /// Folds range outcomes — which must cover [0, cell_count()) contiguously
+  /// and in ascending order (throws std::invalid_argument otherwise) — into
+  /// the final report, rebuilding the engine's merged telemetry/windowed
+  /// snapshots and firing the sink, exactly as run() does. Because every
+  /// per-cell telemetry series carries cell-unique labels, the fold of
+  /// range-grouped snapshots is byte-identical to the in-process per-cell
+  /// fold for any range partition.
+  [[nodiscard]] CampaignReport fold(std::vector<CampaignRangeOutcome> ranges);
 
   /// The number of cells the grid decomposes into.
   [[nodiscard]] std::size_t cell_count() const;
+
+  /// Materializes every (scenario, shard) workload slot now, on this
+  /// thread. Shard-server coordinators call this before forking so worker
+  /// processes inherit the sessions instead of regenerating them per
+  /// process; byte-neutral (the slots are pure functions of the spec).
+  void warm_workloads();
 
   /// The shared trained harness (valid after the first run()/train()).
   [[nodiscard]] eval::ExperimentHarness& harness() { return harness_; }

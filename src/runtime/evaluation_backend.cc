@@ -157,7 +157,8 @@ void audit_flows(std::span<const attack::adaptive::ObservedFlow> flows,
   attack::audit::LeakageAuditor auditor{config};
   auditor.set_probe(probe);
   for (const attack::adaptive::ObservedFlow& flow : flows) {
-    auditor.observe_flow(flow.address.to_u64(), flow.flow, flow.mean_rssi);
+    auditor.observe_flow(flow.address.to_u64(), flow.flow.records(),
+                         flow.mean_rssi);
   }
   auditor.publish(windows, labels);
 }

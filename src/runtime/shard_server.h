@@ -1,0 +1,114 @@
+// The multi-process shard server: a coordinator that partitions an
+// engine's cell grid into contiguous ranges, hands them to worker
+// processes over a local-socket wire protocol (runtime/wire.h), and
+// folds the returned range outcomes in cell order — so the merged report
+// and telemetry are byte-identical to the in-process run at any worker
+// count.
+//
+// Two worker modes share one protocol:
+//
+//   * fork mode (ShardConfig::worker_command empty) — each worker is a
+//     fork() of the coordinator process taken *before* any coordinator
+//     thread starts (fork from a single-threaded parent is safe), so the
+//     child inherits the trained engine, warmed workload caches, and the
+//     serving closure by memory image. No exec, no re-training. This is
+//     what the tests and the bench use.
+//   * exec mode (worker_command set) — each worker fork+execs the given
+//     argv with `--worker-fd 3` appended, the socket dup2()ed onto fd 3
+//     (stdin/stdout untouched, so stray prints cannot corrupt the
+//     protocol). The worker rebuilds its engine from the job name in the
+//     work order — tools/shard_eval's registry does exactly that.
+//
+// Work is oversubscribed (ranges_per_worker contiguous chunks per worker,
+// claimed atomically) so a slow worker sheds load to fast ones. Failures —
+// short reads, kError frames, nonzero exits — are recorded per worker and
+// the unfinished ranges are re-run in-process in ascending order, so a
+// dead worker degrades throughput, never the result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tuning/tuner.h"
+#include "obs/export.h"
+#include "runtime/adaptive_campaign.h"
+#include "runtime/campaign.h"
+#include "runtime/wire.h"
+
+namespace reshape::runtime {
+
+/// How to spread a run across processes.
+struct ShardConfig {
+  /// Worker processes to spawn. 0 runs every range in-process (useful as
+  /// the degenerate baseline — still range-partitioned and folded).
+  std::size_t workers = 2;
+
+  /// Threads per worker's own cell pool (the workers × threads grid).
+  std::size_t threads_per_worker = 1;
+
+  /// Contiguous range chunks offered per worker; > 1 oversubscribes so
+  /// fast workers steal load from slow ones without breaking cell order.
+  std::size_t ranges_per_worker = 3;
+
+  /// Job name workers resolve to an engine (exec mode registry key);
+  /// fork-mode workers serve a closure and only use it as a cache key.
+  std::string job = "inline";
+
+  /// argv of the worker binary (exec mode); empty selects fork mode.
+  std::vector<std::string> worker_command;
+};
+
+/// What a worker does with one work order: returns a complete reply frame
+/// (kCampaignRange / kAdaptiveRange / kTuningRange around the encoded
+/// outcome).
+struct WorkerJob {
+  std::function<std::vector<std::uint8_t>(const wire::WorkOrder&)> run;
+};
+
+/// Resolves a job name to its runner; called once per name per worker
+/// process (serve() caches, so an exec-mode worker trains once).
+using JobFactory = std::function<WorkerJob(std::string_view)>;
+
+/// One dispatch's collected results, in ascending range order.
+struct ShardRun {
+  std::vector<std::vector<std::uint8_t>> payloads;  // frame payload per range
+  std::vector<wire::FrameType> types;               // payload type per range
+  /// Human-readable failure per worker that died (empty = clean run); the
+  /// affected ranges were re-run in-process, so payloads is complete
+  /// regardless.
+  std::vector<std::string> failures;
+};
+
+/// The worker side: serves work orders on `fd` until a shutdown frame or
+/// EOF. Job exceptions become kError reply frames, not worker deaths.
+void serve(int fd, const JobFactory& factory);
+
+/// The coordinator side: partitions [0, cell_count) into balanced
+/// contiguous ranges, spawns config.workers processes (all before any
+/// coordinator thread starts), dispatches orders, and returns every
+/// range's reply payload in ascending range order. `factory` builds the
+/// fork-mode serving closure and the in-process fallback runner.
+[[nodiscard]] ShardRun dispatch(std::size_t cell_count,
+                                obs::TelemetryConfig telemetry,
+                                const ShardConfig& config,
+                                const JobFactory& factory);
+
+// Engine front-ends: train (and warm what children should inherit),
+// dispatch the grid, decode, fold. The returned report — and the engine's
+// merged telemetry/windowed snapshots — are byte-identical to
+// engine.run() at any worker/thread count. `failures` (optional) receives
+// dispatch()'s failure strings.
+[[nodiscard]] CampaignReport run_sharded(
+    CampaignEngine& engine, const ShardConfig& config,
+    std::vector<std::string>* failures = nullptr);
+[[nodiscard]] AdaptiveCampaignReport run_sharded(
+    AdaptiveCampaignEngine& engine, const ShardConfig& config,
+    std::vector<std::string>* failures = nullptr);
+[[nodiscard]] core::tuning::TuningReport run_sharded(
+    core::tuning::ParameterTuner& tuner, const ShardConfig& config,
+    std::vector<std::string>* failures = nullptr);
+
+}  // namespace reshape::runtime

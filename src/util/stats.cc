@@ -16,6 +16,42 @@ void RunningStats::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void RunningStats::add_span(std::span<const double> values) {
+  // Hoist the accumulator into locals so the unrolled loop keeps it in
+  // registers; each element still runs add()'s exact operation sequence,
+  // so the resulting state is bit-identical to per-element add() calls.
+  std::size_t count = count_;
+  double mean = mean_;
+  double m2 = m2_;
+  double lo = min_;
+  double hi = max_;
+  const auto step = [&](double x) {
+    ++count;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  };
+  const double* v = values.data();
+  const std::size_t n = values.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    step(v[i]);
+    step(v[i + 1]);
+    step(v[i + 2]);
+    step(v[i + 3]);
+  }
+  for (; i < n; ++i) {
+    step(v[i]);
+  }
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+  min_ = lo;
+  max_ = hi;
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.count_ == 0) {
     return;

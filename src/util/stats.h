@@ -20,6 +20,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Batched add over a span, bit-identical to calling add() once per
+  /// element in order: the state lives in registers across the whole span
+  /// and the loop is unrolled, but every element still runs the exact
+  /// sequential Welford update (report goldens depend on the add order).
+  void add_span(std::span<const double> values);
+
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const RunningStats& other);
 

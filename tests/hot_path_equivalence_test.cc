@@ -149,6 +149,97 @@ TEST(FeaturePathEquivalenceTest, WindowBoundaryRecordsAgree) {
                        "IncrementalWindowExtractor", "boundary trace");
 }
 
+// --------------------------------------------- add_span equivalence ---
+
+TEST(AddSpanEquivalenceTest, RunningStatsBatchedAddIsBitIdentical) {
+  // add_span keeps the Welford state in registers and unrolls the loop,
+  // but its contract is the exact sequential add order — every accessor
+  // must return the same double, not a nearby one. Exercise awkward
+  // lengths (0, 1, partial unroll tails, large) and adversarial values.
+  util::Rng rng{20110623};
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 63u, 1000u}) {
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix magnitudes so Welford's cancellation behaviour is exercised:
+      // tiny deltas against a large running mean.
+      const double v = rng.uniform_real(-1.0, 1.0) * (i % 3 == 0 ? 1e9 : 1e-3);
+      values.push_back(v);
+    }
+    util::RunningStats scalar;
+    for (const double v : values) {
+      scalar.add(v);
+    }
+    util::RunningStats batched;
+    batched.add_span(values);
+
+    EXPECT_EQ(batched.count(), scalar.count()) << "n=" << n;
+    EXPECT_EQ(batched.mean(), scalar.mean()) << "n=" << n;
+    EXPECT_EQ(batched.variance(), scalar.variance()) << "n=" << n;
+    EXPECT_EQ(batched.sample_variance(), scalar.sample_variance())
+        << "n=" << n;
+    EXPECT_EQ(batched.min(), scalar.min()) << "n=" << n;
+    EXPECT_EQ(batched.max(), scalar.max()) << "n=" << n;
+    EXPECT_EQ(batched.sum(), scalar.sum()) << "n=" << n;
+
+    // Split at every point: add_span must also compose with a warm
+    // accumulator (the column sweep feeds it in small batches).
+    for (std::size_t split = 0; split <= n; split += (n > 16 ? 7 : 1)) {
+      util::RunningStats pieces;
+      pieces.add_span(std::span{values}.first(split));
+      pieces.add_span(std::span{values}.subspan(split));
+      EXPECT_EQ(pieces.mean(), scalar.mean()) << "n=" << n << " @" << split;
+      EXPECT_EQ(pieces.variance(), scalar.variance())
+          << "n=" << n << " @" << split;
+    }
+  }
+}
+
+TEST(AddSpanEquivalenceTest, DirectionAccumulatorColumnSweepIsBitIdentical) {
+  // The batched column sweep filters by direction and idle-gap inside
+  // add_span; it must land on the same accumulator state as the scalar
+  // per-record add() path, including the previous-timestamp carry.
+  using Accumulator = features::IncrementalWindowExtractor::DirectionAccumulator;
+  util::Rng rng{20110624};
+  std::vector<std::int64_t> times_us;
+  std::vector<std::uint32_t> sizes_bytes;
+  std::vector<mac::Direction> directions;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    // Gaps spanning the idle-filter threshold in both directions, sizes
+    // across the frame range, direction mix biased so runs of one
+    // direction occur (the carry crosses non-matching records).
+    t += static_cast<std::int64_t>(rng.uniform_real(0.0, 3e6));
+    times_us.push_back(t);
+    sizes_bytes.push_back(
+        static_cast<std::uint32_t>(rng.uniform_real(40.0, 1576.0)));
+    directions.push_back(rng.uniform_real(0.0, 1.0) < 0.7
+                             ? mac::Direction::kDownlink
+                             : mac::Direction::kUplink);
+  }
+
+  for (const mac::Direction dir :
+       {mac::Direction::kDownlink, mac::Direction::kUplink}) {
+    Accumulator scalar;
+    for (std::size_t i = 0; i < times_us.size(); ++i) {
+      if (directions[i] == dir) {
+        scalar.add(times_us[i], sizes_bytes[i]);
+      }
+    }
+    Accumulator batched;
+    batched.add_span(times_us, sizes_bytes, directions, dir);
+
+    const auto scalar_features = scalar.features().to_array();
+    const auto batched_features = batched.features().to_array();
+    for (std::size_t k = 0; k < scalar_features.size(); ++k) {
+      EXPECT_EQ(batched_features[k], scalar_features[k])
+          << "direction " << static_cast<int>(dir) << " feature " << k;
+    }
+    EXPECT_EQ(batched.sizes.count(), scalar.sizes.count());
+    EXPECT_EQ(batched.gaps.count(), scalar.gaps.count());
+  }
+}
+
 // ------------------------------------------ arbiter stats attribution ---
 
 TEST(ChannelStatsRegressionTest, PerStationStatsMatchOnAirTally) {

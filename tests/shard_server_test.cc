@@ -1,0 +1,216 @@
+// Shard-server determinism tests (runtime/shard_server.h): the report
+// and telemetry a coordinator folds from worker processes must be
+// byte-identical to the in-process run at every worker and thread count,
+// and a dead worker must degrade throughput, never the result.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/tuning/tuner.h"
+#include "eval/defense_factory.h"
+#include "obs/export.h"
+#include "runtime/adaptive_campaign.h"
+#include "runtime/campaign.h"
+#include "runtime/scenario.h"
+#include "runtime/shard_server.h"
+
+namespace {
+
+using namespace reshape;
+
+obs::TelemetryConfig deterministic_telemetry() {
+  obs::TelemetryConfig config;
+  config.metrics = true;
+  config.windowed = true;
+  config.privacy = true;
+  return config;
+}
+
+runtime::CampaignSpec tiny_campaign() {
+  runtime::CampaignSpec spec;
+  spec.seed = 4242;
+  spec.training.seed = 777;
+  spec.training.train_sessions_per_app = 2;
+  spec.training.train_session_duration = util::Duration::seconds(30.0);
+  spec.training.test_sessions_per_app = 1;
+  spec.training.test_session_duration = util::Duration::seconds(30.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(
+      runtime::multi_app_station(1, util::Duration::seconds(30.0)));
+  spec.shards = 2;
+  return spec;
+}
+
+runtime::AdaptiveCampaignSpec tiny_adaptive() {
+  runtime::AdaptiveCampaignSpec spec;
+  spec.seed = 0xADA;
+  spec.bootstrap.seed = 777;
+  spec.bootstrap.train_sessions_per_app = 2;
+  spec.bootstrap.train_session_duration = util::Duration::seconds(30.0);
+  spec.attacker.cadence = util::Duration::seconds(10.0);
+  spec.defenses.push_back({"Original", eval::no_defense_factory()});
+  spec.defenses.push_back(
+      {"OR", eval::reshaping_factory(core::SchedulerKind::kOrthogonal, 3)});
+  spec.scenarios.push_back(
+      runtime::multi_app_station(1, util::Duration::seconds(30.0)));
+  spec.shards = 2;
+  return spec;
+}
+
+core::tuning::TunerSpec tiny_tuning() {
+  core::tuning::TunerSpec spec;
+  spec.seed = 0x7C7E5;
+  spec.bootstrap.seed = 20110620;
+  spec.bootstrap.train_sessions_per_app = 2;
+  spec.bootstrap.train_session_duration = util::Duration::seconds(30.0);
+  spec.attacker.cadence = util::Duration::seconds(10.0);
+  spec.scenario = runtime::tuned_vs_table5(2, util::Duration::seconds(30.0));
+  spec.streaming.bitrate_mbps = 24.0;
+  spec.arbitration_bitrate_mbps = 24.0;
+  spec.shards = 2;
+  spec.space.interleaved_fine_partitions = false;
+  spec.space.padded_compositions = false;
+  return spec;
+}
+
+// The workers × threads grid every engine must hold byte-identity over.
+struct GridPoint {
+  std::size_t workers;
+  std::size_t threads;
+};
+constexpr GridPoint kGrid[] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 1}, {4, 2}};
+
+TEST(ShardServerTest, CampaignByteIdenticalAcrossWorkersAndThreads) {
+  runtime::CampaignEngine baseline{tiny_campaign()};
+  baseline.set_telemetry(deterministic_telemetry());
+  const std::string expect_report = baseline.run(1).to_json();
+  const std::string expect_telemetry = baseline.telemetry_to_json();
+
+  runtime::CampaignEngine sharded{tiny_campaign()};
+  sharded.set_telemetry(deterministic_telemetry());
+  for (const GridPoint& point : kGrid) {
+    runtime::ShardConfig config;
+    config.workers = point.workers;
+    config.threads_per_worker = point.threads;
+    std::vector<std::string> failures;
+    const std::string report =
+        runtime::run_sharded(sharded, config, &failures).to_json();
+    EXPECT_TRUE(failures.empty())
+        << point.workers << "x" << point.threads << ": " << failures.front();
+    EXPECT_EQ(report, expect_report)
+        << "report differs at workers=" << point.workers
+        << " threads=" << point.threads;
+    EXPECT_EQ(sharded.telemetry_to_json(), expect_telemetry)
+        << "telemetry differs at workers=" << point.workers
+        << " threads=" << point.threads;
+  }
+}
+
+TEST(ShardServerTest, AdaptiveByteIdenticalAcrossWorkersAndThreads) {
+  runtime::AdaptiveCampaignEngine baseline{tiny_adaptive()};
+  baseline.set_telemetry(deterministic_telemetry());
+  const std::string expect_report = baseline.run(1).to_json();
+  const std::string expect_telemetry = baseline.telemetry_to_json();
+
+  runtime::AdaptiveCampaignEngine sharded{tiny_adaptive()};
+  sharded.set_telemetry(deterministic_telemetry());
+  for (const GridPoint& point : kGrid) {
+    runtime::ShardConfig config;
+    config.workers = point.workers;
+    config.threads_per_worker = point.threads;
+    std::vector<std::string> failures;
+    const std::string report =
+        runtime::run_sharded(sharded, config, &failures).to_json();
+    EXPECT_TRUE(failures.empty())
+        << point.workers << "x" << point.threads << ": " << failures.front();
+    EXPECT_EQ(report, expect_report)
+        << "report differs at workers=" << point.workers
+        << " threads=" << point.threads;
+    EXPECT_EQ(sharded.telemetry_to_json(), expect_telemetry)
+        << "telemetry differs at workers=" << point.workers
+        << " threads=" << point.threads;
+  }
+}
+
+TEST(ShardServerTest, TuningByteIdenticalAcrossWorkersAndThreads) {
+  core::tuning::ParameterTuner baseline{tiny_tuning()};
+  baseline.set_telemetry(deterministic_telemetry());
+  const std::string expect_report = baseline.run(1).to_json();
+  const std::string expect_telemetry = baseline.telemetry_to_json();
+
+  core::tuning::ParameterTuner sharded{tiny_tuning()};
+  sharded.set_telemetry(deterministic_telemetry());
+  for (const GridPoint& point : kGrid) {
+    runtime::ShardConfig config;
+    config.workers = point.workers;
+    config.threads_per_worker = point.threads;
+    std::vector<std::string> failures;
+    const std::string report =
+        runtime::run_sharded(sharded, config, &failures).to_json();
+    EXPECT_TRUE(failures.empty())
+        << point.workers << "x" << point.threads << ": " << failures.front();
+    EXPECT_EQ(report, expect_report)
+        << "report differs at workers=" << point.workers
+        << " threads=" << point.threads;
+    EXPECT_EQ(sharded.telemetry_to_json(), expect_telemetry)
+        << "telemetry differs at workers=" << point.workers
+        << " threads=" << point.threads;
+  }
+}
+
+TEST(ShardServerTest, ZeroWorkersRunsEverythingInProcess) {
+  runtime::CampaignEngine baseline{tiny_campaign()};
+  const std::string expect = baseline.run(1).to_json();
+
+  runtime::CampaignEngine sharded{tiny_campaign()};
+  runtime::ShardConfig config;
+  config.workers = 0;  // degenerate: range-partitioned, folded, no children
+  std::vector<std::string> failures;
+  EXPECT_EQ(runtime::run_sharded(sharded, config, &failures).to_json(),
+            expect);
+  EXPECT_TRUE(failures.empty());
+}
+
+TEST(ShardServerTest, DeadWorkersDegradeThroughputNeverTheResult) {
+  runtime::CampaignEngine baseline{tiny_campaign()};
+  baseline.set_telemetry(deterministic_telemetry());
+  const std::string expect_report = baseline.run(1).to_json();
+  const std::string expect_telemetry = baseline.telemetry_to_json();
+
+  // /bin/false execs, ignores the protocol socket, and exits 1 — every
+  // worker dies before replying. The coordinator must record a failure
+  // per worker and re-run all ranges in-process, landing on the exact
+  // same bytes.
+  runtime::CampaignEngine sharded{tiny_campaign()};
+  sharded.set_telemetry(deterministic_telemetry());
+  runtime::ShardConfig config;
+  config.workers = 2;
+  config.worker_command = {"/bin/false"};
+  std::vector<std::string> failures;
+  const std::string report =
+      runtime::run_sharded(sharded, config, &failures).to_json();
+  EXPECT_FALSE(failures.empty());
+  EXPECT_EQ(report, expect_report);
+  EXPECT_EQ(sharded.telemetry_to_json(), expect_telemetry);
+}
+
+TEST(ShardServerTest, NonexistentWorkerBinaryStillCompletes) {
+  runtime::CampaignEngine baseline{tiny_campaign()};
+  const std::string expect = baseline.run(1).to_json();
+
+  runtime::CampaignEngine sharded{tiny_campaign()};
+  runtime::ShardConfig config;
+  config.workers = 2;
+  config.worker_command = {"/nonexistent/shard-worker-binary"};
+  std::vector<std::string> failures;
+  EXPECT_EQ(runtime::run_sharded(sharded, config, &failures).to_json(),
+            expect);
+  EXPECT_FALSE(failures.empty());
+}
+
+}  // namespace
